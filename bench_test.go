@@ -1,0 +1,210 @@
+// Package repro's top-level benchmarks regenerate the paper's tables and
+// figures, one testing.B per exhibit. Each benchmark executes the figure's
+// full simulation sweep per iteration and reports the figure's headline
+// number(s) as custom metrics (e.g. the AVG weighted speedup of a policy),
+// so `go test -bench=. -benchmem` prints the reproduction alongside its
+// simulation cost. Benchmarks use a reduced request count per stream to
+// keep iterations fast; `cmd/strings-bench` runs the full-scale versions.
+package repro
+
+import (
+	"testing"
+
+	"repro/stringsched"
+)
+
+// benchSuite builds a fresh suite per iteration (memoization must not leak
+// across b.N iterations, or the later iterations would measure cache hits).
+func benchSuite() *stringsched.Suite {
+	return stringsched.NewSuite(stringsched.SuiteOptions{
+		Seed:     1,
+		Requests: 8,
+		Pairs:    stringsched.Pairs()[:8], // A..H: DC and SC against all of Group B
+	})
+}
+
+// report pushes a figure's AVG series values as benchmark metrics.
+func report(b *testing.B, tab *stringsched.Table, metricSuffix string, series ...string) {
+	b.Helper()
+	for _, name := range series {
+		row := tab.Row(name)
+		if row == nil {
+			b.Fatalf("series %q missing", name)
+		}
+		b.ReportMetric(row[len(row)-1], name+metricSuffix)
+	}
+}
+
+// BenchmarkTableI regenerates Table I (benchmark characteristics measured
+// solo on the reference device).
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := stringsched.NewSuite(stringsched.SuiteOptions{Seed: 1, Requests: 4})
+		tab := s.TableI()
+		if i == 0 {
+			// Headline: the transfer-dominated MC row.
+			idx := len(tab.Labels) - 3 // MC is third from the end of AllKinds
+			b.ReportMetric(tab.Row("GPU Time %")[idx], "MC_gpu_pct")
+			b.ReportMetric(tab.Row("Transfer %")[idx], "MC_xfer_pct")
+		}
+	}
+}
+
+// BenchmarkFig1 regenerates Figure 1 (compute/memory utilization bands).
+func BenchmarkFig1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := stringsched.NewSuite(stringsched.SuiteOptions{
+			Seed: 1, Requests: 4,
+			Apps: []stringsched.Kind{stringsched.DXTC, stringsched.MonteCarlo, stringsched.Gaussian},
+		})
+		tab := s.Fig1()
+		if i == 0 {
+			b.ReportMetric(tab.Row("Compute %")[0], "DC_compute_pct")
+			b.ReportMetric(tab.Row("Compute %")[2], "GA_compute_pct")
+		}
+	}
+}
+
+// BenchmarkFig2 regenerates Figure 2 (sequential vs concurrent Monte Carlo
+// utilization).
+func BenchmarkFig2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := stringsched.NewSuite(stringsched.SuiteOptions{Seed: 1, Requests: 5})
+		r := s.Fig2()
+		if i == 0 {
+			b.ReportMetric(float64(r.SeqGlitches), "seq_glitches")
+			b.ReportMetric(float64(r.ConcGlitches), "conc_glitches")
+			b.ReportMetric(r.SeqMakespan.Seconds()/r.ConcMakespan.Seconds(), "makespan_ratio")
+		}
+	}
+}
+
+// BenchmarkFig9 regenerates Figure 9 (workload balancing vs the CUDA
+// runtime on one two-GPU node). Paper AVG: GRR/GMin/GWtMin-Strings
+// 3.10/4.90/4.73×.
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := stringsched.NewSuite(stringsched.SuiteOptions{
+			Seed: 1, Requests: 8,
+			Apps: []stringsched.Kind{stringsched.DXTC, stringsched.Scan,
+				stringsched.MonteCarlo, stringsched.BlackScholes},
+		})
+		tab := s.Fig9()
+		if i == 0 {
+			report(b, tab, "_x", "GRR-Rain", "GRR-Strings", "GMin-Strings")
+		}
+	}
+}
+
+// BenchmarkFig10 regenerates Figure 10 (GPU sharing on the supernode).
+// Paper AVG: GRR-Rain 1.60×, GWtMin-Strings 2.88×.
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := benchSuite().Fig10()
+		if i == 0 {
+			report(b, tab, "_x", "GRR-Rain", "GWtMin-Strings")
+		}
+	}
+}
+
+// BenchmarkFig11 regenerates Figure 11 (Jain fairness). Paper AVG:
+// TFS-Strings 91%, +13% over the CUDA runtime.
+func BenchmarkFig11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := stringsched.NewSuite(stringsched.SuiteOptions{
+			Seed: 1, Requests: 6, Pairs: stringsched.Pairs()[:4],
+		})
+		tab := s.Fig11()
+		if i == 0 {
+			report(b, tab, "_jain", "CUDA", "TFS-Rain", "TFS-Strings")
+		}
+	}
+}
+
+// BenchmarkFig12 regenerates Figure 12 (LAS/PS + GWtMin vs 1-node GRR).
+// Paper AVG: 2.18/3.10/2.97×.
+func BenchmarkFig12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := benchSuite().Fig12()
+		if i == 0 {
+			report(b, tab, "_x", "GWtMinLAS-Rain", "GWtMinLAS-Strings", "GWtMinPS-Strings")
+		}
+	}
+}
+
+// BenchmarkFig13 regenerates Figure 13 (scheduling alone vs 4-GPU GRR).
+// Paper AVG: 1.40/1.95/1.90×.
+func BenchmarkFig13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := benchSuite().Fig13()
+		if i == 0 {
+			report(b, tab, "_x", "LAS-Rain", "LAS-Strings", "PS-Strings")
+		}
+	}
+}
+
+// BenchmarkFig14 regenerates Figure 14 (RTF/GUF feedback balancing).
+// Paper AVG: 2.22/2.51/3.23/3.96×.
+func BenchmarkFig14(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := benchSuite().Fig14()
+		if i == 0 {
+			report(b, tab, "_x", "RTF-Rain", "GUF-Rain", "RTF-Strings", "GUF-Strings")
+		}
+	}
+}
+
+// BenchmarkFig15 regenerates Figure 15 (DTF/MBF). Paper AVG: 3.73/4.02×
+// vs 1-node GRR (8.70× vs the bare CUDA runtime for MBF).
+func BenchmarkFig15(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := benchSuite().Fig15()
+		if i == 0 {
+			report(b, tab, "_x", "DTF-Strings", "MBF-Strings")
+		}
+	}
+}
+
+// BenchmarkAblations runs the design-choice ablations (context-switch cost,
+// copy engines, interconnect bandwidth, LAS decay, Policy Arbiter).
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := stringsched.NewSuite(stringsched.SuiteOptions{
+			Seed: 1, Requests: 6, Pairs: stringsched.Pairs()[:1],
+		})
+		ctx := s.AblationContextSwitch()
+		net := s.AblationRemoteBandwidth()
+		if i == 0 {
+			rain := ctx.Row("Rain")
+			b.ReportMetric(rain[len(rain)-1]/rain[0], "rain_ctxswitch_degradation")
+			ws := net.Row("WS vs 1N-GRR")
+			b.ReportMetric(ws[len(ws)-1]/ws[0], "fastnet_over_gige")
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed: virtual
+// seconds simulated per wall second for a busy two-GPU node.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, err := stringsched.NewCluster(stringsched.Config{
+			Seed: int64(i + 1),
+			Nodes: []stringsched.NodeConfig{{Devices: []stringsched.DeviceSpec{
+				stringsched.Quadro2000, stringsched.TeslaC2050,
+			}}},
+			Mode:    stringsched.ModeStrings,
+			Balance: "GMin",
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := c.Run([]stringsched.StreamSpec{{
+			Kind: stringsched.MonteCarlo, Count: 6, LambdaFactor: 0.5,
+			Node: 0, Tenant: 1, Weight: 1,
+		}})
+		if err != nil || len(r.Errors) > 0 {
+			b.Fatalf("%v %v", err, r.Errors)
+		}
+		b.ReportMetric(r.EndTime.Seconds(), "virtual_s/op")
+	}
+}

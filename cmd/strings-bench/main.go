@@ -1,0 +1,118 @@
+// strings-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	strings-bench [-exp all|table1|fig1|fig2|fig9|fig10|fig11|fig12|fig13|fig14|fig15|ablations]
+//	              [-requests N] [-lambda F] [-seed S] [-pairs N] [-width W]
+//
+// Each experiment prints the same rows/series as the corresponding table or
+// figure in "Scheduling Multi-tenant Cloud Workloads on Accelerator-based
+// Systems" (SC'14). Absolute numbers come from the simulated testbed; the
+// shapes — which policy wins, by roughly what factor — are the
+// reproduction targets.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/stringsched"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (all, table1, fig1, fig2, fig9..fig15, headline, ablations)")
+	requests := flag.Int("requests", 12, "requests per short-job stream")
+	lambda := flag.Float64("lambda", 0.6, "mean inter-arrival as a fraction of solo runtime")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	pairs := flag.Int("pairs", 24, "number of workload pairs (prefix of A..X)")
+	width := flag.Int("width", 72, "width of utilization strips")
+	workers := flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+	seeds := flag.Int("seeds", 1, "replications per scenario (pooled)")
+	csv := flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
+	htmlOut := flag.String("html", "", "also write an HTML report with SVG charts to this path")
+	flag.Parse()
+
+	opt := stringsched.SuiteOptions{
+		Seed:         *seed,
+		Requests:     *requests,
+		LambdaFactor: *lambda,
+		Workers:      *workers,
+		Seeds:        *seeds,
+	}
+	if *pairs < 24 {
+		opt.Pairs = stringsched.Pairs()[:*pairs]
+	}
+	suite := stringsched.NewSuite(opt)
+
+	var page *stringsched.ReportPage
+	if *htmlOut != "" {
+		page = stringsched.NewReportPage("Strings (SC'14) reproduction — measured figures")
+	}
+	render := func(t *stringsched.Table) {
+		if *csv {
+			fmt.Println(t.CSV())
+		} else {
+			fmt.Println(t.Format())
+		}
+		if page != nil {
+			page.AddTable(t)
+		}
+	}
+	runners := []struct {
+		name string
+		fn   func()
+	}{
+		{"table1", func() { render(suite.TableI()) }},
+		{"fig1", func() { render(suite.Fig1()) }},
+		{"fig2", func() {
+			out := suite.Fig2().Format(*width)
+			fmt.Println(out)
+			if page != nil {
+				page.AddPre("Fig 2: sequential vs concurrent Monte Carlo", out)
+			}
+		}},
+		{"fig9", func() { render(suite.Fig9()) }},
+		{"fig10", func() { render(suite.Fig10()) }},
+		{"fig11", func() { render(suite.Fig11()) }},
+		{"fig12", func() { render(suite.Fig12()) }},
+		{"fig13", func() { render(suite.Fig13()) }},
+		{"fig14", func() { render(suite.Fig14()) }},
+		{"fig15", func() { render(suite.Fig15()) }},
+		{"headline", func() { render(suite.Headline()) }},
+		{"ablations", func() {
+			render(suite.AblationContextSwitch())
+			render(suite.AblationCopyEngines())
+			render(suite.AblationRemoteBandwidth())
+			render(suite.AblationLASDecay())
+			render(suite.AblationAccountingLag())
+			render(suite.AblationArbiter())
+			render(suite.AblationAppStyle())
+		}},
+	}
+
+	want := strings.ToLower(*exp)
+	matched := false
+	start := time.Now()
+	for _, r := range runners {
+		if want == "all" || want == r.name {
+			matched = true
+			r.fn()
+		}
+	}
+	if !matched {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if page != nil {
+		if err := page.WriteFile(*htmlOut); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *htmlOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("HTML report written to %s\n", *htmlOut)
+	}
+	fmt.Printf("(%d simulations, %.1fs wall)\n", suite.Runs, time.Since(start).Seconds())
+}

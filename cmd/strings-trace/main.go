@@ -1,0 +1,99 @@
+// strings-trace renders per-device utilization timelines (Figure 1/2 style)
+// for a request stream under a chosen runtime mode.
+//
+// Usage:
+//
+//	strings-trace [-kind MC] [-count 6] [-mode cuda|rain|strings]
+//	              [-balance GMin] [-lambda 0.4] [-width 80] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/stringsched"
+)
+
+var kinds = map[string]stringsched.Kind{
+	"DC": stringsched.DXTC, "SC": stringsched.Scan, "BO": stringsched.BinomialOptions,
+	"MM": stringsched.MatrixMultiply, "HI": stringsched.Histogram, "EV": stringsched.Eigenvalues,
+	"BS": stringsched.BlackScholes, "MC": stringsched.MonteCarlo,
+	"GA": stringsched.Gaussian, "SN": stringsched.SortingNetworks,
+}
+
+func main() {
+	kindArg := flag.String("kind", "MC", "benchmark code (DC, SC, BO, MM, HI, EV, BS, MC, GA, SN)")
+	count := flag.Int("count", 6, "requests in the stream")
+	modeArg := flag.String("mode", "strings", "runtime: cuda, rain or strings")
+	balance := flag.String("balance", "GMin", "workload balancing policy")
+	lambda := flag.Float64("lambda", 0.4, "mean inter-arrival as a fraction of solo runtime")
+	width := flag.Int("width", 80, "strip width")
+	jsonOut := flag.String("json", "", "also write raw trace segments (JSON) to this file")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	kind, ok := kinds[strings.ToUpper(*kindArg)]
+	if !ok {
+		log.Fatalf("unknown benchmark %q", *kindArg)
+	}
+	var mode stringsched.Mode
+	switch strings.ToLower(*modeArg) {
+	case "cuda":
+		mode = stringsched.ModeCUDA
+	case "rain":
+		mode = stringsched.ModeRain
+	case "strings":
+		mode = stringsched.ModeStrings
+	default:
+		log.Fatalf("unknown mode %q", *modeArg)
+	}
+
+	cluster, err := stringsched.NewCluster(stringsched.Config{
+		Seed: *seed,
+		Nodes: []stringsched.NodeConfig{
+			{Devices: []stringsched.DeviceSpec{stringsched.Quadro2000, stringsched.TeslaC2050}},
+		},
+		Mode:    mode,
+		Balance: *balance,
+		Trace:   true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err := cluster.Run([]stringsched.StreamSpec{{
+		Kind: kind, Count: *count, LambdaFactor: *lambda,
+		Node: 0, Tenant: 1, Weight: 1,
+	}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(r.Errors) > 0 {
+		log.Fatalf("application errors: %v", r.Errors)
+	}
+
+	fmt.Printf("%d %v requests under %v/%s, makespan %v\n\n", *count, kind, mode, *balance, r.EndTime)
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for gid := range cluster.Devices() {
+			if err := cluster.Trace(gid).WriteJSON(f); err != nil {
+				log.Fatal(err)
+			}
+		}
+		f.Close()
+		fmt.Printf("raw traces written to %s\n\n", *jsonOut)
+	}
+	for gid, d := range cluster.Devices() {
+		tr := cluster.Trace(gid)
+		busy := tr.MeanBusy(r.EndTime)
+		cu, bu := tr.MeanUtil(r.EndTime)
+		fmt.Printf("GID %d %-12s |%s|\n", gid, d.Spec().Name, tr.RenderBusy(r.EndTime, *width))
+		fmt.Printf("  busy %4.0f%%  compute %4.0f%%  mem-bw %4.0f%%  glitches %d\n\n",
+			100*busy, 100*cu, 100*bu, tr.BusyGlitchCount())
+	}
+}

@@ -1,0 +1,45 @@
+// stringsd is the backend daemon of the GPU remoting demo: it listens on a
+// TCP address and serves the Strings wire protocol, executing marshalled
+// CUDA calls against a simulated GPU (one device and one virtual clock per
+// connection).
+//
+// Usage:
+//
+//	stringsd [-addr :9009] [-device TeslaC2050]
+//
+// Pair it with examples/remoting or any client speaking internal/rpcproto.
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+
+	"repro/internal/gpu"
+	"repro/internal/remoting"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9009", "listen address")
+	device := flag.String("device", "TeslaC2050", "device to emulate: Quadro2000, Quadro4000, TeslaC2050, TeslaC2070")
+	flag.Parse()
+
+	specs := map[string]gpu.Spec{
+		"Quadro2000": gpu.Quadro2000,
+		"Quadro4000": gpu.Quadro4000,
+		"TeslaC2050": gpu.TeslaC2050,
+		"TeslaC2070": gpu.TeslaC2070,
+	}
+	spec, ok := specs[*device]
+	if !ok {
+		log.Fatalf("unknown device %q", *device)
+	}
+
+	lis, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("stringsd: serving simulated %s on %s", spec.Name, lis.Addr())
+	backend := &remoting.TCPBackend{Spec: spec}
+	log.Fatal(backend.Serve(lis))
+}

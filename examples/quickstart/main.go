@@ -1,0 +1,65 @@
+// Quickstart: a two-GPU server receives a burst of Monte Carlo requests and
+// serves them three ways — the bare CUDA runtime (static provisioning), the
+// Rain scheduler (per-application backend processes), and Strings (context
+// packing + phase-selection scheduling) — then prints the average request
+// completion time of each.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/stringsched"
+)
+
+func main() {
+	stream := []stringsched.StreamSpec{{
+		Kind:         stringsched.MonteCarlo,
+		Count:        8,
+		LambdaFactor: 0.5, // mean inter-arrival = half the solo runtime
+		Node:         0,
+		Tenant:       1,
+		Weight:       1,
+	}}
+
+	configs := []struct {
+		label string
+		mode  stringsched.Mode
+		dev   string
+	}{
+		{"CUDA runtime (static provisioning)", stringsched.ModeCUDA, ""},
+		{"Rain (GMin balancing)", stringsched.ModeRain, "none"},
+		{"Strings (GMin balancing + PS scheduling)", stringsched.ModeStrings, "PS"},
+	}
+
+	fmt.Println("8 Monte Carlo requests, one node with a Quadro 2000 and a Tesla C2050")
+	fmt.Println()
+	var baseline stringsched.Time
+	for _, c := range configs {
+		cluster, err := stringsched.NewCluster(stringsched.Config{
+			Seed: 42,
+			Nodes: []stringsched.NodeConfig{{Devices: []stringsched.DeviceSpec{
+				stringsched.Quadro2000, stringsched.TeslaC2050,
+			}}},
+			Mode:      c.mode,
+			Balance:   "GMin",
+			DevPolicy: c.dev,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := cluster.Run(stream)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(r.Errors) > 0 {
+			log.Fatalf("application errors: %v", r.Errors)
+		}
+		avg := r.AvgCompletion(stringsched.MonteCarlo)
+		if baseline == 0 {
+			baseline = avg
+		}
+		fmt.Printf("%-44s avg completion %8v   speedup %.2fx\n",
+			c.label, avg, float64(baseline)/float64(avg))
+	}
+}

@@ -1,0 +1,60 @@
+package balancer
+
+import "repro/internal/rpcproto"
+
+// Mapper is the GPU Affinity Mapper: it owns the DST and SFT, answers
+// device-selection requests through the configured policy and absorbs the
+// Feedback Engine reports relayed by the interposers.
+type Mapper struct {
+	dst    *DST
+	sft    *SFT
+	policy Policy
+
+	selections int
+	feedbacks  int
+}
+
+// NewMapper wires a mapper over the gPool's DST with the given policy.
+func NewMapper(dst *DST, policy Policy) *Mapper {
+	return &Mapper{dst: dst, sft: NewSFT(), policy: policy}
+}
+
+// DST returns the Device Status Table.
+func (m *Mapper) DST() *DST { return m.dst }
+
+// SFT returns the Scheduler Feedback Table.
+func (m *Mapper) SFT() *SFT { return m.sft }
+
+// Policy returns the active selection policy.
+func (m *Mapper) Policy() Policy { return m.policy }
+
+// Select answers one device-selection request: the policy picks a GID and
+// the mapper records the binding in the DST.
+func (m *Mapper) Select(req Request) GID {
+	gid := m.policy.Select(req, m.dst, m.sft)
+	if m.dst.Entry(gid) == nil && m.dst.Len() > 0 {
+		gid = 0
+	}
+	m.dst.Bind(gid, req.Kind)
+	m.selections++
+	return gid
+}
+
+// Release undoes a binding when the application exits.
+func (m *Mapper) Release(gid GID, kind string) {
+	m.dst.Unbind(gid, kind)
+}
+
+// Feedback folds a device-level report into the SFT.
+func (m *Mapper) Feedback(fb *rpcproto.Feedback) {
+	if fb == nil {
+		return
+	}
+	m.sft.Record(fb)
+	m.feedbacks++
+}
+
+// Stats returns selection and feedback counters.
+func (m *Mapper) Stats() (selections, feedbacks int) {
+	return m.selections, m.feedbacks
+}

@@ -1,0 +1,324 @@
+package balancer
+
+import "fmt"
+
+// Request is one target-GPU selection request, produced when the interposer
+// forwards an application's cudaSetDevice to the affinity mapper.
+type Request struct {
+	AppID  int
+	Kind   string // application class (workload short code)
+	Node   int    // node the application's CPU component runs on
+	Tenant int64
+}
+
+// Policy is a Target GPU Selector policy. Select must be deterministic
+// given the tables' state.
+type Policy interface {
+	Name() string
+	Select(req Request, dst *DST, sft *SFT) GID
+}
+
+// GRR assigns incoming applications to gPool devices round-robin.
+type GRR struct{ next int }
+
+// NewGRR returns a fresh round-robin policy.
+func NewGRR() *GRR { return &GRR{} }
+
+// Name implements Policy.
+func (g *GRR) Name() string { return "GRR" }
+
+// Select implements Policy.
+func (g *GRR) Select(req Request, dst *DST, sft *SFT) GID {
+	gid := GID(g.next % dst.Len())
+	g.next++
+	return gid
+}
+
+// GMin chooses the device with the minimum number of bound applications,
+// breaking ties in favour of GPUs local to the requesting node (remote GPUs
+// are more expensive to reach).
+type GMin struct{}
+
+// Name implements Policy.
+func (GMin) Name() string { return "GMin" }
+
+// Select implements Policy.
+func (GMin) Select(req Request, dst *DST, sft *SFT) GID {
+	return argmin(dst, req.Node, func(e *DSTEntry) float64 { return float64(e.Load) })
+}
+
+// GWtMin extends GMin with the gPool Creator's static device weights,
+// selecting the minimum weighted load — more capable devices absorb more
+// applications.
+type GWtMin struct{}
+
+// Name implements Policy.
+func (GWtMin) Name() string { return "GWtMin" }
+
+// Select implements Policy.
+func (GWtMin) Select(req Request, dst *DST, sft *SFT) GID {
+	return argmin(dst, req.Node, func(e *DSTEntry) float64 {
+		return float64(e.Load) / e.Weight
+	})
+}
+
+// argmin picks the entry minimizing score; ties prefer devices on localNode,
+// then lower GIDs.
+func argmin(dst *DST, localNode int, score func(*DSTEntry) float64) GID {
+	var best *DSTEntry
+	var bestScore float64
+	bestLocal := false
+	for _, e := range dst.Entries() {
+		s := score(e)
+		local := e.Node == localNode
+		switch {
+		case best == nil, s < bestScore, s == bestScore && local && !bestLocal:
+			best, bestScore, bestLocal = e, s, local
+		}
+	}
+	if best == nil {
+		return 0
+	}
+	return best.GID
+}
+
+// devLoad summarizes the expected outstanding work bound to one device,
+// split by the engine it occupies, in microseconds of service demand. It is
+// the feedback policies' shared queueing model.
+type devLoad struct {
+	kern float64 // kernel-engine demand, normalized by device weight
+	xfer float64 // copy-engine demand
+	bw   float64 // memory-bandwidth pressure (fraction of device bandwidth)
+	util float64 // summed GPU utilization of bound apps
+	exec float64 // total expected runtime, normalized by weight
+}
+
+// defaultExec is the assumed runtime of a class with no history.
+const defaultExec = 10e6 // 10 s
+
+// loadOf folds the SFT history of every application bound to e.
+func loadOf(e *DSTEntry, sft *SFT) devLoad {
+	var l devLoad
+	for _, kind := range e.boundKindsSorted() {
+		n := float64(e.BoundKinds[kind])
+		h, ok := sft.Lookup(kind)
+		if !ok {
+			l.exec += n * defaultExec / e.Weight
+			l.kern += n * defaultExec / 2 / e.Weight
+			l.xfer += n * defaultExec / 10
+			l.util += n * 0.5
+			continue
+		}
+		kernT := float64(h.GPUTime - h.XferTime)
+		if kernT < 0 {
+			kernT = 0
+		}
+		l.exec += n * float64(h.ExecTime) / e.Weight
+		l.kern += n * kernT / e.Weight
+		l.xfer += n * float64(h.XferTime)
+		l.bw += n * h.MemBW / e.MemBandwidth
+		l.util += n * h.GPUUtil
+	}
+	return l
+}
+
+// kindDemands extracts the requesting class's engine demands.
+func kindDemands(h *SFTEntry) (kernT, xferT, bwFrac float64) {
+	kernT = float64(h.GPUTime - h.XferTime)
+	if kernT < 0 {
+		kernT = 0
+	}
+	return kernT, float64(h.XferTime), h.MemBW
+}
+
+// remoteXferFactor is the measured slowdown of host↔device transfers when
+// the device sits across the supernode interconnect instead of the local
+// PCIe bus. The feedback policies charge it against remote candidates —
+// the reactive counterpart of GMin's static local-first tie-break.
+const remoteXferFactor = 2.0
+
+// remoteCost returns the extra transfer delay the class would suffer on a
+// remote device.
+func remoteCost(h *SFTEntry, e *DSTEntry, req Request) float64 {
+	if e.Node == req.Node {
+		return 0
+	}
+	return remoteXferFactor * float64(h.XferTime)
+}
+
+// RTF is Runtime Feedback: a reactive policy balancing on the measured
+// runtimes of bound applications instead of static weights — the expected
+// completion backlog in real time replaces GWtMin's population count.
+type RTF struct{}
+
+// Name implements Policy.
+func (RTF) Name() string { return "RTF" }
+
+// Select implements Policy.
+func (RTF) Select(req Request, dst *DST, sft *SFT) GID {
+	if sft.Samples(req.Kind) == 0 {
+		return GWtMin{}.Select(req, dst, sft)
+	}
+	mine, _ := sft.Lookup(req.Kind)
+	return argmin(dst, req.Node, func(e *DSTEntry) float64 {
+		return loadOf(e, sft).exec + remoteCost(mine, e, req)
+	})
+}
+
+// GUF is GPU Utilization Feedback: balance on measured backlog while
+// avoiding the collocation of applications with high GPU utilization on the
+// same device (the NUMA-contention analogue): a high-utilization arrival
+// pays for every busy co-tenant, a near-idle one squeezes in anywhere.
+type GUF struct{}
+
+// Name implements Policy.
+func (GUF) Name() string { return "GUF" }
+
+// Select implements Policy.
+func (GUF) Select(req Request, dst *DST, sft *SFT) GID {
+	mine, ok := sft.Lookup(req.Kind)
+	if !ok {
+		return GWtMin{}.Select(req, dst, sft)
+	}
+	myExec := float64(mine.ExecTime)
+	return argmin(dst, req.Node, func(e *DSTEntry) float64 {
+		l := loadOf(e, sft)
+		// Expected delay: measured backlog plus the interference of
+		// sharing the device with busy tenants, scaled by how much this
+		// class itself needs the GPU.
+		return l.exec + l.util*mine.GPUUtil*myExec + remoteCost(mine, e, req)
+	})
+}
+
+// DTF is Data Transfer Feedback: engine-aware balancing. A device's
+// kernel-engine and copy-engine backlogs are tracked separately, and an
+// arrival pays only for the engines it actually needs — so transfer-bound
+// applications land next to compute-bound ones and the device's memcpy and
+// compute engines run concurrently.
+type DTF struct{}
+
+// Name implements Policy.
+func (DTF) Name() string { return "DTF" }
+
+// Select implements Policy.
+func (DTF) Select(req Request, dst *DST, sft *SFT) GID {
+	mine, ok := sft.Lookup(req.Kind)
+	if !ok {
+		return GWtMin{}.Select(req, dst, sft)
+	}
+	kernT, xferT, _ := kindDemands(mine)
+	tot := kernT + xferT
+	if tot <= 0 {
+		return RTF{}.Select(req, dst, sft)
+	}
+	fk, fx := kernT/tot, xferT/tot
+	cpu := float64(mine.ExecTime) - float64(mine.GPUTime)
+	if cpu < 0 {
+		cpu = 0
+	}
+	return argmin(dst, req.Node, func(e *DSTEntry) float64 {
+		l := loadOf(e, sft)
+		// Per-engine queueing delay weighted by this class's use of each
+		// engine; the CPU component is contention-free.
+		return fk*l.kern + fx*l.xfer + 0.1*cpu + remoteCost(mine, e, req)
+	})
+}
+
+// MBF is Memory Bandwidth Feedback: DTF's engine-aware balancing extended
+// with the approximate memory bandwidth of each class (total kernel data
+// accesses over time on the GPU). Bandwidth-bound arrivals avoid devices
+// already under bandwidth pressure, so compute-bound co-tenants hide the
+// memory latencies of bandwidth-bound kernels. Because the bandwidth
+// estimate folds in both runtime and transfer behaviour, MBF inherits RTF's
+// and DTF's signals.
+type MBF struct{}
+
+// Name implements Policy.
+func (MBF) Name() string { return "MBF" }
+
+// Select implements Policy.
+func (MBF) Select(req Request, dst *DST, sft *SFT) GID {
+	mine, ok := sft.Lookup(req.Kind)
+	if !ok {
+		return GWtMin{}.Select(req, dst, sft)
+	}
+	kernT, xferT, myBW := kindDemands(mine)
+	tot := kernT + xferT
+	if tot <= 0 {
+		return RTF{}.Select(req, dst, sft)
+	}
+	fk, fx := kernT/tot, xferT/tot
+	return argmin(dst, req.Node, func(e *DSTEntry) float64 {
+		l := loadOf(e, sft)
+		myFrac := myBW / e.MemBandwidth
+		// Engine-aware delay plus the bandwidth-contention slowdown the
+		// arrival's kernels would suffer (and cause) on this device.
+		return fk*l.kern + fx*l.xfer + l.bw*myFrac*kernT + remoteCost(mine, e, req)
+	})
+}
+
+// Arbiter is the Policy Arbiter: it runs the static policy until the SFT
+// holds MinSamples reports for the requesting class, then switches to the
+// feedback policy (the paper's dynamic policy switching).
+type Arbiter struct {
+	Static     Policy
+	Feedback   Policy
+	MinSamples int
+
+	switched map[string]bool
+}
+
+// NewArbiter builds an arbiter with the given static/feedback pair.
+func NewArbiter(static, feedback Policy, minSamples int) *Arbiter {
+	if minSamples <= 0 {
+		minSamples = 1
+	}
+	return &Arbiter{Static: static, Feedback: feedback, MinSamples: minSamples,
+		switched: make(map[string]bool)}
+}
+
+// Name implements Policy.
+func (a *Arbiter) Name() string {
+	return fmt.Sprintf("PA(%s→%s)", a.Static.Name(), a.Feedback.Name())
+}
+
+// Select implements Policy.
+func (a *Arbiter) Select(req Request, dst *DST, sft *SFT) GID {
+	if sft.Samples(req.Kind) >= a.MinSamples {
+		a.switched[req.Kind] = true
+		return a.Feedback.Select(req, dst, sft)
+	}
+	return a.Static.Select(req, dst, sft)
+}
+
+// Switched reports whether the arbiter has engaged the feedback policy for
+// the class.
+func (a *Arbiter) Switched(kind string) bool { return a.switched[kind] }
+
+// ByName constructs a policy from its figure-label name. Feedback policies
+// are wrapped in an Arbiter over GWtMin, as in the paper's evaluation.
+func ByName(name string) (Policy, error) {
+	switch name {
+	case "GRR":
+		return NewGRR(), nil
+	case "GMin":
+		return GMin{}, nil
+	case "GWtMin":
+		return GWtMin{}, nil
+	case "RTF":
+		return NewArbiter(GWtMin{}, RTF{}, 1), nil
+	case "GUF":
+		return NewArbiter(GWtMin{}, GUF{}, 1), nil
+	case "DTF":
+		return NewArbiter(GWtMin{}, DTF{}, 1), nil
+	case "MBF":
+		return NewArbiter(GWtMin{}, MBF{}, 1), nil
+	default:
+		return nil, fmt.Errorf("balancer: unknown policy %q", name)
+	}
+}
+
+// Names lists the selectable policy names in figure order.
+func Names() []string {
+	return []string{"GRR", "GMin", "GWtMin", "RTF", "GUF", "DTF", "MBF"}
+}

@@ -1,0 +1,207 @@
+// Package balancer implements the paper's GPU Affinity Mapper / workload
+// balancer: the Device Status Table (DST) of static weights and dynamic
+// loads, the Scheduler Feedback Table (SFT) fed by device-level schedulers,
+// the Target GPU Selector policies — GRR, GMin, GWtMin and the
+// feedback-based RTF, GUF, DTF and MBF — and the Policy Arbiter that
+// switches from a static to a feedback policy once enough history has
+// accumulated.
+package balancer
+
+import (
+	"sort"
+
+	"repro/internal/rpcproto"
+	"repro/internal/sim"
+)
+
+// GID is a gPool-global GPU identifier.
+type GID int
+
+// DSTEntry is one device's row in the Device Status Table: static
+// capability information written by the gPool Creator and dynamic load
+// updated as applications bind and unbind.
+type DSTEntry struct {
+	GID      GID
+	Node     int
+	LocalDev int
+	Name     string
+
+	// Static capability weights.
+	Weight       float64
+	ComputeRate  float64
+	MemBandwidth float64
+
+	// Dynamic state.
+	Load       int            // applications currently bound
+	BoundKinds map[string]int // bound application classes
+}
+
+// DST is the Device Status Table.
+type DST struct {
+	entries []*DSTEntry
+}
+
+// NewDST builds the table from per-device rows.
+func NewDST(entries []*DSTEntry) *DST {
+	for _, e := range entries {
+		if e.BoundKinds == nil {
+			e.BoundKinds = make(map[string]int)
+		}
+		if e.Weight <= 0 {
+			e.Weight = 1
+		}
+	}
+	return &DST{entries: entries}
+}
+
+// Entries returns the rows in GID order.
+func (d *DST) Entries() []*DSTEntry { return d.entries }
+
+// Len returns the number of devices.
+func (d *DST) Len() int { return len(d.entries) }
+
+// Entry returns the row for gid, or nil.
+func (d *DST) Entry(gid GID) *DSTEntry {
+	if int(gid) < 0 || int(gid) >= len(d.entries) {
+		return nil
+	}
+	return d.entries[gid]
+}
+
+// Bind records an application of the given class binding to gid.
+func (d *DST) Bind(gid GID, kind string) {
+	if e := d.Entry(gid); e != nil {
+		e.Load++
+		e.BoundKinds[kind]++
+	}
+}
+
+// Unbind removes a binding.
+func (d *DST) Unbind(gid GID, kind string) {
+	if e := d.Entry(gid); e != nil {
+		if e.Load > 0 {
+			e.Load--
+		}
+		if e.BoundKinds[kind] > 0 {
+			e.BoundKinds[kind]--
+			if e.BoundKinds[kind] == 0 {
+				delete(e.BoundKinds, kind)
+			}
+		}
+	}
+}
+
+// boundKindsSorted returns the device's bound classes in sorted order for
+// deterministic iteration.
+func (e *DSTEntry) boundKindsSorted() []string {
+	ks := make([]string, 0, len(e.BoundKinds))
+	for k := range e.BoundKinds {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// SFTEntry aggregates the feedback history of one application class.
+type SFTEntry struct {
+	Kind    string
+	Samples int
+
+	// Running means of the Feedback Engine's reports.
+	ExecTime sim.Time
+	GPUTime  sim.Time
+	XferTime sim.Time
+	MemBW    float64 // bytes/us of kernel traffic while on GPU
+	GPUUtil  float64
+}
+
+// XferFrac returns the class's share of GPU time spent in transfers.
+func (e *SFTEntry) XferFrac() float64 {
+	if e.GPUTime <= 0 {
+		return 0
+	}
+	f := float64(e.XferTime) / float64(e.GPUTime)
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// SFT is the Scheduler Feedback Table, the history-based store the Policy
+// Arbiter and the feedback policies read. It also implements the paper's
+// response to "device-level observations of altered behavior": when a
+// class's fresh reports drift far from its accumulated history, the stale
+// history is discarded and the class is re-learned.
+type SFT struct {
+	byKind map[string]*SFTEntry
+
+	// DriftResets counts histories discarded because the class's behaviour
+	// changed.
+	DriftResets int
+}
+
+// driftFactor is how far a fresh report's runtime may deviate from the
+// class mean (in either direction) before the history is considered stale.
+const driftFactor = 2.5
+
+// driftMinSamples is how much history must exist before drift can trigger.
+const driftMinSamples = 3
+
+// NewSFT returns an empty table.
+func NewSFT() *SFT { return &SFT{byKind: make(map[string]*SFTEntry)} }
+
+// Record folds a feedback report into the class's running means.
+func (s *SFT) Record(fb *rpcproto.Feedback) {
+	if fb == nil || fb.Kind == "" {
+		return
+	}
+	e, ok := s.byKind[fb.Kind]
+	if ok && e.Samples >= driftMinSamples && fb.ExecTime > 0 && e.ExecTime > 0 {
+		ratio := float64(fb.ExecTime) / float64(e.ExecTime)
+		if ratio > driftFactor || ratio < 1/driftFactor {
+			// The class's behaviour has shifted: drop the stale history
+			// and re-learn from this report on.
+			delete(s.byKind, fb.Kind)
+			s.DriftResets++
+			ok = false
+		}
+	}
+	if !ok {
+		e = &SFTEntry{Kind: fb.Kind}
+		s.byKind[fb.Kind] = e
+	}
+	n := float64(e.Samples)
+	merge := func(old sim.Time, v sim.Time) sim.Time {
+		return sim.Time((float64(old)*n + float64(v)) / (n + 1))
+	}
+	e.ExecTime = merge(e.ExecTime, fb.ExecTime)
+	e.GPUTime = merge(e.GPUTime, fb.GPUTime)
+	e.XferTime = merge(e.XferTime, fb.XferTime)
+	e.MemBW = (e.MemBW*n + fb.MemBW) / (n + 1)
+	e.GPUUtil = (e.GPUUtil*n + fb.GPUUtil) / (n + 1)
+	e.Samples++
+}
+
+// Lookup returns the class's history, if any.
+func (s *SFT) Lookup(kind string) (*SFTEntry, bool) {
+	e, ok := s.byKind[kind]
+	return e, ok
+}
+
+// Samples returns the number of reports recorded for the class.
+func (s *SFT) Samples(kind string) int {
+	if e, ok := s.byKind[kind]; ok {
+		return e.Samples
+	}
+	return 0
+}
+
+// Kinds returns the recorded classes, sorted.
+func (s *SFT) Kinds() []string {
+	ks := make([]string, 0, len(s.byKind))
+	for k := range s.byKind {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/analytic"
+	"repro/internal/gpu"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// The bare runtime multiplexing GPU contexts with driver time slices is,
+// to first order, an M/G/1 processor-sharing queue on the GPU: mean sojourn
+// ≈ CPU_solo + D/(1-ρ) with D the request's solo GPU demand and ρ = D/λ.
+// This cross-validates the simulator's queueing behaviour against closed
+// form — an independent conservation check on the whole substrate.
+func TestSimulatorMatchesMG1PS(t *testing.T) {
+	prof := workload.ProfileFor(workload.DXTC)
+	soloGPU := prof.SoloGPUTime().Seconds()
+	soloCPU := prof.SoloRuntime.Seconds() - soloGPU
+
+	for _, factor := range []float64{2.5, 1.7} {
+		lambda := sim.Time(factor * float64(prof.SoloRuntime))
+		rate := 1.0 / lambda.Seconds()
+		want, err := analytic.MG1PS(soloGPU, rate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want += soloCPU
+
+		cfg := Config{Seed: 21, Nodes: []NodeConfig{{Devices: []gpu.Spec{gpu.TeslaC2050}}}, Mode: ModeCUDA}
+		c, errNew := New(cfg)
+		if errNew != nil {
+			t.Fatal(errNew)
+		}
+		r, errRun := c.Run([]workload.StreamSpec{{
+			Kind: workload.DXTC, Count: 30, Lambda: lambda,
+			Node: 0, Tenant: 1, Weight: 1,
+		}})
+		if errRun != nil || len(r.Errors) > 0 {
+			t.Fatalf("run: %v %v", errRun, r.Errors)
+		}
+		got := r.AvgCompletion(workload.DXTC).Seconds()
+		ratio := got / want
+		if ratio < 0.75 || ratio > 1.35 {
+			t.Fatalf("λ=%v: simulated sojourn %.1fs vs M/G/1-PS %.1fs (ratio %.2f)",
+				lambda, got, want, ratio)
+		}
+	}
+}
+
+// With two GPUs behind GMin the system approximates M/M/2 on the faster
+// device class; the prediction needs only to bracket the simulation loosely
+// (heterogeneous service rates break the model's symmetry).
+func TestSimulatorBracketedByMMc(t *testing.T) {
+	prof := workload.ProfileFor(workload.DXTC)
+	lambda := sim.Time(1.0 * float64(prof.SoloRuntime))
+	rate := 1.0 / lambda.Seconds()
+
+	cfg := Config{Seed: 22, Nodes: []NodeConfig{
+		{Devices: []gpu.Spec{gpu.TeslaC2050, gpu.TeslaC2050}},
+	}, Mode: ModeStrings, Balance: "GMin"}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.Run([]workload.StreamSpec{{
+		Kind: workload.DXTC, Count: 30, Lambda: lambda,
+		Node: 0, Tenant: 1, Weight: 1,
+	}})
+	if err != nil || len(r.Errors) > 0 {
+		t.Fatalf("run: %v %v", err, r.Errors)
+	}
+	got := r.AvgCompletion(workload.DXTC).Seconds()
+
+	soloGPU := prof.SoloGPUTime().Seconds()
+	soloCPU := prof.SoloRuntime.Seconds() - soloGPU
+	lower := prof.SoloRuntime.Seconds() // cannot beat solo
+	upper, errU := analytic.MMc(2, soloGPU, rate)
+	if errU != nil {
+		t.Fatal(errU)
+	}
+	upper = 2.5 * (upper + soloCPU) // loose slack for sharing slowdown
+	if got < 0.9*lower || got > upper {
+		t.Fatalf("simulated %.1fs outside [%.1f, %.1f]", got, lower, upper)
+	}
+}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cuda"
+	"repro/internal/devsched"
+	"repro/internal/gpu"
+	"repro/internal/packer"
+	"repro/internal/rpcproto"
+	"repro/internal/sim"
+)
+
+// stringsBackend is the Design III backend: one process per GPU, hosting a
+// backend thread per connected application. All threads share the process's
+// CUDA runtime (hence a single GPU context) through the Context Packer, and
+// every thread is gated by the device scheduler's Dispatcher.
+type stringsBackend struct {
+	c     *Cluster
+	gid   int
+	rt    *cuda.Runtime
+	pk    *packer.Packer
+	sched *devsched.Scheduler
+	conns *sim.Queue[*rpcproto.Conn]
+	nexts int
+}
+
+// newStringsBackend spawns the backend daemon for the device with the given
+// GID.
+func newStringsBackend(c *Cluster, gid int) *stringsBackend {
+	cudaCfg := c.cfg.CUDA
+	if c.cfg.MemoryGuard {
+		cudaCfg.BlockOnOOM = true
+	}
+	rt := cuda.NewRuntime(c.K, []*gpu.Device{c.devices[gid]}, cudaCfg)
+	b := &stringsBackend{
+		c:     c,
+		gid:   gid,
+		rt:    rt,
+		pk:    packer.New(rt, c.cfg.Packer),
+		sched: c.scheds[gid],
+		conns: sim.NewQueue[*rpcproto.Conn](c.K),
+	}
+	c.K.Go(fmt.Sprintf("backend-%d", gid), b.acceptLoop)
+	return b
+}
+
+// accept hands a new frontend connection to the daemon.
+func (b *stringsBackend) accept(conn *rpcproto.Conn) { b.conns.Put(conn) }
+
+// acceptLoop spawns one backend thread per accepted connection.
+func (b *stringsBackend) acceptLoop(p *sim.Proc) {
+	for {
+		conn := b.conns.Get(p)
+		b.nexts++
+		name := fmt.Sprintf("bt-%d-%d", b.gid, b.nexts)
+		ep := conn.B()
+		b.c.K.Go(name, func(tp *sim.Proc) { b.serve(tp, ep) })
+	}
+}
+
+// serve is one backend thread: it performs the registration handshake with
+// the Request Manager, then executes the application's marshalled calls
+// through the Context Packer under the Dispatcher's wake/sleep gating.
+func (b *stringsBackend) serve(p *sim.Proc, ep rpcproto.Endpoint) {
+	first, ok := ep.Recv(p).(*rpcproto.Call)
+	if !ok || first.ID != cuda.CallSetDevice {
+		reply := &rpcproto.Reply{}
+		reply.SetError(cuda.ErrInvalidValue)
+		ep.Send(p, reply, 0)
+		return
+	}
+	appID := int(first.AppID)
+	held := 0
+	entry := b.sched.Register(appID, first.TenantID, int(first.Weight),
+		first.KernelName, func() int { return held + ep.InboxLen() })
+	port, err := b.pk.Open(p, appID, first.TenantID)
+	reply := &rpcproto.Reply{Seq: first.Seq}
+	reply.SetError(err)
+	ep.Send(p, reply, 0)
+	if err != nil {
+		b.sched.Unregister(appID)
+		return
+	}
+	for {
+		call, ok := ep.Recv(p).(*rpcproto.Call)
+		if !ok {
+			continue
+		}
+		held = 1
+		b.sched.SetPhase(appID, devsched.CallPhase(call))
+		if devsched.GatesOnDispatch(call.ID) {
+			b.sched.WaitTurn(p, entry)
+		}
+		reply := port.Execute(call)
+		held = 0
+		b.sched.SetPhase(appID, devsched.PhaseDFL)
+		if call.ID == cuda.CallThreadExit {
+			reply.Feedback = b.sched.Unregister(appID)
+			ep.Send(p, reply, 0)
+			return
+		}
+		if !call.NonBlocking {
+			ep.Send(p, reply, call.ReplyPayloadBytes())
+		}
+	}
+}
+
+// serveRainConn spawns a Rain (Design I) backend process for one
+// application: a private CUDA runtime — and therefore a private GPU context
+// — executing the application's calls verbatim: synchronous memcpys stay
+// synchronous, device synchronizes stay device-wide, everything runs on the
+// context's default stream. The per-device scheduler still gates
+// submission, which is how TFS-Rain and LAS-Rain are realized.
+func (c *Cluster) serveRainConn(gid int, conn *rpcproto.Conn) {
+	c.appSeq++
+	name := fmt.Sprintf("rain-%d-%d", gid, c.appSeq)
+	ep := conn.B()
+	c.K.Go(name, func(p *sim.Proc) { c.rainServe(p, gid, ep) })
+}
+
+func (c *Cluster) rainServe(p *sim.Proc, gid int, ep rpcproto.Endpoint) {
+	first, ok := ep.Recv(p).(*rpcproto.Call)
+	if !ok || first.ID != cuda.CallSetDevice {
+		reply := &rpcproto.Reply{}
+		reply.SetError(cuda.ErrInvalidValue)
+		ep.Send(p, reply, 0)
+		return
+	}
+	appID := int(first.AppID)
+	sched := c.scheds[gid]
+	held := 0
+	entry := sched.Register(appID, first.TenantID, int(first.Weight),
+		first.KernelName, func() int { return held + ep.InboxLen() })
+
+	// A fresh runtime per application: Rain's per-app backend process.
+	rt := cuda.NewRuntime(c.K, []*gpu.Device{c.devices[gid]}, c.cfg.CUDA)
+	rt.SetOwner(appID)
+	t := rt.NewThread(p, appID)
+	reply := &rpcproto.Reply{Seq: first.Seq}
+	reply.SetError(t.SetDevice(0))
+	ep.Send(p, reply, 0)
+
+	for {
+		call, ok := ep.Recv(p).(*rpcproto.Call)
+		if !ok {
+			continue
+		}
+		held = 1
+		sched.SetPhase(appID, devsched.CallPhase(call))
+		if devsched.GatesOnDispatch(call.ID) {
+			sched.WaitTurn(p, entry)
+		}
+		reply := c.rainExecute(t, call)
+		held = 0
+		sched.SetPhase(appID, devsched.PhaseDFL)
+		if call.ID == cuda.CallThreadExit {
+			reply.Feedback = sched.Unregister(appID)
+			ep.Send(p, reply, 0)
+			return
+		}
+		if !call.NonBlocking {
+			ep.Send(p, reply, call.ReplyPayloadBytes())
+		}
+	}
+}
+
+// rainExecute runs one call directly against the per-app runtime — no
+// stream translation, no sync conversion, no pinned staging.
+func (c *Cluster) rainExecute(t *cuda.Thread, call *rpcproto.Call) *rpcproto.Reply {
+	reply := &rpcproto.Reply{Seq: call.Seq}
+	ptr := cuda.Ptr{Dev: int(call.PtrDev), ID: call.PtrID, Size: call.PtrSize}
+	switch call.ID {
+	case cuda.CallDeviceCount:
+		reply.Count = int32(t.DeviceCount())
+	case cuda.CallMalloc:
+		p, err := t.Malloc(call.Bytes)
+		if err != nil {
+			reply.SetError(err)
+			break
+		}
+		reply.PtrID, reply.PtrSize, reply.PtrDev = p.ID, p.Size, int32(p.Dev)
+	case cuda.CallFree:
+		reply.SetError(t.Free(ptr))
+	case cuda.CallMemcpy:
+		reply.SetError(t.Memcpy(call.Dir, ptr, call.Bytes))
+	case cuda.CallMemcpyAsync:
+		reply.SetError(t.MemcpyAsync(call.Dir, ptr, call.Bytes, cuda.StreamID(call.Stream)))
+	case cuda.CallLaunch:
+		reply.SetError(t.Launch(cuda.Kernel{
+			Name:       call.KernelName,
+			Compute:    call.Compute,
+			MemTraffic: call.MemTraffic,
+			Occupancy:  call.Occupancy,
+		}, cuda.StreamID(call.Stream)))
+	case cuda.CallStreamCreate:
+		s, err := t.StreamCreate()
+		if err != nil {
+			reply.SetError(err)
+			break
+		}
+		reply.Stream = int32(s)
+	case cuda.CallStreamSync:
+		reply.SetError(t.StreamSynchronize(cuda.StreamID(call.Stream)))
+	case cuda.CallStreamDestroy:
+		reply.SetError(t.StreamDestroy(cuda.StreamID(call.Stream)))
+	case cuda.CallEventCreate:
+		e, err := t.EventCreate()
+		if err != nil {
+			reply.SetError(err)
+			break
+		}
+		reply.Event = int32(e)
+	case cuda.CallEventRecord:
+		reply.SetError(t.EventRecord(cuda.EventID(call.Event), cuda.StreamID(call.Stream)))
+	case cuda.CallEventSync:
+		reply.SetError(t.EventSynchronize(cuda.EventID(call.Event)))
+	case cuda.CallEventElapsed:
+		d, err := t.EventElapsed(cuda.EventID(call.Event), cuda.EventID(call.Event2))
+		if err != nil {
+			reply.SetError(err)
+			break
+		}
+		reply.Elapsed = int64(d)
+	case cuda.CallEventDestroy:
+		reply.SetError(t.EventDestroy(cuda.EventID(call.Event)))
+	case cuda.CallDeviceSync:
+		reply.SetError(t.DeviceSynchronize())
+	case cuda.CallThreadExit:
+		reply.SetError(t.ThreadExit())
+	default:
+		reply.SetError(cuda.ErrNotImplemented)
+	}
+	return reply
+}

@@ -1,0 +1,323 @@
+// Package core assembles the complete Strings runtime over the simulated
+// cluster: nodes with their GPUs, the gPool and gMap, the GPU Affinity
+// Mapper service, per-GPU backend processes with the Context Packer and the
+// device-level GPU Scheduler (Design III), and the two baselines the paper
+// evaluates against — the bare CUDA runtime (static provisioning) and Rain
+// (Design I: one backend process per application, no context packing).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/balancer"
+	"repro/internal/cuda"
+	"repro/internal/devsched"
+	"repro/internal/gpu"
+	"repro/internal/packer"
+	"repro/internal/remoting"
+	"repro/internal/rpcproto"
+	"repro/internal/sim"
+)
+
+// Mode selects which runtime serves applications' GPU work.
+type Mode int
+
+// Runtime modes.
+const (
+	// ModeCUDA is static provisioning on the bare CUDA runtime:
+	// applications keep their programmed device, one GPU context per
+	// process, no remoting, no scheduling.
+	ModeCUDA Mode = iota
+	// ModeRain is the authors' prior scheduler (Design I): GPU remoting and
+	// workload balancing with one backend process per application, so
+	// co-located applications still multiplex GPU contexts.
+	ModeRain
+	// ModeStrings is the paper's system (Design III): one backend process
+	// per GPU hosting one backend thread per application, context packing
+	// over per-application CUDA streams, and device-level scheduling.
+	ModeStrings
+)
+
+// String returns the mode name used in the figures.
+func (m Mode) String() string {
+	switch m {
+	case ModeCUDA:
+		return "CUDA"
+	case ModeRain:
+		return "Rain"
+	case ModeStrings:
+		return "Strings"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// NodeConfig describes one server node.
+type NodeConfig struct {
+	Devices []gpu.Spec
+}
+
+// Config describes a full experimental setup.
+type Config struct {
+	Seed  int64
+	Nodes []NodeConfig
+	Mode  Mode
+
+	// Balance names the workload-balancing policy (GRR, GMin, GWtMin, RTF,
+	// GUF, DTF, MBF). Ignored in ModeCUDA.
+	Balance string
+
+	// DevPolicy names the device-level scheduling policy: "none", "TFS",
+	// "LAS" or "PS". Ignored in ModeCUDA; "PS" is Strings-only.
+	DevPolicy string
+
+	Sched  devsched.Config
+	CUDA   cuda.Config
+	Packer packer.Config
+
+	// LocalLink and RemoteLink override the RPC link models (zero values
+	// select the package defaults).
+	LocalLink  rpcproto.LinkSpec
+	RemoteLink rpcproto.LinkSpec
+
+	// Trace installs a utilization tracer on every device.
+	Trace bool
+
+	// MemoryGuard enables memory-pressure admission control in the Strings
+	// backends: an application whose allocation would exceed device memory
+	// waits for capacity instead of failing, removing the paper's
+	// assumption that the arrival rate never exhausts device memory.
+	MemoryGuard bool
+}
+
+// Cluster is a fully wired simulated deployment.
+type Cluster struct {
+	K   *sim.Kernel
+	cfg Config
+
+	gmap    *remoting.GMap
+	mapper  *balancer.Mapper
+	mapQ    *sim.Queue[mapperMsg]
+	devices []*gpu.Device // indexed by GID
+	traces  []*gpu.UtilTrace
+	nodeDev [][]*gpu.Device // per node
+	scheds  []*devsched.Scheduler
+	backs   []*stringsBackend
+
+	appSeq    int
+	appTenant map[int]int64 // app id → tenant, for horizon-based accounting
+	results   *RunResult
+}
+
+// selectResult carries a selection answer from the mapper service back to
+// the waiting interposer.
+type selectResult struct {
+	gid balancer.GID
+}
+
+// mapperMsg is a message to the affinity-mapper service process: either a
+// selection request (out/done set) or a feedback/release relay.
+type mapperMsg struct {
+	req  balancer.Request
+	out  *selectResult
+	done *sim.Event
+
+	fb      *rpcproto.Feedback
+	release bool
+	relGID  balancer.GID
+	relKind string
+}
+
+// New builds a cluster per cfg. The kernel, devices, gPool, mapper service
+// and (for ModeStrings) per-GPU backends are created immediately.
+func New(cfg Config) (*Cluster, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("core: no nodes configured")
+	}
+	if cfg.Balance == "" {
+		cfg.Balance = "GRR"
+	}
+	if cfg.DevPolicy == "" {
+		cfg.DevPolicy = "none"
+	}
+	if cfg.LocalLink == (rpcproto.LinkSpec{}) {
+		cfg.LocalLink = rpcproto.SharedMemLink
+	}
+	if cfg.RemoteLink == (rpcproto.LinkSpec{}) {
+		cfg.RemoteLink = rpcproto.RemoteLink
+	}
+	c := &Cluster{
+		K: sim.NewKernel(cfg.Seed), cfg: cfg,
+		appTenant: make(map[int]int64), results: newRunResult(),
+	}
+
+	// Physical devices and the gPool.
+	var infos []remoting.NodeInfo
+	gid := 0
+	for n, node := range cfg.Nodes {
+		if len(node.Devices) == 0 {
+			return nil, fmt.Errorf("core: node %d has no devices", n)
+		}
+		var devs []*gpu.Device
+		for _, spec := range node.Devices {
+			d := gpu.NewDevice(c.K, spec, gid)
+			if cfg.Trace {
+				tr := &gpu.UtilTrace{}
+				d.SetTracer(tr)
+				c.traces = append(c.traces, tr)
+			} else {
+				c.traces = append(c.traces, nil)
+			}
+			c.devices = append(c.devices, d)
+			devs = append(devs, d)
+			gid++
+		}
+		c.nodeDev = append(c.nodeDev, devs)
+		infos = append(infos, remoting.NodeInfo{
+			Node: n, Addr: fmt.Sprintf("10.1.%d.2", n), Devices: node.Devices,
+		})
+	}
+	c.gmap = remoting.BuildGMap(infos)
+
+	if cfg.Mode == ModeCUDA {
+		return c, nil
+	}
+
+	// Affinity mapper service.
+	pol, err := balancer.ByName(cfg.Balance)
+	if err != nil {
+		return nil, err
+	}
+	c.mapper = balancer.NewMapper(c.gmap.DST(), pol)
+	c.mapQ = sim.NewQueue[mapperMsg](c.K)
+	c.K.Go("affinity-mapper", c.mapperLoop)
+
+	// Device schedulers and, for Strings, per-GPU backend processes. Rain's
+	// per-process backends can only observe attained service at request
+	// boundaries, so its Request Monitor runs with coarse accounting.
+	schedCfg := cfg.Sched
+	if cfg.Mode == ModeRain && schedCfg.AccountingLag == 0 {
+		schedCfg.AccountingLag = 100 * sim.Millisecond
+	}
+	for g, d := range c.devices {
+		dp, err := c.devPolicy()
+		if err != nil {
+			return nil, err
+		}
+		s := devsched.New(c.K, d, g, dp, schedCfg)
+		c.scheds = append(c.scheds, s)
+		if cfg.Mode == ModeStrings {
+			c.backs = append(c.backs, newStringsBackend(c, g))
+		}
+	}
+	return c, nil
+}
+
+// devPolicy instantiates a fresh device-policy value (stateful policies
+// like TFS need one instance per device).
+func (c *Cluster) devPolicy() (devsched.Policy, error) {
+	switch c.cfg.DevPolicy {
+	case "", "none":
+		return devsched.AllAwake{}, nil
+	case "TFS":
+		return devsched.NewTFS(), nil
+	case "LAS":
+		return devsched.LAS{}, nil
+	case "PS":
+		if c.cfg.Mode != ModeStrings {
+			return nil, fmt.Errorf("core: PS is a Strings-only policy")
+		}
+		return devsched.PS{}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown device policy %q", c.cfg.DevPolicy)
+	}
+}
+
+// Config returns the cluster's configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// GMap returns the gPool's device map.
+func (c *Cluster) GMap() *remoting.GMap { return c.gmap }
+
+// Mapper returns the affinity mapper (nil in ModeCUDA).
+func (c *Cluster) Mapper() *balancer.Mapper { return c.mapper }
+
+// Devices returns the devices in GID order.
+func (c *Cluster) Devices() []*gpu.Device { return c.devices }
+
+// Scheduler returns the device scheduler for gid (nil in ModeCUDA).
+func (c *Cluster) Scheduler(gid int) *devsched.Scheduler {
+	if c.scheds == nil {
+		return nil
+	}
+	return c.scheds[gid]
+}
+
+// Trace returns the utilization trace of device gid (nil unless
+// Config.Trace).
+func (c *Cluster) Trace(gid int) *gpu.UtilTrace { return c.traces[gid] }
+
+// mapperLoop is the GPU Affinity Mapper service process.
+func (c *Cluster) mapperLoop(p *sim.Proc) {
+	const serviceTime = 3 * sim.Microsecond
+	for {
+		m := c.mapQ.Get(p)
+		p.Sleep(serviceTime)
+		switch {
+		case m.done != nil:
+			m.out.gid = c.mapper.Select(m.req)
+			m.done.Fire()
+		case m.release:
+			if m.fb != nil {
+				c.mapper.Feedback(m.fb)
+			}
+			c.mapper.Release(m.relGID, m.relKind)
+		}
+	}
+}
+
+// controlLatency returns the one-way control-message latency between a node
+// and the mapper (which runs on node 0).
+func (c *Cluster) controlLatency(node int) sim.Time {
+	if node == 0 {
+		return c.cfg.LocalLink.Latency
+	}
+	return c.cfg.RemoteLink.Latency
+}
+
+// SelectGPU implements interpose.Fabric.
+func (c *Cluster) SelectGPU(p *sim.Proc, req balancer.Request) balancer.GID {
+	lat := c.controlLatency(req.Node)
+	p.Sleep(lat)
+	out := &selectResult{}
+	done := c.K.NewEvent()
+	c.mapQ.Put(mapperMsg{req: req, out: out, done: done})
+	p.Wait(done)
+	p.Sleep(lat)
+	return out.gid
+}
+
+// ConnectBackend implements interpose.Fabric.
+func (c *Cluster) ConnectBackend(p *sim.Proc, gid balancer.GID, fromNode int) rpcproto.Endpoint {
+	entry, ok := c.gmap.Lookup(gid)
+	link := c.cfg.LocalLink
+	if ok && entry.Node != fromNode {
+		link = c.cfg.RemoteLink
+	}
+	conn := rpcproto.NewConn(c.K, link)
+	switch c.cfg.Mode {
+	case ModeStrings:
+		c.backs[gid].accept(conn)
+	case ModeRain:
+		c.serveRainConn(int(gid), conn)
+	}
+	return conn.A()
+}
+
+// ReportFeedback implements interpose.Fabric.
+func (c *Cluster) ReportFeedback(gid balancer.GID, kind string, fb *rpcproto.Feedback) {
+	c.mapQ.Put(mapperMsg{fb: fb, release: true, relGID: gid, relKind: kind})
+}
+
+// PoolSize implements interpose.Fabric.
+func (c *Cluster) PoolSize() int { return c.gmap.Len() }

@@ -1,0 +1,268 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/cuda"
+	"repro/internal/interpose"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// RunResult aggregates one experiment run.
+type RunResult struct {
+	// Completions holds arrival-to-completion latencies per application
+	// class.
+	Completions map[workload.Kind][]sim.Time
+
+	// TenantService is the total attained GPU service per tenant (the
+	// fairness experiments' allocation measure).
+	TenantService map[int64]sim.Time
+
+	// TenantWeight records each tenant's configured weight.
+	TenantWeight map[int64]int
+
+	// Errors collects application failures (should stay empty).
+	Errors []string
+
+	// EndTime is the virtual time at which the last event completed.
+	EndTime sim.Time
+
+	// Requests is the per-request event log (completion order; use
+	// SortedRequests for submission order).
+	Requests []RequestEvent
+
+	Launched int
+	Finished int
+}
+
+func newRunResult() *RunResult {
+	return &RunResult{
+		Completions:   make(map[workload.Kind][]sim.Time),
+		TenantService: make(map[int64]sim.Time),
+		TenantWeight:  make(map[int64]int),
+	}
+}
+
+// NewRunResultForPooling returns an empty result suitable for merging
+// replicated runs into.
+func NewRunResultForPooling() *RunResult { return newRunResult() }
+
+// Merge pools another run's results into r: completions and request logs
+// append, per-tenant services and counters sum, the horizon takes the
+// maximum. Pooled averages and ratios then weight every request equally
+// across replications.
+func (r *RunResult) Merge(o *RunResult) {
+	for k, ts := range o.Completions {
+		r.Completions[k] = append(r.Completions[k], ts...)
+	}
+	for id, svc := range o.TenantService {
+		r.TenantService[id] += svc
+	}
+	for id, w := range o.TenantWeight {
+		r.TenantWeight[id] = w
+	}
+	r.Errors = append(r.Errors, o.Errors...)
+	r.Requests = append(r.Requests, o.Requests...)
+	r.Launched += o.Launched
+	r.Finished += o.Finished
+	if o.EndTime > r.EndTime {
+		r.EndTime = o.EndTime
+	}
+}
+
+// AvgCompletion returns the mean completion latency for a class (0 if the
+// class never completed).
+func (r *RunResult) AvgCompletion(k workload.Kind) sim.Time {
+	ts := r.Completions[k]
+	if len(ts) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, t := range ts {
+		sum += int64(t)
+	}
+	return sim.Time(sum / int64(len(ts)))
+}
+
+// PercentileCompletion returns the p-quantile (0..1) of a class's
+// completion latencies.
+func (r *RunResult) PercentileCompletion(k workload.Kind, p float64) sim.Time {
+	ts := r.Completions[k]
+	if len(ts) == 0 {
+		return 0
+	}
+	xs := make([]float64, len(ts))
+	for i, t := range ts {
+		xs[i] = float64(t)
+	}
+	return sim.Time(metrics.Percentile(xs, p))
+}
+
+// Kinds returns the classes with completions, in Kind order.
+func (r *RunResult) Kinds() []workload.Kind {
+	ks := make([]workload.Kind, 0, len(r.Completions))
+	for k := range r.Completions {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}
+
+// FairnessAllocations returns the per-tenant weighted allocations
+// x_i = service_i / weight_i, ordered by tenant id — the inputs to Jain's
+// index.
+func (r *RunResult) FairnessAllocations() []float64 {
+	ids := make([]int64, 0, len(r.TenantService))
+	for id := range r.TenantService {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	xs := make([]float64, 0, len(ids))
+	for _, id := range ids {
+		w := r.TenantWeight[id]
+		if w <= 0 {
+			w = 1
+		}
+		xs = append(xs, float64(r.TenantService[id])/float64(w))
+	}
+	return xs
+}
+
+// Run launches the request streams and drives the simulation to completion,
+// returning the aggregated results.
+func (c *Cluster) Run(streams []workload.StreamSpec) (*RunResult, error) {
+	for si, s := range streams {
+		if s.Node < 0 || s.Node >= len(c.nodeDev) {
+			return nil, fmt.Errorf("core: stream %d arrives at unknown node %d", si, s.Node)
+		}
+		c.launchStream(si, s)
+	}
+	c.K.Run()
+	c.results.EndTime = c.K.Now()
+	return c.results, nil
+}
+
+// RunUntil drives the simulation to the given virtual horizon and measures
+// per-tenant *delivered* GPU service over that contention window directly
+// from the devices (excluding any context-switch overhead the driver
+// charged). This is the fairness experiments' measurement: streams are
+// sized to keep every tenant backlogged through the horizon, and the Jain
+// index is computed over service rates while tenants actually compete.
+func (c *Cluster) RunUntil(streams []workload.StreamSpec, horizon sim.Time) (*RunResult, error) {
+	for si, s := range streams {
+		if s.Node < 0 || s.Node >= len(c.nodeDev) {
+			return nil, fmt.Errorf("core: stream %d arrives at unknown node %d", si, s.Node)
+		}
+		c.launchStream(si, s)
+	}
+	c.K.RunUntil(horizon)
+	c.results.EndTime = c.K.Now()
+	// Replace the completion-derived tenant accounting with the devices'
+	// view at the horizon.
+	c.results.TenantService = make(map[int64]sim.Time)
+	for appID, tenant := range c.appTenant {
+		var svc sim.Time
+		for _, d := range c.devices {
+			// Delivered service only: the driver's context-switch charge
+			// is excluded here (it contaminates the per-process-context
+			// schedulers' *own* accounting — and hence their decisions —
+			// but the experiment measures what applications actually
+			// received).
+			svc += d.AppService(appID)
+		}
+		c.results.TenantService[tenant] += svc
+	}
+	return c.results, nil
+}
+
+// launchStream spawns the per-stream arrival process.
+func (c *Cluster) launchStream(si int, s workload.StreamSpec) {
+	rng := rand.New(rand.NewSource(c.cfg.Seed*7919 + int64(si)*104729 + 13))
+	arrivals := s.Arrivals(rng)
+	prof := workload.ProfileFor(s.Kind)
+	c.K.Go(fmt.Sprintf("stream-%d-%s", si, s.Kind), func(p *sim.Proc) {
+		for i, at := range arrivals {
+			if at > p.Now() {
+				p.Sleep(at - p.Now())
+			}
+			c.appSeq++
+			app := &workload.App{
+				Profile: prof,
+				Style:   s.Style,
+				ID:      c.appSeq,
+				Tenant:  s.Tenant,
+				Weight:  s.Weight,
+				// The application's programmed (static) device choice —
+				// the one the CUDA-runtime baseline honours and Strings
+				// overrides.
+				PreferredDev: 0,
+			}
+			c.results.Launched++
+			c.results.TenantWeight[s.Tenant] = s.Weight
+			c.appTenant[app.ID] = s.Tenant
+			name := fmt.Sprintf("app-%s-%d.%d", s.Kind, si, i)
+			c.K.Go(name, func(ap *sim.Proc) { c.runApp(ap, app, s) })
+		}
+	})
+}
+
+// runApp executes one application request end to end and records its
+// outcome.
+func (c *Cluster) runApp(p *sim.Proc, app *workload.App, s workload.StreamSpec) {
+	app.Submitted = p.Now()
+	var client cuda.Client
+	var ipose *interpose.Interposer
+	var factory func(*sim.Proc) cuda.Client
+	switch c.cfg.Mode {
+	case ModeCUDA:
+		// A private process on the bare runtime, seeing only its node's
+		// devices.
+		rt := cuda.NewRuntime(c.K, c.nodeDev[s.Node], c.cfg.CUDA)
+		rt.SetOwner(app.ID)
+		client = rt.NewThread(p, app.ID)
+		factory = func(tp *sim.Proc) cuda.Client { return rt.NewThread(tp, app.ID) }
+	default:
+		ipose = interpose.New(c, p, app.ID, s.Tenant, s.Weight,
+			s.Kind.String(), s.Node, c.cfg.Mode == ModeStrings)
+		client = ipose
+		sess := interpose.NewMTSession(c.K, ipose)
+		factory = sess.Thread
+	}
+	var err error
+	if app.Style == workload.StyleMultiThread {
+		err = app.RunThreaded(p, factory, 2)
+	} else {
+		err = app.Run(client)
+	}
+	gid := -1
+	if ipose != nil {
+		gid = int(ipose.GID())
+	} else if devs := c.nodeDev[s.Node]; len(devs) > 0 {
+		gid = devs[app.PreferredDev%len(devs)].ID()
+	}
+	if err != nil {
+		c.results.Errors = append(c.results.Errors, err.Error())
+		c.recordRequest(app, s, gid, err.Error())
+		return
+	}
+	c.results.Finished++
+	c.results.Completions[s.Kind] = append(c.results.Completions[s.Kind], app.CompletionTime())
+	c.recordRequest(app, s, gid, "")
+
+	// Tenant GPU service for fairness accounting.
+	var gputime sim.Time
+	if ipose != nil {
+		if fb := ipose.LastFeedback; fb != nil {
+			gputime = fb.GPUTime
+		}
+	} else {
+		for _, d := range c.nodeDev[s.Node] {
+			gputime += d.AppService(app.ID)
+		}
+	}
+	c.results.TenantService[s.Tenant] += gputime
+}

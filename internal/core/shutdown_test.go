@@ -1,0 +1,60 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// After a run drains, the long-lived service processes (device drivers,
+// backend accept loops, dispatchers, the mapper) are parked with nothing
+// pending — the kernel reports them as blocked, and nothing else leaks.
+func TestRunLeavesOnlyServiceProcessesParked(t *testing.T) {
+	cfg := Config{Seed: 2, Nodes: twoGPUNode(), Mode: ModeStrings, Balance: "GMin", DevPolicy: "LAS"}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.Run(gaStream(4))
+	if err != nil || len(r.Errors) > 0 {
+		t.Fatalf("run: %v %v", err, r.Errors)
+	}
+	blocked := c.K.Blocked()
+	for _, name := range blocked {
+		switch {
+		case hasPrefix(name, "gpu"), hasPrefix(name, "backend-"),
+			hasPrefix(name, "devsched-"), name == "affinity-mapper",
+			name == "sim-timers":
+			// expected long-lived services
+		case hasPrefix(name, "bt-"):
+			t.Fatalf("backend thread %q leaked past its app's exit", name)
+		default:
+			t.Fatalf("unexpected parked process %q (all: %v)", name, blocked)
+		}
+	}
+}
+
+func hasPrefix(s, p string) bool {
+	return len(s) >= len(p) && s[:len(p)] == p
+}
+
+// Rain backend processes exit with their application; none may linger.
+func TestRainBackendsExitWithApps(t *testing.T) {
+	cfg := Config{Seed: 2, Nodes: twoGPUNode(), Mode: ModeRain, Balance: "GMin"}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.Run([]workload.StreamSpec{{
+		Kind: workload.Gaussian, Count: 4, LambdaFactor: 0.6,
+		Node: 0, Tenant: 1, Weight: 1,
+	}})
+	if err != nil || len(r.Errors) > 0 {
+		t.Fatalf("run: %v %v", err, r.Errors)
+	}
+	for _, name := range c.K.Blocked() {
+		if hasPrefix(name, "rain-") {
+			t.Fatalf("rain backend %q leaked", name)
+		}
+	}
+}

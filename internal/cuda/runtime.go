@@ -1,0 +1,430 @@
+package cuda
+
+import (
+	"fmt"
+
+	"repro/internal/gpu"
+	"repro/internal/sim"
+)
+
+// Runtime simulates the CUDA runtime state of one host process over a set of
+// local devices. Threads created from one Runtime share a single GPU context
+// per device; separate Runtimes own separate contexts.
+type Runtime struct {
+	k       *sim.Kernel
+	cfg     Config
+	devices []*gpu.Device
+	ctxs    map[int]*procCtx
+	owner   int // owning application for single-app processes (0 = shared)
+}
+
+// SetOwner marks the process as belonging to a single application; its GPU
+// contexts are then attributed to that application, which makes the driver's
+// context-switch overhead land in the application's attained service — the
+// coarse accounting of per-process-context runtimes (bare CUDA and Rain).
+func (rt *Runtime) SetOwner(appID int) { rt.owner = appID }
+
+// procCtx is the process's context state on one device.
+type procCtx struct {
+	ctx     *gpu.Context
+	streams map[StreamID]*gpu.Stream
+	lastOp  map[StreamID]*sim.Event // completion of the newest op per stream
+	next    StreamID
+	events  map[EventID]*eventRec
+	nextEv  EventID
+	created bool
+}
+
+// eventRec is one CUDA event's state: the marker op of its latest record.
+type eventRec struct {
+	marker *gpu.Op // nil until recorded
+}
+
+// NewRuntime creates the runtime of a fresh host process seeing the given
+// devices (device ordinals are indices into the slice).
+func NewRuntime(k *sim.Kernel, devices []*gpu.Device, cfg Config) *Runtime {
+	return &Runtime{k: k, cfg: cfg, devices: devices, ctxs: make(map[int]*procCtx)}
+}
+
+// Devices returns the devices visible to the process.
+func (rt *Runtime) Devices() []*gpu.Device { return rt.devices }
+
+// Context returns the process's GPU context on dev, or nil if none exists
+// yet. Used by schedulers that need to inspect context identity.
+func (rt *Runtime) Context(dev int) *gpu.Context {
+	if pc, ok := rt.ctxs[dev]; ok {
+		return pc.ctx
+	}
+	return nil
+}
+
+// ensureCtx returns the process's context state on dev, creating it (and
+// charging the context-creation cost to p) on first touch.
+func (rt *Runtime) ensureCtx(p *sim.Proc, dev int) *procCtx {
+	pc, ok := rt.ctxs[dev]
+	if !ok {
+		pc = &procCtx{
+			ctx:     rt.devices[dev].NewContext(),
+			streams: make(map[StreamID]*gpu.Stream),
+			lastOp:  make(map[StreamID]*sim.Event),
+			events:  make(map[EventID]*eventRec),
+			next:    1,
+			nextEv:  1,
+		}
+		if rt.owner != 0 {
+			pc.ctx.Owner = rt.owner
+		}
+		rt.ctxs[dev] = pc
+		if rt.cfg.ContextCreate > 0 {
+			p.Sleep(rt.cfg.ContextCreate)
+		}
+		pc.created = true
+	}
+	return pc
+}
+
+// stream resolves a StreamID, lazily materializing the default stream.
+func (pc *procCtx) stream(id StreamID) (*gpu.Stream, error) {
+	s, ok := pc.streams[id]
+	if !ok {
+		if id != DefaultStream {
+			return nil, ErrInvalidStream
+		}
+		s = pc.ctx.NewStream()
+		pc.streams[DefaultStream] = s
+	}
+	return s, nil
+}
+
+// Thread is one host thread of the process; it implements Client executing
+// directly against the local devices (the bare CUDA runtime path).
+type Thread struct {
+	rt     *Runtime
+	p      *sim.Proc
+	appID  int
+	dev    int
+	allocs map[Ptr]struct{}
+	nextID int64
+	exited bool
+	calls  int
+}
+
+// NewThread binds a host thread executing on sim process p with application
+// id appID (used for device-side service attribution).
+func (rt *Runtime) NewThread(p *sim.Proc, appID int) *Thread {
+	return &Thread{rt: rt, p: p, appID: appID, allocs: make(map[Ptr]struct{})}
+}
+
+// Proc returns the sim process executing this thread.
+func (t *Thread) Proc() *sim.Proc { return t.p }
+
+// Calls returns the number of API calls the thread has made.
+func (t *Thread) Calls() int { return t.calls }
+
+// overhead charges the per-call CPU cost.
+func (t *Thread) overhead() {
+	t.calls++
+	if t.rt.cfg.APIOverhead > 0 {
+		t.p.Sleep(t.rt.cfg.APIOverhead)
+	}
+}
+
+// SetDevice implements Client.
+func (t *Thread) SetDevice(dev int) error {
+	t.overhead()
+	if t.exited {
+		return ErrThreadExited
+	}
+	if dev < 0 || dev >= len(t.rt.devices) {
+		return ErrInvalidDevice
+	}
+	t.dev = dev
+	return nil
+}
+
+// Device implements Client.
+func (t *Thread) Device() int { return t.dev }
+
+// DeviceCount implements Client.
+func (t *Thread) DeviceCount() int {
+	t.overhead()
+	return len(t.rt.devices)
+}
+
+// Malloc implements Client.
+func (t *Thread) Malloc(bytes int64) (Ptr, error) {
+	t.overhead()
+	if t.exited {
+		return Ptr{}, ErrThreadExited
+	}
+	if bytes <= 0 {
+		return Ptr{}, ErrInvalidValue
+	}
+	t.rt.ensureCtx(t.p, t.dev)
+	if t.rt.cfg.MallocLatency > 0 {
+		t.p.Sleep(t.rt.cfg.MallocLatency)
+	}
+	if t.rt.cfg.BlockOnOOM {
+		if err := t.rt.devices[t.dev].AllocBlocking(t.p, bytes); err != nil {
+			return Ptr{}, fmt.Errorf("%w: %v", ErrMemoryAllocation, err)
+		}
+	} else if err := t.rt.devices[t.dev].Alloc(bytes); err != nil {
+		return Ptr{}, fmt.Errorf("%w: %v", ErrMemoryAllocation, err)
+	}
+	t.nextID++
+	p := Ptr{Dev: t.dev, ID: int64(t.appID)<<32 | t.nextID, Size: bytes}
+	t.allocs[p] = struct{}{}
+	return p, nil
+}
+
+// Free implements Client.
+func (t *Thread) Free(p Ptr) error {
+	t.overhead()
+	if _, ok := t.allocs[p]; !ok {
+		return ErrInvalidPtr
+	}
+	delete(t.allocs, p)
+	if t.rt.cfg.MallocLatency > 0 {
+		t.p.Sleep(t.rt.cfg.MallocLatency)
+	}
+	t.rt.devices[p.Dev].Free(p.Size)
+	return nil
+}
+
+// submit queues an op on the thread's current device and returns its
+// completion event.
+func (t *Thread) submit(op *gpu.Op, s StreamID) (*sim.Event, error) {
+	pc := t.rt.ensureCtx(t.p, t.dev)
+	st, err := pc.stream(s)
+	if err != nil {
+		return nil, err
+	}
+	op.AppID = t.appID
+	ev := st.Submit(op)
+	pc.lastOp[s] = ev
+	return ev, nil
+}
+
+// Memcpy implements Client.
+func (t *Thread) Memcpy(dir Dir, p Ptr, bytes int64) error {
+	t.overhead()
+	if t.exited {
+		return ErrThreadExited
+	}
+	if bytes <= 0 || bytes > p.Size {
+		return ErrInvalidValue
+	}
+	kind := gpu.OpH2D
+	if dir == D2H {
+		kind = gpu.OpD2H
+	}
+	ev, err := t.submit(&gpu.Op{Kind: kind, Bytes: bytes}, DefaultStream)
+	if err != nil {
+		return err
+	}
+	t.p.Wait(ev)
+	return nil
+}
+
+// MemcpyAsync implements Client.
+func (t *Thread) MemcpyAsync(dir Dir, p Ptr, bytes int64, s StreamID) error {
+	t.overhead()
+	if t.exited {
+		return ErrThreadExited
+	}
+	if bytes <= 0 || bytes > p.Size {
+		return ErrInvalidValue
+	}
+	kind := gpu.OpH2D
+	if dir == D2H {
+		kind = gpu.OpD2H
+	}
+	_, err := t.submit(&gpu.Op{Kind: kind, Bytes: bytes}, s)
+	return err
+}
+
+// Launch implements Client.
+func (t *Thread) Launch(k Kernel, s StreamID) error {
+	t.overhead()
+	if t.exited {
+		return ErrThreadExited
+	}
+	if k.Compute < 0 || k.MemTraffic < 0 {
+		return ErrInvalidValue
+	}
+	_, err := t.submit(&gpu.Op{
+		Kind:       gpu.OpKernel,
+		Compute:    k.Compute,
+		MemTraffic: k.MemTraffic,
+		Occupancy:  k.Occupancy,
+	}, s)
+	return err
+}
+
+// StreamCreate implements Client.
+func (t *Thread) StreamCreate() (StreamID, error) {
+	t.overhead()
+	if t.exited {
+		return 0, ErrThreadExited
+	}
+	pc := t.rt.ensureCtx(t.p, t.dev)
+	id := pc.next
+	pc.next++
+	pc.streams[id] = pc.ctx.NewStream()
+	return id, nil
+}
+
+// StreamSynchronize implements Client.
+func (t *Thread) StreamSynchronize(s StreamID) error {
+	t.overhead()
+	pc := t.rt.ensureCtx(t.p, t.dev)
+	if _, ok := pc.streams[s]; !ok && s != DefaultStream {
+		return ErrInvalidStream
+	}
+	if ev, ok := pc.lastOp[s]; ok {
+		t.p.Wait(ev)
+	}
+	return nil
+}
+
+// StreamDestroy implements Client.
+func (t *Thread) StreamDestroy(s StreamID) error {
+	t.overhead()
+	pc := t.rt.ensureCtx(t.p, t.dev)
+	if s == DefaultStream {
+		return ErrInvalidValue
+	}
+	if _, ok := pc.streams[s]; !ok {
+		return ErrInvalidStream
+	}
+	// CUDA's cudaStreamDestroy waits for the stream's outstanding work.
+	if ev, ok := pc.lastOp[s]; ok {
+		t.p.Wait(ev)
+	}
+	delete(pc.streams, s)
+	delete(pc.lastOp, s)
+	return nil
+}
+
+// DeviceSynchronize implements Client. It waits for all work the process has
+// queued on the current device, across all of the process's streams.
+func (t *Thread) DeviceSynchronize() error {
+	t.overhead()
+	pc := t.rt.ensureCtx(t.p, t.dev)
+	// Collect first: waiting can add new lastOps from other threads; device
+	// sync covers work queued as of the call.
+	evs := make([]*sim.Event, 0, len(pc.lastOp))
+	for _, id := range sortedStreamIDs(pc.lastOp) {
+		evs = append(evs, pc.lastOp[id])
+	}
+	for _, ev := range evs {
+		t.p.Wait(ev)
+	}
+	return nil
+}
+
+// EventCreate implements Client.
+func (t *Thread) EventCreate() (EventID, error) {
+	t.overhead()
+	if t.exited {
+		return 0, ErrThreadExited
+	}
+	pc := t.rt.ensureCtx(t.p, t.dev)
+	id := pc.nextEv
+	pc.nextEv++
+	pc.events[id] = &eventRec{}
+	return id, nil
+}
+
+// EventRecord implements Client: the event becomes a zero-cost marker op on
+// the stream; its timestamp is the virtual time the device completes it.
+func (t *Thread) EventRecord(e EventID, s StreamID) error {
+	t.overhead()
+	if t.exited {
+		return ErrThreadExited
+	}
+	pc := t.rt.ensureCtx(t.p, t.dev)
+	rec, ok := pc.events[e]
+	if !ok {
+		return ErrInvalidEvent
+	}
+	op := &gpu.Op{Kind: gpu.OpMarker}
+	if _, err := t.submit(op, s); err != nil {
+		return err
+	}
+	rec.marker = op
+	return nil
+}
+
+// EventSynchronize implements Client.
+func (t *Thread) EventSynchronize(e EventID) error {
+	t.overhead()
+	pc := t.rt.ensureCtx(t.p, t.dev)
+	rec, ok := pc.events[e]
+	if !ok {
+		return ErrInvalidEvent
+	}
+	if rec.marker == nil {
+		return ErrNotReady
+	}
+	t.p.Wait(rec.marker.Done)
+	return nil
+}
+
+// EventElapsed implements Client.
+func (t *Thread) EventElapsed(start, end EventID) (sim.Time, error) {
+	t.overhead()
+	pc := t.rt.ensureCtx(t.p, t.dev)
+	a, okA := pc.events[start]
+	b, okB := pc.events[end]
+	if !okA || !okB {
+		return 0, ErrInvalidEvent
+	}
+	if a.marker == nil || b.marker == nil ||
+		!a.marker.Done.Fired() || !b.marker.Done.Fired() {
+		return 0, ErrNotReady
+	}
+	return b.marker.Finished - a.marker.Finished, nil
+}
+
+// EventDestroy implements Client.
+func (t *Thread) EventDestroy(e EventID) error {
+	t.overhead()
+	pc := t.rt.ensureCtx(t.p, t.dev)
+	if _, ok := pc.events[e]; !ok {
+		return ErrInvalidEvent
+	}
+	delete(pc.events, e)
+	return nil
+}
+
+// ThreadExit implements Client: synchronizes the device and releases the
+// thread's allocations.
+func (t *Thread) ThreadExit() error {
+	if t.exited {
+		return ErrThreadExited
+	}
+	if err := t.DeviceSynchronize(); err != nil {
+		return err
+	}
+	for p := range t.allocs {
+		t.rt.devices[p.Dev].Free(p.Size)
+	}
+	t.allocs = make(map[Ptr]struct{})
+	t.exited = true
+	return nil
+}
+
+// sortedStreamIDs returns map keys in ascending order for determinism.
+func sortedStreamIDs(m map[StreamID]*sim.Event) []StreamID {
+	ids := make([]StreamID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	return ids
+}

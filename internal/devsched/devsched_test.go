@@ -1,0 +1,386 @@
+package devsched
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/rpcproto"
+	"repro/internal/sim"
+)
+
+func testDev(k *sim.Kernel) *gpu.Device {
+	spec := gpu.Spec{
+		Name: "t", ComputeRate: 1000, MemBandwidth: 100,
+		H2DBandwidth: 10, D2HBandwidth: 10, CopyEngines: 2,
+		ContextSwitch: 0, TimeSlice: sim.Millisecond, MemBytes: 1 << 20, Weight: 1,
+	}
+	return gpu.NewDevice(k, spec, 0)
+}
+
+func constBacklog(n int) func() int { return func() int { return n } }
+
+func TestRegisterAssignsSignalIDs(t *testing.T) {
+	k := sim.NewKernel(1)
+	s := New(k, testDev(k), 0, AllAwake{}, Config{})
+	e1 := s.Register(1, 10, 1, "DC", constBacklog(0))
+	e2 := s.Register(2, 11, 1, "MC", constBacklog(0))
+	if e1.SignalID == e2.SignalID {
+		t.Fatal("signal ids collide")
+	}
+	if !e1.Awake || !e2.Awake {
+		t.Fatal("AllAwake entries should be born awake")
+	}
+	if s.Entry(1) != e1 || s.Entry(99) != nil {
+		t.Fatal("Entry lookup broken")
+	}
+	if got := len(s.Entries()); got != 2 {
+		t.Fatalf("Entries = %d", got)
+	}
+}
+
+func TestUnregisterProducesFeedback(t *testing.T) {
+	k := sim.NewKernel(1)
+	dev := testDev(k)
+	s := New(k, dev, 3, AllAwake{}, Config{})
+	var got *rpcproto.Feedback
+	s.OnUnregister = func(fb *rpcproto.Feedback) { got = fb }
+	k.Go("app", func(p *sim.Proc) {
+		s.Register(1, 10, 1, "DC", constBacklog(0))
+		st := dev.NewContext().NewStream()
+		op := &gpu.Op{Kind: gpu.OpKernel, Compute: 50000, AppID: 1}
+		p.Wait(st.Submit(op))
+		p.Sleep(50) // total wall 100us, GPU 50us
+		fb := s.Unregister(1)
+		if fb == nil {
+			t.Error("no feedback returned")
+			return
+		}
+		if fb.Kind != "DC" || fb.GID != 3 {
+			t.Errorf("feedback identity: %+v", fb)
+		}
+		if fb.GPUTime != 50 {
+			t.Errorf("GPUTime = %v, want 50us", fb.GPUTime)
+		}
+		if fb.GPUUtil < 0.45 || fb.GPUUtil > 0.55 {
+			t.Errorf("GPUUtil = %v, want ~0.5", fb.GPUUtil)
+		}
+	})
+	k.Run()
+	if got == nil {
+		t.Fatal("OnUnregister not invoked")
+	}
+	if s.Entry(1) != nil {
+		t.Fatal("entry not removed")
+	}
+}
+
+func TestLASPicksLeastAttained(t *testing.T) {
+	e1 := &Entry{AppID: 1, CGS: 100, Backlog: constBacklog(1)}
+	e2 := &Entry{AppID: 2, CGS: 10, Backlog: constBacklog(1)}
+	e3 := &Entry{AppID: 3, CGS: 5, Backlog: constBacklog(0)} // no work
+	e4 := &Entry{AppID: 4, CGS: 50, Backlog: constBacklog(1)}
+	e5 := &Entry{AppID: 5, CGS: 70, Backlog: constBacklog(1)}
+	cfg := DefaultConfig()
+	got := LAS{}.Pick(0, []*Entry{e1, e2, e3, e4, e5}, &cfg)
+	if len(got) != lasWidth {
+		t.Fatalf("LAS picked %d entries, want %d", len(got), lasWidth)
+	}
+	// Least-attained first; the idle entry is never picked.
+	if got[0].AppID != 2 || got[1].AppID != 4 || got[2].AppID != 5 {
+		ids := []int{got[0].AppID, got[1].AppID, got[2].AppID}
+		t.Fatalf("LAS picked %v, want [2 4 5]", ids)
+	}
+	for _, e := range got {
+		if e.AppID == 3 {
+			t.Fatal("LAS picked the workless entry")
+		}
+	}
+}
+
+func TestLASNooneHasWork(t *testing.T) {
+	cfg := DefaultConfig()
+	if got := (LAS{}).Pick(0, []*Entry{{AppID: 1, Backlog: constBacklog(0)}}, &cfg); got != nil {
+		t.Fatalf("LAS picked %v with no work", got)
+	}
+}
+
+func TestTFSAlternatesTenantsBySlice(t *testing.T) {
+	cfg := DefaultConfig()
+	tfs := NewTFS()
+	e1 := &Entry{AppID: 1, TenantID: 100, Weight: 1, Backlog: constBacklog(1)}
+	e2 := &Entry{AppID: 2, TenantID: 200, Weight: 1, Backlog: constBacklog(1)}
+	entries := []*Entry{e1, e2}
+
+	first := tfs.Pick(0, entries, &cfg)
+	if len(first) != 1 {
+		t.Fatalf("picked %d entries", len(first))
+	}
+	winner := first[0].TenantID
+	// Same instant re-pick: slice unexpired, same tenant.
+	again := tfs.Pick(1*sim.Millisecond, entries, &cfg)
+	if again[0].TenantID != winner {
+		t.Fatal("TFS switched tenants mid-slice")
+	}
+	// The winner accrues service; after slice expiry the other tenant runs.
+	first[0].Attained = 30 * sim.Millisecond
+	next := tfs.Pick(cfg.TFSBaseSlice+1, entries, &cfg)
+	if next[0].TenantID == winner {
+		t.Fatal("TFS did not rotate to the starved tenant")
+	}
+}
+
+func TestTFSWeightsScaleSlices(t *testing.T) {
+	cfg := DefaultConfig()
+	tfs := NewTFS()
+	e1 := &Entry{AppID: 1, TenantID: 100, Weight: 3, Backlog: constBacklog(1)}
+	e2 := &Entry{AppID: 2, TenantID: 200, Weight: 1, Backlog: constBacklog(1)}
+	got := tfs.Pick(0, []*Entry{e1, e2}, &cfg)
+	if got[0].TenantID != 100 && got[0].TenantID != 200 {
+		t.Fatal("no pick")
+	}
+	// Whoever won, its slice should be weight-scaled.
+	want := cfg.TFSBaseSlice * sim.Time(got[0].Weight)
+	if tfs.turnLen != want {
+		t.Fatalf("slice = %v, want %v", tfs.turnLen, want)
+	}
+}
+
+func TestTFSWorkConserving(t *testing.T) {
+	cfg := DefaultConfig()
+	tfs := NewTFS()
+	e1 := &Entry{AppID: 1, TenantID: 100, Weight: 1, Backlog: constBacklog(0)}
+	e2 := &Entry{AppID: 2, TenantID: 200, Weight: 1, Backlog: constBacklog(1)}
+	got := tfs.Pick(0, []*Entry{e1, e2}, &cfg)
+	if len(got) != 1 || got[0].TenantID != 200 {
+		t.Fatalf("TFS picked %v; idle tenant should be skipped", got)
+	}
+	// All idle → nothing awake.
+	e2.Backlog = constBacklog(0)
+	if got := tfs.Pick(sim.Second, []*Entry{e1, e2}, &cfg); got != nil {
+		t.Fatalf("picked %v with no work anywhere", got)
+	}
+}
+
+func TestTFSPenalizesOvershoot(t *testing.T) {
+	cfg := DefaultConfig()
+	tfs := NewTFS()
+	e1 := &Entry{AppID: 1, TenantID: 100, Weight: 1, Backlog: constBacklog(1)}
+	e2 := &Entry{AppID: 2, TenantID: 200, Weight: 1, Backlog: constBacklog(1)}
+	entries := []*Entry{e1, e2}
+	first := tfs.Pick(0, entries, &cfg)
+	winner := first[0]
+	// The winner massively overshoots its slice (async work landing late).
+	winner.Attained = 10 * cfg.TFSBaseSlice
+	tfs.Pick(cfg.TFSBaseSlice+1, entries, &cfg)
+	if tfs.penalty[winner.TenantID] <= 0 {
+		t.Fatal("no overshoot penalty recorded")
+	}
+}
+
+func TestPSOnePerPhase(t *testing.T) {
+	cfg := DefaultConfig()
+	mk := func(id int, ph Phase, att sim.Time) *Entry {
+		return &Entry{AppID: id, Phase: ph, Attained: att, Backlog: constBacklog(1)}
+	}
+	entries := []*Entry{
+		mk(1, PhaseKL, 100),
+		mk(2, PhaseKL, 50), // least attained KL
+		mk(3, PhaseH2D, 10),
+		mk(4, PhaseD2H, 10),
+		mk(5, PhaseDFL, 0),
+	}
+	got := PS{}.Pick(0, entries, &cfg)
+	if len(got) != 3 {
+		t.Fatalf("PS picked %d, want 3", len(got))
+	}
+	ids := map[int]bool{}
+	for _, e := range got {
+		ids[e.AppID] = true
+	}
+	if !ids[2] || !ids[3] || !ids[4] {
+		t.Fatalf("PS picked %v, want {2,3,4}", ids)
+	}
+}
+
+func TestPSFillsSlotsByPriority(t *testing.T) {
+	cfg := DefaultConfig()
+	entries := []*Entry{
+		{AppID: 1, Phase: PhaseKL, Attained: 0, Backlog: constBacklog(1)},
+		{AppID: 2, Phase: PhaseKL, Attained: 5, Backlog: constBacklog(1)},
+		{AppID: 3, Phase: PhaseKL, Attained: 9, Backlog: constBacklog(1)},
+		{AppID: 4, Phase: PhaseDFL, Attained: 0, Backlog: constBacklog(1)},
+	}
+	got := PS{}.Pick(0, entries, &cfg)
+	if len(got) != 3 {
+		t.Fatalf("PS picked %d, want 3", len(got))
+	}
+	// All three slots go to KL candidates before DFL.
+	for _, e := range got {
+		if e.Phase != PhaseKL {
+			t.Fatalf("PS filled slot with %v before exhausting KL", e.Phase)
+		}
+	}
+}
+
+func TestPSIdleTreatedAsDefault(t *testing.T) {
+	cfg := DefaultConfig()
+	entries := []*Entry{
+		{AppID: 1, Phase: PhaseIdle, Backlog: constBacklog(1)},
+	}
+	got := PS{}.Pick(0, entries, &cfg)
+	if len(got) != 1 {
+		t.Fatalf("PS ignored an idle-phase entry with work")
+	}
+}
+
+func TestDispatcherGatesThreads(t *testing.T) {
+	// Two fake backend threads submit kernels gated by LAS: the device
+	// should never see both contexts' work interleaved in a way that lets
+	// the high-CGS thread run while the low-CGS one has work.
+	k := sim.NewKernel(1)
+	dev := testDev(k)
+	cfg := Config{Epoch: 100 * sim.Microsecond}
+	s := New(k, dev, 0, LAS{}, cfg)
+	ctx := dev.NewContext()
+	type bt struct {
+		entry   *Entry
+		pending int
+	}
+	var done [2]sim.Time
+	for i := 0; i < 2; i++ {
+		i := i
+		st := ctx.NewStream()
+		b := &bt{pending: 5}
+		b.entry = s.Register(i+1, int64(i), 1, "X", func() int { return b.pending })
+		k.Go("bt", func(p *sim.Proc) {
+			for j := 0; j < 5; j++ {
+				s.WaitTurn(p, b.entry)
+				ev := st.Submit(&gpu.Op{Kind: gpu.OpKernel, Compute: 20000, AppID: i + 1})
+				p.Wait(ev)
+				b.pending--
+			}
+			done[i] = p.Now()
+		})
+	}
+	k.Run()
+	if done[0] == 0 || done[1] == 0 {
+		t.Fatal("threads did not finish under dispatcher gating")
+	}
+	// Service should be near-equal: LAS alternates between equal jobs.
+	a, b := dev.AppService(1), dev.AppService(2)
+	if a != b {
+		t.Fatalf("services %v vs %v, want equal for symmetric jobs", a, b)
+	}
+	s.Close()
+}
+
+func TestWaitTurnReleasesImmediatelyWhenAwake(t *testing.T) {
+	k := sim.NewKernel(1)
+	s := New(k, testDev(k), 0, AllAwake{}, Config{})
+	e := s.Register(1, 1, 1, "X", constBacklog(1))
+	var waited sim.Time
+	k.Go("bt", func(p *sim.Proc) {
+		t0 := p.Now()
+		s.WaitTurn(p, e)
+		waited = p.Now() - t0
+	})
+	k.Run()
+	if waited != 0 {
+		t.Fatalf("WaitTurn blocked %v for an awake entry", waited)
+	}
+}
+
+func TestPhaseStrings(t *testing.T) {
+	for ph, want := range map[Phase]string{
+		PhaseIdle: "IDLE", PhaseDFL: "DFL", PhaseH2D: "H2D",
+		PhaseD2H: "D2H", PhaseKL: "KL",
+	} {
+		if ph.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", ph, ph.String(), want)
+		}
+	}
+	if Phase(9).String() != "Phase(9)" {
+		t.Fatal("unknown phase formatting")
+	}
+}
+
+func TestOpPhaseMapping(t *testing.T) {
+	if opPhase(gpu.OpH2D) != PhaseH2D || opPhase(gpu.OpD2H) != PhaseD2H || opPhase(gpu.OpKernel) != PhaseKL {
+		t.Fatal("opPhase mapping wrong")
+	}
+}
+
+func TestWeightDefaultsToOne(t *testing.T) {
+	k := sim.NewKernel(1)
+	s := New(k, testDev(k), 0, AllAwake{}, Config{})
+	e := s.Register(1, 1, 0, "X", constBacklog(0))
+	if e.Weight != 1 {
+		t.Fatalf("weight = %d, want 1", e.Weight)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	k := sim.NewKernel(1)
+	s := New(k, testDev(k), 0, nil, Config{})
+	if _, ok := s.Policy().(AllAwake); !ok {
+		t.Fatal("nil policy should become AllAwake")
+	}
+	if s.cfg.Epoch != DefaultConfig().Epoch || s.cfg.LASDecay != 0.8 {
+		t.Fatalf("defaults not applied: %+v", s.cfg)
+	}
+}
+
+func TestPSDispatcherKeepsAtMostThreeAwake(t *testing.T) {
+	// Six backend threads with rotating phases under a live PS dispatcher:
+	// the awake set must never exceed the engine-slot count.
+	k := sim.NewKernel(1)
+	dev := testDev(k)
+	s := New(k, dev, 0, PS{}, Config{Epoch: 50 * sim.Microsecond})
+	ctx := dev.NewContext()
+	maxAwake := 0
+	countAwake := func() {
+		n := 0
+		for _, e := range s.Entries() {
+			if e.Awake {
+				n++
+			}
+		}
+		if n > maxAwake {
+			maxAwake = n
+		}
+	}
+	for i := 0; i < 6; i++ {
+		i := i
+		st := ctx.NewStream()
+		pending := 6
+		e := s.Register(i+1, int64(i), 1, "X", func() int { return pending })
+		k.Go(fmt.Sprintf("bt%d", i), func(p *sim.Proc) {
+			for j := 0; j < 6; j++ {
+				var op *gpu.Op
+				switch (i + j) % 3 {
+				case 0:
+					s.SetPhase(i+1, PhaseKL)
+					op = &gpu.Op{Kind: gpu.OpKernel, Compute: 5000, AppID: i + 1}
+				case 1:
+					s.SetPhase(i+1, PhaseH2D)
+					op = &gpu.Op{Kind: gpu.OpH2D, Bytes: 100, AppID: i + 1}
+				default:
+					s.SetPhase(i+1, PhaseD2H)
+					op = &gpu.Op{Kind: gpu.OpD2H, Bytes: 100, AppID: i + 1}
+				}
+				s.WaitTurn(p, e)
+				countAwake()
+				p.Wait(st.Submit(op))
+				pending--
+			}
+		})
+	}
+	k.Run()
+	if maxAwake > 3 {
+		t.Fatalf("PS kept %d threads awake, cap is 3", maxAwake)
+	}
+	if maxAwake == 0 {
+		t.Fatal("nothing ever ran")
+	}
+}

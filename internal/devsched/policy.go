@@ -1,0 +1,215 @@
+package devsched
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Policy decides which backend threads are awake in the coming epoch.
+// Implementations must be deterministic given the entry list (which the
+// Scheduler supplies in app-id order).
+type Policy interface {
+	Name() string
+	// Pick returns the entries to keep awake until the next evaluation.
+	Pick(now sim.Time, entries []*Entry, cfg *Config) []*Entry
+}
+
+// AllAwake is the pass-through policy: every backend thread may submit at
+// will. It is the device policy in the pure workload-balancing experiments.
+type AllAwake struct{}
+
+// Name implements Policy.
+func (AllAwake) Name() string { return "none" }
+
+// Pick implements Policy.
+func (AllAwake) Pick(now sim.Time, entries []*Entry, cfg *Config) []*Entry { return entries }
+
+// LAS is Least Attained Service: each epoch the threads whose decayed
+// cumulative GPU service (eq. 1) is smallest — among threads with pending
+// requests — get priority. Short-episode jobs finish sooner, minimizing CPU
+// stall time and maximizing throughput, at a known cost in fairness. The
+// dispatcher keeps the two least-served threads awake: the top priority
+// level runs, and one runner-up keeps the device's remaining engines from
+// idling while the leader is between requests.
+type LAS struct{}
+
+// lasWidth is the number of priority levels kept awake.
+const lasWidth = 3
+
+// Name implements Policy.
+func (LAS) Name() string { return "LAS" }
+
+// Pick implements Policy.
+func (LAS) Pick(now sim.Time, entries []*Entry, cfg *Config) []*Entry {
+	var work []*Entry
+	for _, e := range entries {
+		if e.HasWork() {
+			work = append(work, e)
+		}
+	}
+	sort.Slice(work, func(i, j int) bool {
+		if work[i].CGS != work[j].CGS {
+			return work[i].CGS < work[j].CGS
+		}
+		return work[i].AppID < work[j].AppID
+	})
+	if len(work) > lasWidth {
+		work = work[:lasWidth]
+	}
+	return work
+}
+
+// TFS is True Fair-Share: tenants receive GPU residency proportional to
+// their weights. At most one tenant's threads are awake at a time; a usage
+// history penalizes tenants that overshoot their slice (asynchronously
+// submitted work keeps accruing after the thread sleeps), and unused shares
+// redistribute to tenants with work (work conservation).
+type TFS struct {
+	usage    map[int64]float64 // attained service per tenant
+	penalty  map[int64]float64
+	current  int64
+	sliceEnd sim.Time
+	turnBase float64 // tenant usage at turn start
+	turnLen  sim.Time
+	active   bool
+}
+
+// NewTFS returns a fresh fair-share policy instance (state is per device).
+func NewTFS() *TFS {
+	return &TFS{usage: make(map[int64]float64), penalty: make(map[int64]float64)}
+}
+
+// Name implements Policy.
+func (t *TFS) Name() string { return "TFS" }
+
+// Pick implements Policy.
+func (t *TFS) Pick(now sim.Time, entries []*Entry, cfg *Config) []*Entry {
+	// Refresh per-tenant usage from entry accounting.
+	tenants := map[int64]*tenantView{}
+	order := []int64{}
+	for _, e := range entries {
+		tv, ok := tenants[e.TenantID]
+		if !ok {
+			tv = &tenantView{id: e.TenantID, weight: e.Weight}
+			tenants[e.TenantID] = tv
+			order = append(order, e.TenantID)
+		}
+		tv.attained += float64(e.Attained)
+		if e.HasWork() {
+			tv.work = append(tv.work, e)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	for _, id := range order {
+		t.usage[id] = tenants[id].attained
+	}
+
+	if t.active {
+		if cur, ok := tenants[t.current]; ok && now < t.sliceEnd && len(cur.work) > 0 {
+			return cur.work // slice still valid
+		}
+		// Turn over: penalize overshoot beyond the allocated slice.
+		if cur, ok := tenants[t.current]; ok {
+			used := cur.attained - t.turnBase
+			alloc := float64(t.turnLen)
+			if used > alloc {
+				t.penalty[t.current] += used - alloc
+			}
+		}
+		t.active = false
+	}
+
+	// Choose the tenant with the least weighted (usage + penalty) among
+	// tenants with pending work — the "least attained fair share".
+	var best *tenantView
+	var bestKey float64
+	for _, id := range order {
+		tv := tenants[id]
+		if len(tv.work) == 0 {
+			continue
+		}
+		key := (t.usage[id] + t.penalty[id]) / float64(tv.weight)
+		if best == nil || key < bestKey || (key == bestKey && id < best.id) {
+			best, bestKey = tv, key
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	t.current = best.id
+	t.turnLen = cfg.TFSBaseSlice * sim.Time(best.weight)
+	t.sliceEnd = now + t.turnLen
+	t.turnBase = best.attained
+	t.active = true
+	return best.work
+}
+
+type tenantView struct {
+	id       int64
+	weight   int
+	attained float64
+	work     []*Entry
+}
+
+// PS is Phase Selection: wake one thread per GPU engine phase so that the
+// kernel engine and both copy engines stay busy simultaneously — the
+// "guitar chord" the scheduler is named after. Unfilled engine slots fall
+// back to the phase priority KL > H2D = D2H > DFL; ties within a phase go to
+// the thread with least attained service, which keeps PS nearly as fair as
+// TFS.
+type PS struct{}
+
+// Name implements Policy.
+func (PS) Name() string { return "PS" }
+
+// Pick implements Policy.
+func (PS) Pick(now sim.Time, entries []*Entry, cfg *Config) []*Entry {
+	// Candidates with work, grouped by phase, each group ordered by least
+	// attained service.
+	groups := map[Phase][]*Entry{}
+	for _, e := range entries {
+		if !e.HasWork() {
+			continue
+		}
+		ph := e.Phase
+		if ph == PhaseIdle {
+			ph = PhaseDFL
+		}
+		groups[ph] = append(groups[ph], e)
+	}
+	for _, g := range groups {
+		sort.Slice(g, func(i, j int) bool {
+			if g[i].Attained != g[j].Attained {
+				return g[i].Attained < g[j].Attained
+			}
+			return g[i].AppID < g[j].AppID
+		})
+	}
+	const slots = 3
+	picked := make([]*Entry, 0, slots)
+	used := map[int]bool{}
+	take := func(ph Phase) bool {
+		for _, e := range groups[ph] {
+			if !used[e.AppID] {
+				picked = append(picked, e)
+				used[e.AppID] = true
+				return true
+			}
+		}
+		return false
+	}
+	// One per engine first: kernel, then the two copy directions.
+	take(PhaseKL)
+	take(PhaseH2D)
+	take(PhaseD2H)
+	// Fill remaining slots by phase priority.
+	for _, ph := range []Phase{PhaseKL, PhaseH2D, PhaseD2H, PhaseDFL} {
+		for len(picked) < slots && take(ph) {
+		}
+		if len(picked) >= slots {
+			break
+		}
+	}
+	return picked
+}

@@ -1,0 +1,286 @@
+package devsched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/gpu"
+	"repro/internal/rpcproto"
+	"repro/internal/sim"
+)
+
+// Config tunes the scheduler.
+type Config struct {
+	// Epoch is the dispatcher's re-evaluation period (the scheduling
+	// epoch). The LAS time quantum and TFS slices are multiples of it.
+	Epoch sim.Time
+
+	// TFSBaseSlice is the per-weight-unit residency slice of TFS.
+	TFSBaseSlice sim.Time
+
+	// LASDecay is k in CGS_n = k·GS_n + (1-k)·CGS_{n-1}; the paper uses
+	// 0.8.
+	LASDecay float64
+
+	// AccountingLag is the staleness of the Request Monitor's view of
+	// attained service. Strings reads per-stream accounting continuously
+	// (lag 0); Rain's per-process backends only observe usage at request
+	// boundaries, which the paper identifies as the source of its
+	// scheduling error. The scheduler refreshes an entry's accounting only
+	// when at least this much time has passed since its last refresh.
+	AccountingLag sim.Time
+}
+
+// DefaultConfig returns the configuration used in the experiments.
+func DefaultConfig() Config {
+	return Config{
+		Epoch:        5 * sim.Millisecond,
+		TFSBaseSlice: 20 * sim.Millisecond,
+		LASDecay:     0.8,
+	}
+}
+
+// Scheduler is the per-device GPU scheduler.
+type Scheduler struct {
+	k      *sim.Kernel
+	dev    *gpu.Device
+	gid    int
+	cfg    Config
+	policy Policy
+
+	entries      []*Entry
+	byApp        map[int]*Entry
+	nextSig      int
+	kick         *sim.Signal
+	kicked       bool
+	running      bool
+	closed       bool
+	OnUnregister func(fb *rpcproto.Feedback) // Feedback Engine sink
+}
+
+// New creates a scheduler for dev (identified cluster-wide by gid) with the
+// given policy; AllAwake (nil policy) disables dispatch gating.
+func New(k *sim.Kernel, dev *gpu.Device, gid int, policy Policy, cfg Config) *Scheduler {
+	if policy == nil {
+		policy = AllAwake{}
+	}
+	if cfg.Epoch <= 0 {
+		cfg.Epoch = DefaultConfig().Epoch
+	}
+	if cfg.TFSBaseSlice <= 0 {
+		cfg.TFSBaseSlice = DefaultConfig().TFSBaseSlice
+	}
+	if cfg.LASDecay <= 0 || cfg.LASDecay > 1 {
+		cfg.LASDecay = DefaultConfig().LASDecay
+	}
+	s := &Scheduler{
+		k:      k,
+		dev:    dev,
+		gid:    gid,
+		cfg:    cfg,
+		policy: policy,
+		byApp:  make(map[int]*Entry),
+		kick:   k.NewSignal(),
+	}
+	return s
+}
+
+// Device returns the scheduled device.
+func (s *Scheduler) Device() *gpu.Device { return s.dev }
+
+// Policy returns the active policy.
+func (s *Scheduler) Policy() Policy { return s.policy }
+
+// Register performs the Request Manager's registration: it creates the RCB
+// entry, assigns the thread its signal id (the 3-way handshake's step 2) and
+// returns the entry whose Wake signal the backend thread must honour. The
+// backlog callback lets the dispatcher see whether the thread has pending
+// requests.
+func (s *Scheduler) Register(appID int, tenant int64, weight int, kind string, backlog func() int) *Entry {
+	if weight <= 0 {
+		weight = 1
+	}
+	s.nextSig++
+	e := &Entry{
+		AppID:      appID,
+		TenantID:   tenant,
+		Weight:     weight,
+		Kind:       kind,
+		Registered: s.k.Now(),
+		Backlog:    backlog,
+		Wake:       s.k.NewSignal(),
+		SignalID:   s.nextSig,
+		Phase:      PhaseIdle,
+	}
+	// With the pass-through policy threads are born awake; real policies
+	// gate them through the dispatcher.
+	if _, ok := s.policy.(AllAwake); ok {
+		e.Awake = true
+	}
+	s.entries = append(s.entries, e)
+	s.byApp[appID] = e
+	s.ensureDispatcher()
+	s.Kick()
+	return e
+}
+
+// Unregister removes the application from the RCB, harvesting its feedback
+// through the Feedback Engine sink.
+func (s *Scheduler) Unregister(appID int) *rpcproto.Feedback {
+	e, ok := s.byApp[appID]
+	if !ok {
+		return nil
+	}
+	s.refreshEntry(e)
+	fb := e.feedback(s.k.Now(), s.gid)
+	e.exited = true
+	delete(s.byApp, appID)
+	for i, x := range s.entries {
+		if x == e {
+			s.entries = append(s.entries[:i], s.entries[i+1:]...)
+			break
+		}
+	}
+	if s.OnUnregister != nil {
+		s.OnUnregister(fb)
+	}
+	s.Kick()
+	return fb
+}
+
+// Entry returns the RCB entry for an app, or nil.
+func (s *Scheduler) Entry(appID int) *Entry { return s.byApp[appID] }
+
+// Entries returns the live RCB entries (sorted by app id for determinism).
+func (s *Scheduler) Entries() []*Entry {
+	out := append([]*Entry(nil), s.entries...)
+	sort.Slice(out, func(i, j int) bool { return out[i].AppID < out[j].AppID })
+	return out
+}
+
+// SetPhase records the thread's current GPU phase and nudges the dispatcher
+// (PS reacts to phase changes).
+func (s *Scheduler) SetPhase(appID int, ph Phase) {
+	if e, ok := s.byApp[appID]; ok && e.Phase != ph {
+		e.Phase = ph
+		if _, isPS := s.policy.(*PS); isPS {
+			s.Kick()
+		}
+	}
+}
+
+// WaitTurn parks the backend thread until the dispatcher has it awake. A
+// sleeping thread arriving with fresh work nudges the dispatcher so an idle
+// device never sits on a parked request until the next epoch.
+func (s *Scheduler) WaitTurn(p *sim.Proc, e *Entry) {
+	if !e.Awake {
+		s.Kick()
+	}
+	for !e.Awake {
+		p.WaitSignal(e.Wake)
+	}
+}
+
+// Kick forces a dispatcher re-evaluation at the current instant.
+func (s *Scheduler) Kick() {
+	s.kicked = true
+	s.kick.Notify()
+}
+
+// Close stops the dispatcher once it next wakes.
+func (s *Scheduler) Close() {
+	s.closed = true
+	s.Kick()
+}
+
+// ensureDispatcher starts the dispatcher process on first registration.
+// AllAwake needs no dispatcher.
+func (s *Scheduler) ensureDispatcher() {
+	if s.running {
+		return
+	}
+	if _, ok := s.policy.(AllAwake); ok {
+		return
+	}
+	s.running = true
+	s.k.Go(nameFor(s.gid), s.dispatch)
+}
+
+func nameFor(gid int) string {
+	return fmt.Sprintf("devsched-%d", gid)
+}
+
+// dispatch is the Dispatcher loop: every epoch (or kick) it refreshes the
+// Request Monitor's accounting and applies the policy's wake set.
+func (s *Scheduler) dispatch(p *sim.Proc) {
+	for {
+		if s.closed {
+			return
+		}
+		if len(s.entries) == 0 {
+			s.kicked = false
+			p.WaitSignal(s.kick)
+			continue
+		}
+		s.refresh()
+		awake := s.policy.Pick(p.Now(), s.Entries(), &s.cfg)
+		set := make(map[int]bool, len(awake))
+		for _, e := range awake {
+			set[e.AppID] = true
+		}
+		anyWork := false
+		for _, e := range s.entries {
+			if e.HasWork() {
+				anyWork = true
+			}
+			want := set[e.AppID]
+			if want && !e.Awake {
+				e.Awake = true
+				e.Wake.Notify()
+			} else if !want && e.Awake {
+				e.Awake = false
+			}
+		}
+		s.kicked = false
+		if !anyWork {
+			// Nothing to arbitrate: sleep until a thread shows up with
+			// work (WaitTurn kicks) or membership changes.
+			p.WaitSignal(s.kick)
+			continue
+		}
+		p.WaitSignalTimeout(s.kick, s.cfg.Epoch)
+	}
+}
+
+// refresh updates every entry's Request Monitor state from the device.
+func (s *Scheduler) refresh() {
+	for _, e := range s.entries {
+		s.refreshEntry(e)
+	}
+}
+
+// refreshEntry pulls the device-side accounting for one entry and advances
+// the decayed-service estimate (eq. 1) across the epoch boundary. The
+// scheduler's view includes any context-switch overhead the driver charged
+// to the application: a per-process-context runtime (Rain) cannot tell the
+// two apart, which is the accounting error the paper attributes Rain's
+// fairness loss to. Under Strings' packed context the charge is always
+// zero, so the view is exact.
+func (s *Scheduler) refreshEntry(e *Entry) {
+	now := s.k.Now()
+	if s.cfg.AccountingLag > 0 && e.lastRefresh != 0 && now-e.lastRefresh < s.cfg.AccountingLag {
+		return
+	}
+	e.lastRefresh = now
+	cur := s.dev.AppService(e.AppID) + s.dev.AppSwitchCharge(e.AppID)
+	gs := cur - e.epochSample
+	if gs < 0 {
+		gs = 0
+	}
+	e.epochSample = cur
+	e.Attained = cur
+	e.XferTime = s.dev.AppTransferTime(e.AppID)
+	e.MemTraffic = s.dev.AppMemTraffic(e.AppID)
+	k := s.cfg.LASDecay
+	e.CGS = k*float64(gs) + (1-k)*e.CGS
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import "repro/internal/metrics"
+
+// Headline assembles the paper's headline claims next to this
+// reproduction's measurements, reusing (and caching) the underlying figure
+// sweeps. The "MBF vs CUDA runtime" row chains Fig 15's MBF speedup over
+// the single-node GRR baseline with Fig 9's GRR-Rain speedup over the bare
+// runtime, the same arithmetic that yields the paper's 8.70×.
+func (s *Suite) Headline() *metrics.Table {
+	f9 := s.Fig9()
+	f10 := s.Fig10()
+	f11 := s.Fig11()
+	f12 := s.Fig12()
+	f15 := s.Fig15()
+
+	avg := func(t *metrics.Table, series string) float64 {
+		row := t.Row(series)
+		if row == nil || len(row) == 0 {
+			return 0
+		}
+		return row[len(row)-1]
+	}
+
+	type claim struct {
+		label    string
+		paper    float64
+		measured float64
+	}
+	grrRain9 := avg(f9, "GRR-Rain")
+	claims := []claim{
+		{"Fig9 GRR-Strings vs CUDA (x)", 3.10, avg(f9, "GRR-Strings")},
+		{"Fig9 GMin-Strings vs CUDA (x)", 4.90, avg(f9, "GMin-Strings")},
+		{"Fig9 GWtMin-Strings vs CUDA (x)", 4.73, avg(f9, "GWtMin-Strings")},
+		{"Fig10 GWtMin-Strings vs 1N-GRR (x)", 2.88, avg(f10, "GWtMin-Strings")},
+		{"Fig11 TFS-Strings fairness (Jain)", 0.91, avg(f11, "TFS-Strings")},
+		{"Fig12 LAS-Strings vs 1N-GRR (x)", 3.10, avg(f12, "GWtMinLAS-Strings")},
+		{"Fig12 PS-Strings vs 1N-GRR (x)", 2.97, avg(f12, "GWtMinPS-Strings")},
+		{"Fig15 MBF vs 1N-GRR (x)", 4.02, avg(f15, "MBF-Strings")},
+		{"MBF vs CUDA runtime (x)", 8.70, avg(f15, "MBF-Strings") * grrRain9},
+	}
+	labels := make([]string, len(claims))
+	paper := make([]float64, len(claims))
+	measured := make([]float64, len(claims))
+	ratio := make([]float64, len(claims))
+	for i, c := range claims {
+		labels[i] = c.label
+		paper[i] = c.paper
+		measured[i] = c.measured
+		if c.paper > 0 {
+			ratio[i] = c.measured / c.paper
+		}
+	}
+	tab := &metrics.Table{
+		Title:  "Headline claims: paper vs this reproduction",
+		Labels: labels,
+	}
+	tab.Add("Paper", paper)
+	tab.Add("Measured", measured)
+	tab.Add("Meas/Paper", ratio)
+	return tab
+}

@@ -1,0 +1,642 @@
+package gpu
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Device is a simulated GPU. Work is submitted on streams belonging to
+// contexts; a driver process multiplexes contexts onto the hardware (only the
+// resident context's ops execute), dispatches stream-head ops onto the
+// compute and copy engines, and advances a processor-sharing model of
+// concurrent kernel execution.
+type Device struct {
+	k    *sim.Kernel
+	spec Spec
+	id   int
+
+	contexts []*Context
+	nextCtx  int
+	resident *Context
+	residing sim.Time // when the resident context became resident
+	draining bool     // stop dispatching: waiting to switch contexts
+
+	kick   *sim.Signal
+	kicked bool
+	closed bool
+
+	// Compute engine: the set of concurrently running kernels under a
+	// uniform processor-sharing slowdown.
+	running  []*Op
+	slowdown float64
+	lastEval sim.Time
+
+	// Copy engines. With one copy engine both directions share h2d.
+	h2d copyEngine
+	d2h copyEngine
+
+	memUsed      int64
+	memHighWater int64
+	memWait      *sim.Signal // admission-control waiters (AllocBlocking)
+
+	tracer     Tracer
+	onComplete func(*Op)
+
+	// Accounting.
+	busyCompute float64 // integral of compute utilization (microseconds)
+	busyBW      float64 // integral of bandwidth utilization (microseconds)
+	switches    int
+	switchTime  sim.Time
+	kernelsDone int
+	copiesDone  int
+	appService  map[int]float64 // attained GPU service per AppID, microseconds
+	appXferTime map[int]float64 // attained copy-engine time per AppID
+	appMemTraf  map[int]float64 // device-memory traffic per AppID, bytes
+	appSwitch   map[int]float64 // context-switch cost charged per AppID
+}
+
+type copyEngine struct {
+	queue   []*Op
+	cur     *Op
+	curDone sim.Time
+	busy    float64 // integral of busy time
+}
+
+// Tracer receives utilization segments as the device state evolves; used to
+// reconstruct Fig 1/2-style utilization timelines.
+type Tracer interface {
+	Segment(from, to sim.Time, computeUtil, bwUtil float64, copiesBusy int, residentCtx int)
+}
+
+// NewDevice creates a device with the given spec and identifier and starts
+// its driver process on k.
+func NewDevice(k *sim.Kernel, spec Spec, id int) *Device {
+	d := &Device{
+		k:           k,
+		spec:        spec.normalized(),
+		id:          id,
+		kick:        k.NewSignal(),
+		slowdown:    1,
+		appService:  make(map[int]float64),
+		appXferTime: make(map[int]float64),
+		appMemTraf:  make(map[int]float64),
+		appSwitch:   make(map[int]float64),
+	}
+	k.Go(fmt.Sprintf("gpu%d-driver", id), d.driver)
+	return d
+}
+
+// ID returns the device's local identifier.
+func (d *Device) ID() int { return d.id }
+
+// Spec returns the device's capabilities.
+func (d *Device) Spec() Spec { return d.spec }
+
+// SetTracer installs a utilization tracer. Pass nil to disable.
+func (d *Device) SetTracer(t Tracer) { d.tracer = t }
+
+// SetOnComplete installs a completion callback invoked for every finished op
+// (after its Done event fires). Used by the Request Monitor.
+func (d *Device) SetOnComplete(fn func(*Op)) { d.onComplete = fn }
+
+// Close shuts the driver down once it next wakes. Pending work is abandoned.
+func (d *Device) Close() {
+	d.closed = true
+	d.wake()
+}
+
+// Context is a GPU protection domain. Ops from different contexts never
+// execute concurrently; switching the resident context costs
+// Spec.ContextSwitch.
+type Context struct {
+	dev     *Device
+	id      int
+	streams []*Stream
+	pending int // ops queued or running
+
+	// Owner attributes the context to an application (-1 when shared).
+	// When the driver switches to an owned context, the switch cost is
+	// charged to the owner's attained service — exactly the accounting
+	// error the paper identifies in per-process-context schedulers.
+	Owner int
+}
+
+// NewContext creates a context on the device.
+func (d *Device) NewContext() *Context {
+	c := &Context{dev: d, id: len(d.contexts), Owner: -1}
+	d.contexts = append(d.contexts, c)
+	return c
+}
+
+// ID returns the context's identifier on its device.
+func (c *Context) ID() int { return c.id }
+
+// Device returns the context's device.
+func (c *Context) Device() *Device { return c.dev }
+
+// Stream is an in-order op queue within a context; ops on different streams
+// of the resident context execute concurrently.
+type Stream struct {
+	ctx   *Context
+	id    int
+	queue []*Op
+	busy  bool // head op dispatched to an engine and not yet finished
+}
+
+// NewStream creates a stream in the context.
+func (c *Context) NewStream() *Stream {
+	s := &Stream{ctx: c, id: len(c.streams)}
+	c.streams = append(c.streams, s)
+	return s
+}
+
+// ID returns the stream's identifier within its context.
+func (s *Stream) ID() int { return s.id }
+
+// Context returns the stream's context.
+func (s *Stream) Context() *Context { return s.ctx }
+
+// Pending returns the number of queued (undispatched) ops on the stream.
+func (s *Stream) Pending() int { return len(s.queue) }
+
+// Submit enqueues op on the stream and returns the op's completion event.
+// The op executes after all earlier ops on the same stream, when the stream's
+// context is resident and an engine is available.
+func (s *Stream) Submit(op *Op) *sim.Event {
+	d := s.ctx.dev
+	if op.Done == nil {
+		op.Done = d.k.NewEvent()
+	}
+	op.stream = s
+	op.Enqueued = d.k.Now()
+	s.queue = append(s.queue, op)
+	s.ctx.pending++
+	d.wake()
+	return op.Done
+}
+
+// Alloc reserves device memory, failing when capacity would be exceeded
+// (the paper's λ assumption keeps this from happening in the experiments;
+// the guard catches violations).
+func (d *Device) Alloc(bytes int64) error {
+	if bytes < 0 {
+		return fmt.Errorf("gpu%d: negative allocation %d", d.id, bytes)
+	}
+	if d.memUsed+bytes > d.spec.MemBytes {
+		return fmt.Errorf("gpu%d: out of device memory: %d used + %d requested > %d",
+			d.id, d.memUsed, bytes, d.spec.MemBytes)
+	}
+	d.memUsed += bytes
+	if d.memUsed > d.memHighWater {
+		d.memHighWater = d.memUsed
+	}
+	return nil
+}
+
+// AllocBlocking reserves device memory, parking p in FIFO order until
+// enough capacity frees up. It only fails on invalid sizes (a request larger
+// than the device can ever satisfy, or negative). This is the
+// memory-pressure admission control the paper leaves as future work ("with
+// virtual memory support, Strings can eliminate the assumption on the
+// maximum rate of request arrivals").
+func (d *Device) AllocBlocking(p *sim.Proc, bytes int64) error {
+	if bytes < 0 || bytes > d.spec.MemBytes {
+		return fmt.Errorf("gpu%d: unsatisfiable allocation %d of %d",
+			d.id, bytes, d.spec.MemBytes)
+	}
+	if d.memWait == nil {
+		d.memWait = d.k.NewSignal()
+	}
+	// Capacity-fit admission: waiters are woken in arrival order on every
+	// free and take the capacity if their request now fits.
+	for d.memUsed+bytes > d.spec.MemBytes {
+		p.WaitSignal(d.memWait)
+	}
+	d.memUsed += bytes
+	if d.memUsed > d.memHighWater {
+		d.memHighWater = d.memUsed
+	}
+	return nil
+}
+
+// Free releases device memory and wakes any admission-control waiters.
+func (d *Device) Free(bytes int64) {
+	d.memUsed -= bytes
+	if d.memUsed < 0 {
+		panic(fmt.Sprintf("gpu%d: freed more memory than allocated", d.id))
+	}
+	if d.memWait != nil {
+		d.memWait.Notify()
+	}
+}
+
+// MemUsed returns the bytes currently allocated.
+func (d *Device) MemUsed() int64 { return d.memUsed }
+
+// wake kicks the driver.
+func (d *Device) wake() {
+	d.kicked = true
+	d.kick.Notify()
+}
+
+// driver is the device's multiplexing and dispatch loop.
+func (d *Device) driver(p *sim.Proc) {
+	for {
+		if d.closed {
+			return
+		}
+		now := p.Now()
+		d.advance(now)
+		if d.reap(now) {
+			continue // completions change the engine sets; re-evaluate
+		}
+		if d.trySwitch(p) {
+			continue // residency changed (and time may have passed)
+		}
+		if d.dispatch(now) {
+			continue // dispatch changes the slowdown; re-evaluate
+		}
+		next, ok := d.nextWake()
+		d.kicked = false
+		if !ok {
+			p.WaitSignal(d.kick)
+			continue
+		}
+		if next <= now {
+			continue
+		}
+		p.WaitSignalTimeout(d.kick, next-now)
+	}
+}
+
+// advance progresses the processor-sharing kernels and utilization integrals
+// from lastEval to now.
+func (d *Device) advance(now sim.Time) {
+	elapsed := float64(now - d.lastEval)
+	if elapsed <= 0 {
+		d.lastEval = now
+		return
+	}
+	var sumCPU, sumBW float64
+	for _, op := range d.running {
+		sumCPU += op.demandCPU
+		sumBW += op.demandBW
+	}
+	cu := sumCPU / d.slowdown
+	bu := sumBW / d.slowdown
+	if d.tracer != nil {
+		copies := 0
+		if d.h2d.cur != nil {
+			copies++
+		}
+		if d.d2h.cur != nil {
+			copies++
+		}
+		rc := -1
+		if d.resident != nil {
+			rc = d.resident.id
+		}
+		d.tracer.Segment(d.lastEval, now, cu, bu, copies, rc)
+	}
+	d.busyCompute += elapsed * cu
+	d.busyBW += elapsed * bu
+	for _, op := range d.running {
+		op.remaining -= elapsed / (op.soloDur * d.slowdown)
+		if op.remaining < 0 {
+			op.remaining = 0
+		}
+		d.appService[op.AppID] += elapsed / d.slowdown
+	}
+	if d.h2d.cur != nil {
+		d.h2d.busy += elapsed
+	}
+	if d.d2h.cur != nil {
+		d.d2h.busy += elapsed
+	}
+	d.lastEval = now
+}
+
+// reap completes ops that are due at now; it reports whether any finished.
+func (d *Device) reap(now sim.Time) bool {
+	done := false
+	// Kernels.
+	for i := 0; i < len(d.running); {
+		op := d.running[i]
+		if op.finishAt(now, d.slowdown) <= now {
+			d.running = append(d.running[:i], d.running[i+1:]...)
+			d.kernelsDone++
+			d.appMemTraf[op.AppID] += op.MemTraffic
+			d.finish(op, now)
+			done = true
+		} else {
+			i++
+		}
+	}
+	if done {
+		d.recomputeSlowdown()
+	}
+	// Copies.
+	for _, e := range []*copyEngine{&d.h2d, &d.d2h} {
+		if e.cur != nil && e.curDone <= now {
+			op := e.cur
+			e.cur = nil
+			d.copiesDone++
+			d.appXferTime[op.AppID] += float64(now - op.Started)
+			d.appService[op.AppID] += float64(now - op.Started)
+			d.finish(op, now)
+			done = true
+		}
+	}
+	return done
+}
+
+// finish records completion, releases the stream head, fires Done.
+func (d *Device) finish(op *Op, now sim.Time) {
+	op.Finished = now
+	op.running = false
+	op.stream.busy = false
+	op.stream.ctx.pending--
+	op.Done.Fire()
+	if d.onComplete != nil {
+		d.onComplete(op)
+	}
+}
+
+// finishAt projects when a running kernel completes under slowdown s.
+func (o *Op) finishAt(now sim.Time, s float64) sim.Time {
+	if o.remaining <= 0 {
+		return now
+	}
+	return now + sim.Time(o.remaining*o.soloDur*s+0.9999)
+}
+
+// recomputeSlowdown refreshes the uniform processor-sharing slowdown from the
+// current running set.
+func (d *Device) recomputeSlowdown() {
+	var sumCPU, sumBW float64
+	for _, op := range d.running {
+		sumCPU += op.demandCPU
+		sumBW += op.demandBW
+	}
+	s := 1.0
+	if sumCPU > s {
+		s = sumCPU
+	}
+	if sumBW > s {
+		s = sumBW
+	}
+	d.slowdown = s
+}
+
+// busyNow reports whether any engine is executing resident-context work.
+func (d *Device) busyNow() bool {
+	return len(d.running) > 0 || d.h2d.cur != nil || d.d2h.cur != nil
+}
+
+// trySwitch evaluates driver-level context multiplexing. It returns true if
+// it slept (switched residency), so the driver re-evaluates timing.
+func (d *Device) trySwitch(p *sim.Proc) bool {
+	now := p.Now()
+	next := d.nextPendingContext()
+	if next == nil {
+		d.draining = false
+		return false
+	}
+	if d.resident == nil {
+		// First binding is free of the switch penalty (context creation cost
+		// is modelled by the CUDA layer).
+		d.resident = next
+		d.residing = now
+		d.draining = false
+		return false
+	}
+	if next == d.resident {
+		d.draining = false
+		return false
+	}
+	wantSwitch := d.resident.pending == 0 ||
+		(now-d.residing >= d.spec.TimeSlice)
+	if !wantSwitch {
+		d.draining = false
+		return false
+	}
+	if d.busyNow() {
+		// Ops are not preempted: stop feeding the engines and drain.
+		d.draining = true
+		return false
+	}
+	d.switches++
+	d.switchTime += d.spec.ContextSwitch
+	if d.spec.ContextSwitch > 0 {
+		p.Sleep(d.spec.ContextSwitch)
+	}
+	d.advance(p.Now())
+	if next.Owner >= 0 {
+		// The incoming context's owner "pays" for the switch, mirroring
+		// the coarse accounting of per-process-context runtimes. The
+		// charge is tracked separately so measurements can distinguish
+		// delivered service from the scheduler's inflated view.
+		d.appSwitch[next.Owner] += float64(d.spec.ContextSwitch)
+	}
+	d.resident = next
+	d.residing = p.Now()
+	d.draining = false
+	return true
+}
+
+// nextPendingContext picks the context that should run next: the resident
+// context if it still has work and its slice is valid, otherwise the next
+// context with pending work in cyclic id order after the resident.
+func (d *Device) nextPendingContext() *Context {
+	n := len(d.contexts)
+	if n == 0 {
+		return nil
+	}
+	start := 0
+	if d.resident != nil {
+		start = d.resident.id + 1
+		// Respect the slice: prefer the resident while it has work and
+		// slice remains.
+		if d.resident.pending > 0 && d.k.Now()-d.residing < d.spec.TimeSlice {
+			return d.resident
+		}
+	}
+	for i := 0; i < n; i++ {
+		c := d.contexts[(start+i)%n]
+		if c.pending > 0 {
+			return c
+		}
+	}
+	if d.resident != nil && d.resident.pending > 0 {
+		return d.resident
+	}
+	return nil
+}
+
+// dispatch feeds stream-head ops of the resident context to the engines; it
+// reports whether anything new was dispatched.
+func (d *Device) dispatch(now sim.Time) bool {
+	if d.resident == nil || d.draining {
+		return false
+	}
+	dispatched := false
+	for _, s := range d.resident.streams {
+		if s.busy || len(s.queue) == 0 {
+			continue
+		}
+		op := s.queue[0]
+		switch op.Kind {
+		case OpMarker:
+			// Zero-cost stream marker: completes immediately in order.
+			s.queue = s.queue[1:]
+			op.Started = now
+			d.finish(op, now)
+			dispatched = true
+		case OpKernel:
+			if len(d.running) >= d.spec.MaxConcurrentKernels {
+				// Fermi's concurrent-kernel limit: leave the op queued;
+				// the driver re-evaluates when a kernel completes.
+				continue
+			}
+			s.queue = s.queue[1:]
+			s.busy = true
+			op.kernelDemands(&d.spec)
+			op.Started = now
+			op.SoloTime = sim.Time(op.soloDur + 0.5)
+			op.running = true
+			d.running = append(d.running, op)
+			dispatched = true
+		case OpH2D, OpD2H:
+			e := d.engineFor(op.Kind)
+			s.queue = s.queue[1:]
+			s.busy = true
+			e.queue = append(e.queue, op)
+			dispatched = true
+		}
+	}
+	if dispatched {
+		d.recomputeSlowdown()
+		// Reset projected finish baselines: remaining already reflects the
+		// new instant because advance ran first this iteration.
+	}
+	// Start idle copy engines.
+	for _, e := range []*copyEngine{&d.h2d, &d.d2h} {
+		if e.cur == nil && len(e.queue) > 0 {
+			op := e.queue[0]
+			e.queue = e.queue[1:]
+			op.Started = now
+			dur := op.copyDuration(&d.spec)
+			op.SoloTime = dur
+			op.running = true
+			e.cur = op
+			e.curDone = now + dur
+			dispatched = true
+		}
+	}
+	return dispatched
+}
+
+// engineFor returns the copy engine serving the given direction, honouring
+// single-copy-engine devices.
+func (d *Device) engineFor(k OpKind) *copyEngine {
+	if d.spec.CopyEngines < 2 || k == OpH2D {
+		return &d.h2d
+	}
+	return &d.d2h
+}
+
+// nextWake returns the earliest projected completion among running work.
+func (d *Device) nextWake() (sim.Time, bool) {
+	var t sim.Time
+	ok := false
+	now := d.k.Now()
+	for _, op := range d.running {
+		f := op.finishAt(now, d.slowdown)
+		if !ok || f < t {
+			t, ok = f, true
+		}
+	}
+	for _, e := range []*copyEngine{&d.h2d, &d.d2h} {
+		if e.cur != nil && (!ok || e.curDone < t) {
+			t, ok = e.curDone, true
+		}
+	}
+	return t, ok
+}
+
+// Stats is a snapshot of device accounting.
+type Stats struct {
+	Now          sim.Time
+	ComputeBusy  sim.Time // integral of compute utilization
+	BWBusy       sim.Time // integral of memory-bandwidth utilization
+	H2DBusy      sim.Time
+	D2HBusy      sim.Time
+	Switches     int
+	SwitchTime   sim.Time
+	KernelsDone  int
+	CopiesDone   int
+	MemUsed      int64
+	MemHighWater int64
+}
+
+// Stats returns a snapshot of the device's accounting, current to the last
+// driver evaluation.
+func (d *Device) Stats() Stats {
+	return Stats{
+		Now:          d.k.Now(),
+		ComputeBusy:  sim.Time(d.busyCompute + 0.5),
+		BWBusy:       sim.Time(d.busyBW + 0.5),
+		H2DBusy:      sim.Time(d.h2d.busy + 0.5),
+		D2HBusy:      sim.Time(d.d2h.busy + 0.5),
+		Switches:     d.switches,
+		SwitchTime:   d.switchTime,
+		KernelsDone:  d.kernelsDone,
+		CopiesDone:   d.copiesDone,
+		MemUsed:      d.memUsed,
+		MemHighWater: d.memHighWater,
+	}
+}
+
+// AppService returns the attained GPU service (solo-equivalent execution
+// time, kernels plus copies) of the given application on this device.
+func (d *Device) AppService(appID int) sim.Time {
+	return sim.Time(d.appService[appID] + 0.5)
+}
+
+// AppSwitchCharge returns the context-switch overhead charged to the
+// application by the driver — the amount by which a per-process-context
+// runtime overstates the application's attained service.
+func (d *Device) AppSwitchCharge(appID int) sim.Time {
+	return sim.Time(d.appSwitch[appID] + 0.5)
+}
+
+// AppTransferTime returns the copy-engine time attained by the application.
+func (d *Device) AppTransferTime(appID int) sim.Time {
+	return sim.Time(d.appXferTime[appID] + 0.5)
+}
+
+// AppMemTraffic returns the total device-memory traffic (bytes) of the
+// application's kernels completed so far.
+func (d *Device) AppMemTraffic(appID int) float64 { return d.appMemTraf[appID] }
+
+// AppIDs returns the application ids with recorded service, sorted.
+func (d *Device) AppIDs() []int {
+	ids := make([]int, 0, len(d.appService))
+	for id := range d.appService {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// QueuedOps returns the number of ops queued or running on the device across
+// all contexts (the device-load signal used by GMin-style policies).
+func (d *Device) QueuedOps() int {
+	n := 0
+	for _, c := range d.contexts {
+		n += c.pending
+	}
+	return n
+}

@@ -1,0 +1,210 @@
+package gpu
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+// Property: with a single copy engine, total copy time equals the sum of
+// solo durations (full serialization); with two engines, opposite-direction
+// copies overlap so the makespan is strictly smaller.
+func TestQuickCopyEngineSerialization(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		if len(sizes) < 2 || len(sizes) > 10 {
+			return true
+		}
+		run := func(engines int) sim.Time {
+			spec := testSpec()
+			spec.CopyEngines = engines
+			k := sim.NewKernel(1)
+			d := NewDevice(k, spec, 0)
+			ctx := d.NewContext()
+			for i, sz := range sizes {
+				st := ctx.NewStream()
+				kind := OpH2D
+				if i%2 == 1 {
+					kind = OpD2H
+				}
+				op := &Op{Kind: kind, Bytes: int64(sz) + 10}
+				k.Go(fmt.Sprintf("a%d", i), func(p *sim.Proc) {
+					p.Wait(st.Submit(op))
+				})
+			}
+			k.Run()
+			return k.Now()
+		}
+		single, dual := run(1), run(2)
+		var total sim.Time
+		for _, sz := range sizes {
+			total += sim.Time((int64(sz) + 10) / 10) // 10 B/us
+		}
+		// Single engine: serialization within ±1us/op rounding.
+		if single < total-sim.Time(len(sizes)) || single > total+sim.Time(len(sizes)) {
+			return false
+		}
+		return dual <= single
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the device's busy integrals never exceed elapsed time, and the
+// per-app service totals sum to at most the number of engines times the
+// makespan.
+func TestQuickAccountingBounds(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 || len(raw) > 12 {
+			return true
+		}
+		k := sim.NewKernel(9)
+		d := NewDevice(k, testSpec(), 0)
+		ctx := d.NewContext()
+		for i, r := range raw {
+			st := ctx.NewStream()
+			var op *Op
+			switch r % 3 {
+			case 0:
+				op = &Op{Kind: OpKernel, Compute: float64(r)*100 + 500, AppID: i}
+			case 1:
+				op = &Op{Kind: OpH2D, Bytes: int64(r)*3 + 20, AppID: i}
+			default:
+				op = &Op{Kind: OpD2H, Bytes: int64(r)*2 + 20, AppID: i}
+			}
+			k.Go(fmt.Sprintf("a%d", i), func(p *sim.Proc) { p.Wait(st.Submit(op)) })
+		}
+		k.Run()
+		st := d.Stats()
+		mk := k.Now()
+		if st.ComputeBusy > mk+1 || st.H2DBusy > mk+1 || st.D2HBusy > mk+1 {
+			return false
+		}
+		var svc sim.Time
+		for _, id := range d.AppIDs() {
+			svc += d.AppService(id)
+		}
+		return svc <= 3*mk+sim.Time(len(raw))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: tracer segments tile the busy timeline without overlap and
+// their compute integral matches the device's own accounting.
+func TestQuickTracerConsistency(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 || len(raw) > 8 {
+			return true
+		}
+		k := sim.NewKernel(11)
+		d := NewDevice(k, testSpec(), 0)
+		tr := &UtilTrace{}
+		d.SetTracer(tr)
+		ctx := d.NewContext()
+		for i, r := range raw {
+			st := ctx.NewStream()
+			op := &Op{Kind: OpKernel, Compute: float64(r)*200 + 1000, AppID: i}
+			delay := sim.Time(r % 50)
+			k.Go(fmt.Sprintf("a%d", i), func(p *sim.Proc) {
+				p.Sleep(delay)
+				p.Wait(st.Submit(op))
+			})
+		}
+		k.Run()
+		var prev sim.Time
+		var integral float64
+		for _, seg := range tr.Segments {
+			if seg.From < prev || seg.To <= seg.From {
+				return false
+			}
+			prev = seg.To
+			integral += float64(seg.To-seg.From) * seg.ComputeUtil
+		}
+		busy := float64(d.Stats().ComputeBusy)
+		diff := integral - busy
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= float64(len(raw))+2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeSliceBoundsResidency(t *testing.T) {
+	// Two contexts with continuous short kernels: neither context should
+	// ever hold the device for much longer than a slice plus one op.
+	spec := testSpec()
+	spec.TimeSlice = 300
+	spec.ContextSwitch = 10
+	k := sim.NewKernel(1)
+	d := NewDevice(k, spec, 0)
+	tr := &UtilTrace{}
+	d.SetTracer(tr)
+	for i := 0; i < 2; i++ {
+		i := i
+		ctx := d.NewContext()
+		st := ctx.NewStream()
+		k.Go(fmt.Sprintf("a%d", i), func(p *sim.Proc) {
+			for j := 0; j < 30; j++ {
+				p.Wait(st.Submit(&Op{Kind: OpKernel, Compute: 50000, AppID: i}))
+			}
+		})
+	}
+	k.Run()
+	// Longest run of segments with the same resident context.
+	var maxRun, runStart sim.Time
+	cur := -2
+	for _, seg := range tr.Segments {
+		if seg.ResidentCtx != cur {
+			cur = seg.ResidentCtx
+			runStart = seg.From
+		}
+		if d := seg.To - runStart; d > maxRun {
+			maxRun = d
+		}
+	}
+	// Slice 300us + one 50us op + switch slack.
+	if maxRun > 450 {
+		t.Fatalf("a context stayed resident %v, want ≤ ~450us", maxRun)
+	}
+}
+
+func TestConcurrentKernelLimit(t *testing.T) {
+	spec := testSpec()
+	spec.MaxConcurrentKernels = 4
+	k := sim.NewKernel(1)
+	d := NewDevice(k, spec, 0)
+	ctx := d.NewContext()
+	tr := &UtilTrace{}
+	d.SetTracer(tr)
+	const n = 12
+	var maxConc int
+	d.SetOnComplete(func(op *Op) {
+		if c := len(d.running); c > maxConc {
+			maxConc = c
+		}
+	})
+	for i := 0; i < n; i++ {
+		st := ctx.NewStream()
+		op := &Op{Kind: OpKernel, Compute: 5000, Occupancy: 0.05, AppID: i}
+		k.Go(fmt.Sprintf("a%d", i), func(p *sim.Proc) { p.Wait(st.Submit(op)) })
+	}
+	k.Run()
+	if maxConc >= spec.MaxConcurrentKernels {
+		t.Fatalf("observed %d concurrent kernels at completion, cap %d", maxConc, spec.MaxConcurrentKernels)
+	}
+	if got := d.Stats().KernelsDone; got != n {
+		t.Fatalf("kernels done = %d, want %d", got, n)
+	}
+	// Low-occupancy kernels would all space-share without the cap; the cap
+	// forces ceil(12/4)=3 waves of 5us each.
+	if k.Now() < 15 {
+		t.Fatalf("makespan %v too small for 3 capped waves", k.Now())
+	}
+}

@@ -1,0 +1,91 @@
+package gpu
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestAllocBlockingWaitsForFree(t *testing.T) {
+	k := sim.NewKernel(1)
+	d := NewDevice(k, testSpec(), 0) // 1 MiB
+	var grantedAt sim.Time
+	k.Go("holder", func(p *sim.Proc) {
+		if err := d.Alloc(1 << 20); err != nil {
+			t.Errorf("holder alloc: %v", err)
+		}
+		p.Sleep(100)
+		d.Free(1 << 20)
+	})
+	k.Go("waiter", func(p *sim.Proc) {
+		p.Sleep(1)
+		if err := d.AllocBlocking(p, 1<<19); err != nil {
+			t.Errorf("blocking alloc: %v", err)
+		}
+		grantedAt = p.Now()
+	})
+	k.Run()
+	if grantedAt != 100 {
+		t.Fatalf("blocked alloc granted at %v, want 100us", grantedAt)
+	}
+	if d.MemUsed() != 1<<19 {
+		t.Fatalf("MemUsed = %d", d.MemUsed())
+	}
+}
+
+func TestAllocBlockingImmediateWhenFree(t *testing.T) {
+	k := sim.NewKernel(1)
+	d := NewDevice(k, testSpec(), 0)
+	var at sim.Time = -1
+	k.Go("a", func(p *sim.Proc) {
+		if err := d.AllocBlocking(p, 100); err != nil {
+			t.Errorf("alloc: %v", err)
+		}
+		at = p.Now()
+	})
+	k.Run()
+	if at != 0 {
+		t.Fatalf("uncontended blocking alloc waited until %v", at)
+	}
+}
+
+func TestAllocBlockingUnsatisfiable(t *testing.T) {
+	k := sim.NewKernel(1)
+	d := NewDevice(k, testSpec(), 0)
+	k.Go("a", func(p *sim.Proc) {
+		if err := d.AllocBlocking(p, 2<<20); err == nil {
+			t.Error("over-capacity blocking alloc accepted")
+		}
+		if err := d.AllocBlocking(p, -1); err == nil {
+			t.Error("negative blocking alloc accepted")
+		}
+	})
+	k.Run()
+}
+
+func TestAllocBlockingServesWaitersInOrder(t *testing.T) {
+	k := sim.NewKernel(1)
+	d := NewDevice(k, testSpec(), 0) // 1 MiB
+	var order []int
+	k.Go("holder", func(p *sim.Proc) {
+		d.Alloc(1 << 20)
+		p.Sleep(50)
+		d.Free(1 << 19) // room for one waiter
+		p.Sleep(50)
+		d.Free(1 << 19) // room for the other
+	})
+	for i := 1; i <= 2; i++ {
+		i := i
+		k.Go("w", func(p *sim.Proc) {
+			p.Sleep(sim.Time(i)) // deterministic arrival order
+			if err := d.AllocBlocking(p, 1<<19); err != nil {
+				t.Errorf("w%d: %v", i, err)
+			}
+			order = append(order, i)
+		})
+	}
+	k.Run()
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("grant order = %v, want [1 2]", order)
+	}
+}

@@ -1,0 +1,172 @@
+// Package gpu models a CUDA-class GPU device as a deterministic
+// discrete-event system: a compute engine shared by concurrently resident
+// kernels, one or two DMA copy engines, device memory, and driver-level
+// multiplexing of GPU contexts with a context-switch penalty.
+//
+// The model exposes exactly the resources the Strings scheduler (SC'14)
+// reasons about: copy/compute overlap across CUDA streams, memory-bandwidth
+// contention between kernels, space-sharing of under-occupying kernels, and
+// the serialization plus switch overhead suffered by separate GPU contexts.
+package gpu
+
+import "repro/internal/sim"
+
+// Spec describes the static capabilities of a device. Rates are expressed in
+// bytes (or compute units) per microsecond of virtual time.
+type Spec struct {
+	Name string
+
+	// ComputeRate is the device's peak compute throughput in compute units
+	// per microsecond. Workloads are calibrated so that one compute unit is
+	// roughly one fused multiply-add.
+	ComputeRate float64
+
+	// MemBandwidth is the device-memory bandwidth available to kernels, in
+	// bytes per microsecond.
+	MemBandwidth float64
+
+	// H2DBandwidth and D2HBandwidth are the host↔device DMA bandwidths in
+	// bytes per microsecond (PCIe-derived).
+	H2DBandwidth float64
+	D2HBandwidth float64
+
+	// CopyEngines is 1 (a single DMA engine shared by both directions,
+	// e.g. Quadro 2000) or 2 (independent H2D and D2H engines, e.g. Tesla
+	// C2050/C2070).
+	CopyEngines int
+
+	// CopyLatency is the fixed per-copy setup cost.
+	CopyLatency sim.Time
+
+	// KernelLatency is the fixed launch overhead of a kernel.
+	KernelLatency sim.Time
+
+	// ContextSwitch is the cost of making a different GPU context resident.
+	ContextSwitch sim.Time
+
+	// TimeSlice bounds how long one context stays resident while other
+	// contexts have pending work (driver-level multiplexing granularity).
+	TimeSlice sim.Time
+
+	// MaxConcurrentKernels bounds how many kernels the device runs at
+	// once (Fermi supports 16 concurrent kernels); 0 selects 16.
+	MaxConcurrentKernels int
+
+	// MemBytes is the device memory capacity.
+	MemBytes int64
+
+	// Weight is the static relative capability weight assigned by the gPool
+	// Creator from the device-property information it collects (CUDA core
+	// counts), and consumed by the GWtMin balancing policy. As the paper
+	// observes, these static weights "in many cases do not mirror the
+	// actual relative differences in application performance" — the
+	// Quadro 4000's extra cores clock slower, and no core count predicts
+	// PCIe-bound behaviour — which is precisely the headroom the
+	// feedback-based policies recover.
+	Weight float64
+}
+
+// Fermi-generation specs used by the paper's testbed. Compute rates are in
+// arbitrary units calibrated to the cards' relative single-precision
+// throughput. MemBandwidth is the *effective* kernel-visible bandwidth
+// (≈⅛ of the published peak, reflecting achievable throughput for the
+// latency-bound access patterns of the paper's memory-intensive kernels);
+// this is the resource the MBF policy arbitrates.
+var (
+	// Quadro2000: 192 cores, ~480 GFLOP/s, 41.6 GB/s, one copy engine, 1 GB.
+	Quadro2000 = Spec{
+		Name:          "Quadro2000",
+		ComputeRate:   480e3,
+		MemBandwidth:  5.2e3,
+		H2DBandwidth:  5.2e3,
+		D2HBandwidth:  5.2e3,
+		CopyEngines:   1,
+		CopyLatency:   8 * sim.Microsecond,
+		KernelLatency: 5 * sim.Microsecond,
+		ContextSwitch: 700 * sim.Microsecond,
+		TimeSlice:     6 * sim.Millisecond,
+		MemBytes:      1 << 30,
+		Weight:        1.0,
+	}
+
+	// Quadro4000: 256 cores, ~486 GFLOP/s, 89.6 GB/s, one copy engine, 2 GB.
+	Quadro4000 = Spec{
+		Name:          "Quadro4000",
+		ComputeRate:   486e3,
+		MemBandwidth:  11.2e3,
+		H2DBandwidth:  5.6e3,
+		D2HBandwidth:  5.6e3,
+		CopyEngines:   1,
+		CopyLatency:   8 * sim.Microsecond,
+		KernelLatency: 5 * sim.Microsecond,
+		ContextSwitch: 700 * sim.Microsecond,
+		TimeSlice:     6 * sim.Millisecond,
+		MemBytes:      2 << 30,
+		Weight:        1.33,
+	}
+
+	// TeslaC2050: 448 cores, ~1030 GFLOP/s, 144 GB/s, two copy engines, 3 GB.
+	TeslaC2050 = Spec{
+		Name:          "TeslaC2050",
+		ComputeRate:   1030e3,
+		MemBandwidth:  18e3,
+		H2DBandwidth:  5.8e3,
+		D2HBandwidth:  5.8e3,
+		CopyEngines:   2,
+		CopyLatency:   8 * sim.Microsecond,
+		KernelLatency: 5 * sim.Microsecond,
+		ContextSwitch: 700 * sim.Microsecond,
+		TimeSlice:     6 * sim.Millisecond,
+		MemBytes:      3 << 30,
+		Weight:        2.33,
+	}
+
+	// TeslaC2070: as C2050 with 6 GB of device memory.
+	TeslaC2070 = Spec{
+		Name:          "TeslaC2070",
+		ComputeRate:   1030e3,
+		MemBandwidth:  18e3,
+		H2DBandwidth:  5.8e3,
+		D2HBandwidth:  5.8e3,
+		CopyEngines:   2,
+		CopyLatency:   8 * sim.Microsecond,
+		KernelLatency: 5 * sim.Microsecond,
+		ContextSwitch: 700 * sim.Microsecond,
+		TimeSlice:     6 * sim.Millisecond,
+		MemBytes:      6 << 30,
+		Weight:        2.33,
+	}
+)
+
+// normalized fills in defaults for zero-valued fields so hand-written specs
+// in tests stay terse.
+func (s Spec) normalized() Spec {
+	if s.ComputeRate == 0 {
+		s.ComputeRate = 1000e3
+	}
+	if s.MemBandwidth == 0 {
+		s.MemBandwidth = 100e3
+	}
+	if s.H2DBandwidth == 0 {
+		s.H2DBandwidth = 5e3
+	}
+	if s.D2HBandwidth == 0 {
+		s.D2HBandwidth = 5e3
+	}
+	if s.CopyEngines == 0 {
+		s.CopyEngines = 2
+	}
+	if s.TimeSlice == 0 {
+		s.TimeSlice = 2 * sim.Millisecond
+	}
+	if s.MaxConcurrentKernels == 0 {
+		s.MaxConcurrentKernels = 16
+	}
+	if s.MemBytes == 0 {
+		s.MemBytes = 4 << 30
+	}
+	if s.Weight == 0 {
+		s.Weight = 1
+	}
+	return s
+}

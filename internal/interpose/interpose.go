@@ -1,0 +1,369 @@
+// Package interpose implements the Strings frontend: the CUDA-runtime
+// interposer library that dynamically links with an application (Figure 3 of
+// the paper). It intercepts every CUDA runtime call, overrides the
+// application's device selection through the GPU Affinity Mapper, marshals
+// calls into RPC packets for the backend daemon owning the chosen GPU, and
+// applies the paper's asynchrony optimization: calls without output
+// parameters (kernel launches, host-to-device copies, frees) are issued as
+// non-blocking RPCs so the application's CPU component runs ahead of the
+// runtime layer.
+package interpose
+
+import (
+	"fmt"
+
+	"repro/internal/balancer"
+	"repro/internal/cuda"
+	"repro/internal/rpcproto"
+	"repro/internal/sim"
+)
+
+// Fabric is what the interposer needs from the hosting Strings/Rain
+// runtime: the affinity-mapper RPC, backend connections, and the feedback
+// relay.
+type Fabric interface {
+	// SelectGPU performs the device-selection RPC with the workload
+	// balancer; it blocks the calling process for the control round trip.
+	SelectGPU(p *sim.Proc, req balancer.Request) balancer.GID
+	// ConnectBackend opens an RPC connection from the application's node to
+	// the backend daemon serving gid and returns the frontend endpoint.
+	ConnectBackend(p *sim.Proc, gid balancer.GID, fromNode int) rpcproto.Endpoint
+	// ReportFeedback relays a Feedback Engine report (piggybacked on the
+	// cudaThreadExit reply) to the affinity mapper and releases the
+	// binding.
+	ReportFeedback(gid balancer.GID, kind string, fb *rpcproto.Feedback)
+	// PoolSize returns the number of GPUs in the gPool.
+	PoolSize() int
+}
+
+// MarshalOverhead is the CPU cost of interception, argument marshalling and
+// RPC issue, charged per intercepted call.
+const MarshalOverhead = 3 * sim.Microsecond
+
+// Interposer implements cuda.Client for one application thread.
+type Interposer struct {
+	fab    Fabric
+	p      *sim.Proc
+	appID  int
+	tenant int64
+	weight int
+	kind   string
+	node   int
+
+	// async enables the paper's asynchrony optimization (non-blocking RPCs
+	// for calls without output parameters). Strings turns it on; the Rain
+	// baseline predates it and issues every RPC synchronously.
+	async bool
+
+	bound  bool
+	gid    balancer.GID
+	ep     rpcproto.Endpoint
+	seq    uint64
+	exited bool
+
+	// LastFeedback is the report returned on ThreadExit (also relayed to
+	// the mapper); experiments read it for per-tenant accounting.
+	LastFeedback *rpcproto.Feedback
+
+	calls int
+}
+
+// New creates the interposer for an application thread running on process p
+// at the given node. kind is the application's class name, carried to the
+// scheduler for SFT keying. async enables non-blocking RPCs for calls
+// without output parameters (Strings); Rain's frontend passes false.
+func New(fab Fabric, p *sim.Proc, appID int, tenant int64, weight int, kind string, node int, async bool) *Interposer {
+	return &Interposer{
+		fab: fab, p: p, appID: appID, tenant: tenant, weight: weight,
+		kind: kind, node: node, async: async,
+	}
+}
+
+// Proc implements cuda.Client.
+func (ip *Interposer) Proc() *sim.Proc { return ip.p }
+
+// Calls returns the number of intercepted calls.
+func (ip *Interposer) Calls() int { return ip.calls }
+
+// GID returns the gPool device the application was bound to.
+func (ip *Interposer) GID() balancer.GID { return ip.gid }
+
+// newCall stamps a marshalled call with identity and sequence.
+func (ip *Interposer) newCall(id cuda.CallID) *rpcproto.Call {
+	ip.seq++
+	ip.calls++
+	return &rpcproto.Call{
+		ID:       id,
+		Seq:      ip.seq,
+		AppID:    int64(ip.appID),
+		TenantID: ip.tenant,
+		Weight:   int32(ip.weight),
+	}
+}
+
+// ensureBound lazily binds to a GPU: CUDA initializes on first use when the
+// application never calls cudaSetDevice.
+func (ip *Interposer) ensureBound() error {
+	if ip.bound {
+		return nil
+	}
+	return ip.SetDevice(0)
+}
+
+// send issues a call; blocking calls wait for and return the matching
+// reply, non-blocking calls return immediately (the paper's asynchronous
+// RPC optimization; errors surface at the next synchronizing call).
+func (ip *Interposer) send(c *rpcproto.Call, blocking bool) (*rpcproto.Reply, error) {
+	ip.p.Sleep(MarshalOverhead)
+	if !ip.async {
+		blocking = true
+	}
+	c.NonBlocking = !blocking
+	ip.ep.Send(ip.p, c, c.PayloadBytes())
+	if !blocking {
+		return nil, nil
+	}
+	for {
+		msg := ip.ep.Recv(ip.p)
+		r, ok := msg.(*rpcproto.Reply)
+		if !ok {
+			return nil, fmt.Errorf("interpose: unexpected message %T", msg)
+		}
+		// Replies arrive in order; skip any stale reply below our seq
+		// (there are none in the current protocol, but be defensive).
+		if r.Seq == c.Seq {
+			return r, r.AsError()
+		}
+		if r.Seq > c.Seq {
+			return nil, fmt.Errorf("interpose: reply %d overtook call %d", r.Seq, c.Seq)
+		}
+	}
+}
+
+// SetDevice implements cuda.Client: the call is intercepted and the target
+// GPU is chosen by the workload balancer instead of the application.
+func (ip *Interposer) SetDevice(dev int) error {
+	if ip.exited {
+		return cuda.ErrThreadExited
+	}
+	if ip.bound {
+		// Re-selection after binding is ignored: the balancer owns
+		// placement for the application's lifetime.
+		return nil
+	}
+	ip.p.Sleep(MarshalOverhead)
+	gid := ip.fab.SelectGPU(ip.p, balancer.Request{
+		AppID: ip.appID, Kind: ip.kind, Node: ip.node, Tenant: ip.tenant,
+	})
+	ip.gid = gid
+	ip.ep = ip.fab.ConnectBackend(ip.p, gid, ip.node)
+	ip.bound = true
+	reg := ip.newCall(cuda.CallSetDevice)
+	reg.Dev = int32(gid)
+	reg.KernelName = ip.kind // carries the class for RCB/SFT keying
+	_, err := ip.send(reg, true)
+	return err
+}
+
+// Device implements cuda.Client.
+func (ip *Interposer) Device() int { return int(ip.gid) }
+
+// DeviceCount implements cuda.Client: applications see the whole gPool.
+func (ip *Interposer) DeviceCount() int {
+	ip.calls++
+	return ip.fab.PoolSize()
+}
+
+// Malloc implements cuda.Client.
+func (ip *Interposer) Malloc(bytes int64) (cuda.Ptr, error) {
+	if err := ip.ensureBound(); err != nil {
+		return cuda.Ptr{}, err
+	}
+	c := ip.newCall(cuda.CallMalloc)
+	c.Bytes = bytes
+	r, err := ip.send(c, true)
+	if err != nil {
+		return cuda.Ptr{}, err
+	}
+	return cuda.Ptr{Dev: int(r.PtrDev), ID: r.PtrID, Size: r.PtrSize}, nil
+}
+
+// Free implements cuda.Client. Free has no output parameters, so it rides
+// the non-blocking path.
+func (ip *Interposer) Free(ptr cuda.Ptr) error {
+	if err := ip.ensureBound(); err != nil {
+		return err
+	}
+	c := ip.newCall(cuda.CallFree)
+	c.PtrID, c.PtrSize, c.PtrDev = ptr.ID, ptr.Size, int32(ptr.Dev)
+	_, err := ip.send(c, false)
+	return err
+}
+
+// Memcpy implements cuda.Client. Host-to-device copies carry the buffer
+// with the request and return immediately (the MOT makes them asynchronous
+// at the backend); device-to-host copies must return data, so they block.
+func (ip *Interposer) Memcpy(dir cuda.Dir, ptr cuda.Ptr, bytes int64) error {
+	if err := ip.ensureBound(); err != nil {
+		return err
+	}
+	c := ip.newCall(cuda.CallMemcpy)
+	c.Dir = dir
+	c.Bytes = bytes
+	c.PtrID, c.PtrSize, c.PtrDev = ptr.ID, ptr.Size, int32(ptr.Dev)
+	_, err := ip.send(c, dir == cuda.D2H)
+	return err
+}
+
+// MemcpyAsync implements cuda.Client.
+func (ip *Interposer) MemcpyAsync(dir cuda.Dir, ptr cuda.Ptr, bytes int64, s cuda.StreamID) error {
+	if err := ip.ensureBound(); err != nil {
+		return err
+	}
+	c := ip.newCall(cuda.CallMemcpyAsync)
+	c.Dir = dir
+	c.Bytes = bytes
+	c.Stream = int32(s)
+	c.PtrID, c.PtrSize, c.PtrDev = ptr.ID, ptr.Size, int32(ptr.Dev)
+	_, err := ip.send(c, false)
+	return err
+}
+
+// Launch implements cuda.Client; launches are asynchronous RPCs.
+func (ip *Interposer) Launch(k cuda.Kernel, s cuda.StreamID) error {
+	if err := ip.ensureBound(); err != nil {
+		return err
+	}
+	c := ip.newCall(cuda.CallLaunch)
+	c.KernelName = k.Name
+	c.Compute = k.Compute
+	c.MemTraffic = k.MemTraffic
+	c.Occupancy = k.Occupancy
+	c.Stream = int32(s)
+	_, err := ip.send(c, false)
+	return err
+}
+
+// StreamCreate implements cuda.Client.
+func (ip *Interposer) StreamCreate() (cuda.StreamID, error) {
+	if err := ip.ensureBound(); err != nil {
+		return 0, err
+	}
+	r, err := ip.send(ip.newCall(cuda.CallStreamCreate), true)
+	if err != nil {
+		return 0, err
+	}
+	return cuda.StreamID(r.Stream), nil
+}
+
+// StreamSynchronize implements cuda.Client.
+func (ip *Interposer) StreamSynchronize(s cuda.StreamID) error {
+	if err := ip.ensureBound(); err != nil {
+		return err
+	}
+	c := ip.newCall(cuda.CallStreamSync)
+	c.Stream = int32(s)
+	_, err := ip.send(c, true)
+	return err
+}
+
+// StreamDestroy implements cuda.Client.
+func (ip *Interposer) StreamDestroy(s cuda.StreamID) error {
+	if err := ip.ensureBound(); err != nil {
+		return err
+	}
+	c := ip.newCall(cuda.CallStreamDestroy)
+	c.Stream = int32(s)
+	_, err := ip.send(c, true)
+	return err
+}
+
+// DeviceSynchronize implements cuda.Client. The backend's SST scopes it to
+// the application's own stream.
+func (ip *Interposer) DeviceSynchronize() error {
+	if err := ip.ensureBound(); err != nil {
+		return err
+	}
+	_, err := ip.send(ip.newCall(cuda.CallDeviceSync), true)
+	return err
+}
+
+// EventCreate implements cuda.Client.
+func (ip *Interposer) EventCreate() (cuda.EventID, error) {
+	if err := ip.ensureBound(); err != nil {
+		return 0, err
+	}
+	r, err := ip.send(ip.newCall(cuda.CallEventCreate), true)
+	if err != nil {
+		return 0, err
+	}
+	return cuda.EventID(r.Event), nil
+}
+
+// EventRecord implements cuda.Client; records ride the non-blocking path
+// (no output parameters).
+func (ip *Interposer) EventRecord(e cuda.EventID, s cuda.StreamID) error {
+	if err := ip.ensureBound(); err != nil {
+		return err
+	}
+	c := ip.newCall(cuda.CallEventRecord)
+	c.Event = int32(e)
+	c.Stream = int32(s)
+	_, err := ip.send(c, false)
+	return err
+}
+
+// EventSynchronize implements cuda.Client.
+func (ip *Interposer) EventSynchronize(e cuda.EventID) error {
+	if err := ip.ensureBound(); err != nil {
+		return err
+	}
+	c := ip.newCall(cuda.CallEventSync)
+	c.Event = int32(e)
+	_, err := ip.send(c, true)
+	return err
+}
+
+// EventElapsed implements cuda.Client.
+func (ip *Interposer) EventElapsed(start, end cuda.EventID) (sim.Time, error) {
+	if err := ip.ensureBound(); err != nil {
+		return 0, err
+	}
+	c := ip.newCall(cuda.CallEventElapsed)
+	c.Event = int32(start)
+	c.Event2 = int32(end)
+	r, err := ip.send(c, true)
+	if err != nil {
+		return 0, err
+	}
+	return sim.Time(r.Elapsed), nil
+}
+
+// EventDestroy implements cuda.Client; no output parameters.
+func (ip *Interposer) EventDestroy(e cuda.EventID) error {
+	if err := ip.ensureBound(); err != nil {
+		return err
+	}
+	c := ip.newCall(cuda.CallEventDestroy)
+	c.Event = int32(e)
+	_, err := ip.send(c, false)
+	return err
+}
+
+// ThreadExit implements cuda.Client: the reply piggybacks the Feedback
+// Engine's report, which the interposer relays to the affinity mapper.
+func (ip *Interposer) ThreadExit() error {
+	if ip.exited {
+		return cuda.ErrThreadExited
+	}
+	if err := ip.ensureBound(); err != nil {
+		return err
+	}
+	r, err := ip.send(ip.newCall(cuda.CallThreadExit), true)
+	ip.exited = true
+	if r != nil && r.Feedback != nil {
+		ip.LastFeedback = r.Feedback
+	}
+	ip.fab.ReportFeedback(ip.gid, ip.kind, ip.LastFeedback)
+	return err
+}

@@ -1,0 +1,247 @@
+package interpose
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/balancer"
+	"repro/internal/cuda"
+	"repro/internal/rpcproto"
+	"repro/internal/sim"
+)
+
+// fakeFabric pairs the interposer with an in-kernel echo backend that
+// records the calls it receives and produces scripted replies.
+type fakeFabric struct {
+	k        *sim.Kernel
+	selected []balancer.Request
+	gid      balancer.GID
+	conn     *rpcproto.Conn
+	received []*rpcproto.Call
+	feedback []*rpcproto.Feedback
+	released []string
+}
+
+func newFakeFabric(k *sim.Kernel) *fakeFabric {
+	f := &fakeFabric{k: k, gid: 1, conn: rpcproto.NewConn(k, rpcproto.LinkSpec{})}
+	k.Go("fake-backend", func(p *sim.Proc) {
+		ep := f.conn.B()
+		for {
+			call := ep.Recv(p).(*rpcproto.Call)
+			f.received = append(f.received, call)
+			reply := &rpcproto.Reply{Seq: call.Seq}
+			switch call.ID {
+			case cuda.CallMalloc:
+				reply.PtrID, reply.PtrSize = 77, call.Bytes
+			case cuda.CallStreamCreate:
+				reply.Stream = 5
+			case cuda.CallDeviceCount:
+				reply.Count = 4
+			case cuda.CallThreadExit:
+				reply.Feedback = &rpcproto.Feedback{Kind: call.KernelName, GPUTime: 123}
+			}
+			if call.ID == cuda.CallThreadExit {
+				ep.Send(p, reply, 0)
+				return
+			}
+			if !call.NonBlocking {
+				ep.Send(p, reply, 0)
+			}
+		}
+	})
+	return f
+}
+
+func (f *fakeFabric) SelectGPU(p *sim.Proc, req balancer.Request) balancer.GID {
+	f.selected = append(f.selected, req)
+	return f.gid
+}
+func (f *fakeFabric) ConnectBackend(p *sim.Proc, gid balancer.GID, fromNode int) rpcproto.Endpoint {
+	return f.conn.A()
+}
+func (f *fakeFabric) ReportFeedback(gid balancer.GID, kind string, fb *rpcproto.Feedback) {
+	f.released = append(f.released, kind)
+	f.feedback = append(f.feedback, fb)
+}
+func (f *fakeFabric) PoolSize() int { return 4 }
+
+func drive(t *testing.T, fn func(f *fakeFabric, ip *Interposer)) *fakeFabric {
+	t.Helper()
+	k := sim.NewKernel(1)
+	f := newFakeFabric(k)
+	k.Go("app", func(p *sim.Proc) {
+		ip := New(f, p, 9, 3, 2, "MC", 0, true)
+		fn(f, ip)
+	})
+	k.Run()
+	return f
+}
+
+func TestSetDeviceOverridesSelection(t *testing.T) {
+	f := drive(t, func(f *fakeFabric, ip *Interposer) {
+		if err := ip.SetDevice(0); err != nil {
+			t.Errorf("SetDevice: %v", err)
+		}
+		if ip.Device() != 1 {
+			t.Errorf("Device = %d, want balancer's GID 1", ip.Device())
+		}
+		// A second SetDevice is ignored: the balancer owns placement.
+		if err := ip.SetDevice(3); err != nil {
+			t.Errorf("re-SetDevice: %v", err)
+		}
+	})
+	if len(f.selected) != 1 {
+		t.Fatalf("selections = %d, want 1", len(f.selected))
+	}
+	req := f.selected[0]
+	if req.Kind != "MC" || req.AppID != 9 || req.Tenant != 3 {
+		t.Fatalf("selection request = %+v", req)
+	}
+	reg := f.received[0]
+	if reg.ID != cuda.CallSetDevice || reg.KernelName != "MC" || reg.Weight != 2 {
+		t.Fatalf("registration call = %+v", reg)
+	}
+}
+
+func TestLazyBindingOnFirstCall(t *testing.T) {
+	f := drive(t, func(f *fakeFabric, ip *Interposer) {
+		if _, err := ip.Malloc(100); err != nil {
+			t.Errorf("Malloc: %v", err)
+		}
+	})
+	if len(f.selected) != 1 {
+		t.Fatalf("lazy bind selections = %d", len(f.selected))
+	}
+	if f.received[0].ID != cuda.CallSetDevice || f.received[1].ID != cuda.CallMalloc {
+		t.Fatalf("call order = %v, %v", f.received[0].ID, f.received[1].ID)
+	}
+}
+
+func TestAsyncCallsAreNonBlocking(t *testing.T) {
+	f := drive(t, func(f *fakeFabric, ip *Interposer) {
+		ip.SetDevice(0)
+		ptr, _ := ip.Malloc(1000)
+		t0 := ip.Proc().Now()
+		if err := ip.Memcpy(cuda.H2D, ptr, 500); err != nil {
+			t.Errorf("H2D: %v", err)
+		}
+		if err := ip.Launch(cuda.Kernel{Compute: 1}, cuda.DefaultStream); err != nil {
+			t.Errorf("Launch: %v", err)
+		}
+		if err := ip.Free(ptr); err != nil {
+			t.Errorf("Free: %v", err)
+		}
+		if d := ip.Proc().Now() - t0; d > 3*MarshalOverhead {
+			t.Errorf("async calls blocked for %v", d)
+		}
+	})
+	var flags []bool
+	for _, c := range f.received {
+		flags = append(flags, c.NonBlocking)
+	}
+	// SetDevice and Malloc block; H2D memcpy, launch and free do not.
+	want := []bool{false, false, true, true, true}
+	for i := range want {
+		if flags[i] != want[i] {
+			t.Fatalf("NonBlocking flags = %v, want %v", flags, want)
+		}
+	}
+}
+
+func TestSyncModeForcesBlocking(t *testing.T) {
+	// async=false (the Rain frontend) turns every RPC synchronous.
+	k := sim.NewKernel(1)
+	f := newFakeFabric(k)
+	k.Go("app", func(p *sim.Proc) {
+		ip := New(f, p, 9, 3, 1, "MC", 0, false)
+		ip.SetDevice(0)
+		ptr, _ := ip.Malloc(100)
+		ip.Memcpy(cuda.H2D, ptr, 50)
+		ip.Launch(cuda.Kernel{Compute: 1}, cuda.DefaultStream)
+	})
+	k.Run()
+	for _, c := range f.received {
+		if c.NonBlocking {
+			t.Fatalf("call %v non-blocking under sync frontend", c.ID)
+		}
+	}
+}
+
+func TestD2HBlocksForData(t *testing.T) {
+	drive(t, func(f *fakeFabric, ip *Interposer) {
+		ip.SetDevice(0)
+		ptr, _ := ip.Malloc(100)
+		if err := ip.Memcpy(cuda.D2H, ptr, 50); err != nil {
+			t.Errorf("D2H: %v", err)
+		}
+		// The reply consumed above must leave the reply stream aligned.
+		if n := ip.DeviceCount(); n != 4 {
+			t.Errorf("DeviceCount = %d", n)
+		}
+	})
+}
+
+func TestStreamLifecycleForwarded(t *testing.T) {
+	f := drive(t, func(f *fakeFabric, ip *Interposer) {
+		ip.SetDevice(0)
+		s, err := ip.StreamCreate()
+		if err != nil || s != 5 {
+			t.Errorf("StreamCreate = %v, %v", s, err)
+		}
+		if err := ip.MemcpyAsync(cuda.H2D, cuda.Ptr{ID: 1, Size: 10}, 10, s); err != nil {
+			t.Errorf("MemcpyAsync: %v", err)
+		}
+		if err := ip.StreamSynchronize(s); err != nil {
+			t.Errorf("StreamSynchronize: %v", err)
+		}
+		if err := ip.StreamDestroy(s); err != nil {
+			t.Errorf("StreamDestroy: %v", err)
+		}
+		if err := ip.DeviceSynchronize(); err != nil {
+			t.Errorf("DeviceSynchronize: %v", err)
+		}
+	})
+	var ids []cuda.CallID
+	for _, c := range f.received {
+		ids = append(ids, c.ID)
+	}
+	want := []cuda.CallID{cuda.CallSetDevice, cuda.CallStreamCreate,
+		cuda.CallMemcpyAsync, cuda.CallStreamSync, cuda.CallStreamDestroy, cuda.CallDeviceSync}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("call sequence = %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestThreadExitRelaysFeedback(t *testing.T) {
+	f := drive(t, func(f *fakeFabric, ip *Interposer) {
+		ip.SetDevice(0)
+		if err := ip.ThreadExit(); err != nil {
+			t.Errorf("ThreadExit: %v", err)
+		}
+		if ip.LastFeedback == nil || ip.LastFeedback.GPUTime != 123 {
+			t.Errorf("LastFeedback = %+v", ip.LastFeedback)
+		}
+		if err := ip.ThreadExit(); !errors.Is(err, cuda.ErrThreadExited) {
+			t.Errorf("second exit = %v", err)
+		}
+	})
+	if len(f.feedback) != 1 || f.feedback[0].GPUTime != 123 {
+		t.Fatalf("relayed feedback = %+v", f.feedback)
+	}
+	if len(f.released) != 1 || f.released[0] != "MC" {
+		t.Fatalf("released = %v", f.released)
+	}
+}
+
+func TestCallCounting(t *testing.T) {
+	drive(t, func(f *fakeFabric, ip *Interposer) {
+		ip.SetDevice(0)
+		ip.DeviceCount()
+		ip.Malloc(10)
+		if ip.Calls() != 3 {
+			t.Errorf("Calls = %d, want 3", ip.Calls())
+		}
+	})
+}

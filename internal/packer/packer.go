@@ -1,0 +1,273 @@
+// Package packer implements the paper's Context Packer: the backend-side
+// layer that folds the GPU work of every application sharing a device into a
+// single GPU context. Its components, named as in the paper:
+//
+//   - Stream Creator (SC): a dedicated CUDA stream per application, created
+//     on the first request and torn down on cudaThreadExit.
+//   - Auto Stream Translator (AST): operations the application targeted at
+//     the default stream are retargeted onto its dedicated stream.
+//   - Sync Stream Translator (SST): cudaDeviceSynchronize becomes
+//     cudaStreamSynchronize, so one application's sync never stalls the
+//     other tenants packed into the context.
+//   - Memory Operation Translator (MOT): synchronous memcpys become
+//     asynchronous ones staged through pinned host memory, tracked in the
+//     Pinned Memory Table (PMT) and released at the application's next
+//     synchronization point.
+package packer
+
+import (
+	"fmt"
+
+	"repro/internal/cuda"
+	"repro/internal/rpcproto"
+	"repro/internal/sim"
+)
+
+// Config tunes the packer.
+type Config struct {
+	// PinBandwidth is the host-side bandwidth (bytes/us) of staging a user
+	// buffer into pinned memory; 0 disables the cost.
+	PinBandwidth float64
+}
+
+// DefaultConfig stages pinned copies at ~4 GB/s.
+func DefaultConfig() Config { return Config{PinBandwidth: 4000} }
+
+// Packer owns the single shared GPU context of one backend process (one per
+// device) and the per-device Pinned Memory Table.
+type Packer struct {
+	rt    *cuda.Runtime
+	cfg   Config
+	pmt   *PMT
+	ports map[int]*Port
+}
+
+// New creates a packer over the backend process's CUDA runtime.
+func New(rt *cuda.Runtime, cfg Config) *Packer {
+	return &Packer{rt: rt, cfg: cfg, pmt: NewPMT(), ports: make(map[int]*Port)}
+}
+
+// PMT exposes the device's pinned-memory table (for monitoring and tests).
+func (pk *Packer) PMT() *PMT { return pk.pmt }
+
+// Runtime returns the backend process's CUDA runtime.
+func (pk *Packer) Runtime() *cuda.Runtime { return pk.rt }
+
+// Port is one application's lane through the packer: its backend CUDA
+// thread, its dedicated stream, and its share of the PMT.
+type Port struct {
+	pk     *Packer
+	AppID  int
+	Tenant int64
+
+	thread *cuda.Thread
+	stream cuda.StreamID
+	proc   *sim.Proc
+	closed bool
+}
+
+// Open registers an application with the packer (the Stream Creator's job):
+// it binds a backend CUDA thread for the app on the backend process's
+// context and creates the app's dedicated stream.
+func (pk *Packer) Open(p *sim.Proc, appID int, tenant int64) (*Port, error) {
+	if _, dup := pk.ports[appID]; dup {
+		return nil, fmt.Errorf("packer: app %d already open", appID)
+	}
+	t := pk.rt.NewThread(p, appID)
+	if err := t.SetDevice(0); err != nil { // backend processes are per-GPU
+		return nil, err
+	}
+	s, err := t.StreamCreate()
+	if err != nil {
+		return nil, err
+	}
+	port := &Port{pk: pk, AppID: appID, Tenant: tenant, thread: t, stream: s, proc: p}
+	pk.ports[appID] = port
+	return port, nil
+}
+
+// Stream returns the port's dedicated stream id.
+func (port *Port) Stream() cuda.StreamID { return port.stream }
+
+// translateStream implements the AST: default-stream operations move to the
+// application's dedicated stream; explicit streams the application created
+// through the runtime pass through.
+func (port *Port) translateStream(s cuda.StreamID) cuda.StreamID {
+	if s == cuda.DefaultStream {
+		return port.stream
+	}
+	return s
+}
+
+// Execute runs one marshalled CUDA call through the packer's translations
+// and returns the reply (nil for calls whose reply is suppressed because the
+// frontend issued them as non-blocking RPCs).
+func (port *Port) Execute(call *rpcproto.Call) *rpcproto.Reply {
+	reply := &rpcproto.Reply{Seq: call.Seq}
+	if port.closed {
+		reply.SetError(cuda.ErrThreadExited)
+		return reply
+	}
+	t := port.thread
+	switch call.ID {
+	case cuda.CallSetDevice:
+		// Target selection already happened at the balancer; binding the
+		// backend thread to its device is all that remains.
+		reply.SetError(t.SetDevice(0))
+
+	case cuda.CallDeviceCount:
+		reply.Count = int32(t.DeviceCount())
+
+	case cuda.CallMalloc:
+		ptr, err := t.Malloc(call.Bytes)
+		if err != nil {
+			reply.SetError(err)
+			break
+		}
+		reply.PtrID, reply.PtrSize, reply.PtrDev = ptr.ID, ptr.Size, int32(ptr.Dev)
+
+	case cuda.CallFree:
+		reply.SetError(t.Free(callPtr(call)))
+
+	case cuda.CallMemcpy:
+		// MOT: synchronous copies become asynchronous, staged through
+		// pinned memory. H2D returns as soon as the copy is queued; D2H
+		// must return data, so it synchronizes the app's stream first.
+		s := port.translateStream(cuda.DefaultStream)
+		if call.Dir == cuda.H2D {
+			port.pinCost(call.Bytes)
+			id := port.pk.pmt.Add(port.AppID, s, call.Bytes, call.Dir)
+			if err := t.MemcpyAsync(cuda.H2D, callPtr(call), call.Bytes, s); err != nil {
+				port.pk.pmt.Release(id)
+				reply.SetError(err)
+				break
+			}
+			// Pinned buffer is reclaimed at the app's next sync point.
+			break
+		}
+		if err := t.MemcpyAsync(cuda.D2H, callPtr(call), call.Bytes, s); err != nil {
+			reply.SetError(err)
+			break
+		}
+		if err := t.StreamSynchronize(s); err != nil {
+			reply.SetError(err)
+			break
+		}
+		port.pk.pmt.ReleaseSynced(port.AppID, s)
+
+	case cuda.CallMemcpyAsync:
+		s := port.translateStream(cuda.StreamID(call.Stream))
+		if call.Dir == cuda.H2D {
+			port.pinCost(call.Bytes)
+			port.pk.pmt.Add(port.AppID, s, call.Bytes, call.Dir)
+		}
+		reply.SetError(t.MemcpyAsync(call.Dir, callPtr(call), call.Bytes, s))
+
+	case cuda.CallLaunch:
+		s := port.translateStream(cuda.StreamID(call.Stream))
+		reply.SetError(t.Launch(cuda.Kernel{
+			Name:       call.KernelName,
+			Compute:    call.Compute,
+			MemTraffic: call.MemTraffic,
+			Occupancy:  call.Occupancy,
+		}, s))
+
+	case cuda.CallStreamCreate:
+		s, err := t.StreamCreate()
+		if err != nil {
+			reply.SetError(err)
+			break
+		}
+		reply.Stream = int32(s)
+
+	case cuda.CallStreamSync:
+		s := port.translateStream(cuda.StreamID(call.Stream))
+		if err := t.StreamSynchronize(s); err != nil {
+			reply.SetError(err)
+			break
+		}
+		port.pk.pmt.ReleaseSynced(port.AppID, s)
+
+	case cuda.CallStreamDestroy:
+		s := cuda.StreamID(call.Stream)
+		if s == cuda.DefaultStream {
+			reply.SetError(cuda.ErrInvalidValue)
+			break
+		}
+		reply.SetError(t.StreamDestroy(s))
+
+	case cuda.CallEventCreate:
+		e, err := t.EventCreate()
+		if err != nil {
+			reply.SetError(err)
+			break
+		}
+		reply.Event = int32(e)
+
+	case cuda.CallEventRecord:
+		// AST applies to event records too: default-stream records land on
+		// the application's dedicated stream.
+		s := port.translateStream(cuda.StreamID(call.Stream))
+		reply.SetError(t.EventRecord(cuda.EventID(call.Event), s))
+
+	case cuda.CallEventSync:
+		reply.SetError(t.EventSynchronize(cuda.EventID(call.Event)))
+
+	case cuda.CallEventElapsed:
+		d, err := t.EventElapsed(cuda.EventID(call.Event), cuda.EventID(call.Event2))
+		if err != nil {
+			reply.SetError(err)
+			break
+		}
+		reply.Elapsed = int64(d)
+
+	case cuda.CallEventDestroy:
+		reply.SetError(t.EventDestroy(cuda.EventID(call.Event)))
+
+	case cuda.CallDeviceSync:
+		// SST: the device-wide synchronize becomes a synchronize of the
+		// app's own stream, so co-tenants are unaffected.
+		if err := t.StreamSynchronize(port.stream); err != nil {
+			reply.SetError(err)
+			break
+		}
+		port.pk.pmt.ReleaseApp(port.AppID)
+
+	case cuda.CallThreadExit:
+		reply.SetError(port.close())
+
+	default:
+		reply.SetError(cuda.ErrNotImplemented)
+	}
+	return reply
+}
+
+// close tears the port down: drain the app's stream, release its pinned
+// memory and its device allocations, destroy its stream.
+func (port *Port) close() error {
+	if port.closed {
+		return cuda.ErrThreadExited
+	}
+	port.closed = true
+	if err := port.thread.StreamSynchronize(port.stream); err != nil {
+		return err
+	}
+	port.pk.pmt.ReleaseApp(port.AppID)
+	if err := port.thread.StreamDestroy(port.stream); err != nil {
+		return err
+	}
+	delete(port.pk.ports, port.AppID)
+	return port.thread.ThreadExit()
+}
+
+// pinCost charges the MOT's host-to-pinned staging copy.
+func (port *Port) pinCost(bytes int64) {
+	if port.pk.cfg.PinBandwidth > 0 && bytes > 0 {
+		port.proc.Sleep(sim.Time(float64(bytes)/port.pk.cfg.PinBandwidth + 0.5))
+	}
+}
+
+// callPtr reconstructs the device pointer referenced by a call.
+func callPtr(c *rpcproto.Call) cuda.Ptr {
+	return cuda.Ptr{Dev: int(c.PtrDev), ID: c.PtrID, Size: c.PtrSize}
+}

@@ -1,0 +1,243 @@
+package packer
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cuda"
+	"repro/internal/gpu"
+	"repro/internal/rpcproto"
+	"repro/internal/sim"
+)
+
+func testDev(k *sim.Kernel) *gpu.Device {
+	spec := gpu.Spec{
+		Name: "t", ComputeRate: 1000, MemBandwidth: 100,
+		H2DBandwidth: 10, D2HBandwidth: 10, CopyEngines: 2,
+		ContextSwitch: 100, TimeSlice: sim.Millisecond, MemBytes: 1 << 20, Weight: 1,
+	}
+	return gpu.NewDevice(k, spec, 0)
+}
+
+func newPacker(k *sim.Kernel) (*Packer, *gpu.Device) {
+	dev := testDev(k)
+	rt := cuda.NewRuntime(k, []*gpu.Device{dev}, cuda.Config{})
+	return New(rt, Config{}), dev
+}
+
+func mallocVia(port *Port, bytes int64) (cuda.Ptr, *rpcproto.Reply) {
+	r := port.Execute(&rpcproto.Call{ID: cuda.CallMalloc, Bytes: bytes})
+	return cuda.Ptr{Dev: int(r.PtrDev), ID: r.PtrID, Size: r.PtrSize}, r
+}
+
+func TestOpenCreatesDedicatedStream(t *testing.T) {
+	k := sim.NewKernel(1)
+	pk, _ := newPacker(k)
+	k.Go("bt", func(p *sim.Proc) {
+		port, err := pk.Open(p, 1, 10)
+		if err != nil {
+			t.Errorf("Open: %v", err)
+			return
+		}
+		if port.Stream() == cuda.DefaultStream {
+			t.Error("port stream is the default stream")
+		}
+		if _, err := pk.Open(p, 1, 10); err == nil {
+			t.Error("duplicate Open succeeded")
+		}
+		port2, err := pk.Open(p, 2, 11)
+		if err != nil {
+			t.Errorf("second Open: %v", err)
+			return
+		}
+		if port2.Stream() == port.Stream() {
+			t.Error("two apps share one stream")
+		}
+	})
+	k.Run()
+}
+
+func TestSyncH2DBecomesAsync(t *testing.T) {
+	k := sim.NewKernel(1)
+	pk, _ := newPacker(k)
+	var queuedAt, syncedAt sim.Time
+	k.Go("bt", func(p *sim.Proc) {
+		port, _ := pk.Open(p, 1, 10)
+		ptr, _ := mallocVia(port, 1000)
+		r := port.Execute(&rpcproto.Call{
+			ID: cuda.CallMemcpy, Dir: cuda.H2D,
+			PtrID: ptr.ID, PtrSize: ptr.Size, PtrDev: int32(ptr.Dev), Bytes: 500,
+		})
+		if r.Err != "" {
+			t.Errorf("memcpy: %s", r.Err)
+		}
+		queuedAt = p.Now()
+		if pk.PMT().Len() != 1 {
+			t.Errorf("PMT entries = %d after async H2D, want 1", pk.PMT().Len())
+		}
+		r = port.Execute(&rpcproto.Call{ID: cuda.CallDeviceSync})
+		if r.Err != "" {
+			t.Errorf("device sync: %s", r.Err)
+		}
+		syncedAt = p.Now()
+		if pk.PMT().Len() != 0 {
+			t.Errorf("PMT entries = %d after sync, want 0", pk.PMT().Len())
+		}
+	})
+	k.Run()
+	// The copy takes 50us at 10 B/us; the H2D call must return well before
+	// that, and the sync must cover the rest.
+	if queuedAt >= 50 {
+		t.Fatalf("sync H2D blocked until %v; MOT failed to asyncify", queuedAt)
+	}
+	if syncedAt < 50 {
+		t.Fatalf("device sync returned at %v, before the copy could finish", syncedAt)
+	}
+}
+
+func TestSyncD2HReturnsAfterData(t *testing.T) {
+	k := sim.NewKernel(1)
+	pk, _ := newPacker(k)
+	var done sim.Time
+	k.Go("bt", func(p *sim.Proc) {
+		port, _ := pk.Open(p, 1, 10)
+		ptr, _ := mallocVia(port, 1000)
+		port.Execute(&rpcproto.Call{ID: cuda.CallLaunch, Compute: 20000}) // 20us
+		r := port.Execute(&rpcproto.Call{
+			ID: cuda.CallMemcpy, Dir: cuda.D2H,
+			PtrID: ptr.ID, PtrSize: ptr.Size, Bytes: 300, // 30us
+		})
+		if r.Err != "" {
+			t.Errorf("d2h: %s", r.Err)
+		}
+		done = p.Now()
+	})
+	k.Run()
+	if done != 50 {
+		t.Fatalf("sync D2H returned at %v, want 50us (kernel then copy)", done)
+	}
+}
+
+func TestSSTDeviceSyncDoesNotBlockOtherApps(t *testing.T) {
+	k := sim.NewKernel(1)
+	pk, _ := newPacker(k)
+	var app2Done sim.Time
+	k.Go("bt1", func(p *sim.Proc) {
+		port, _ := pk.Open(p, 1, 10)
+		port.Execute(&rpcproto.Call{ID: cuda.CallLaunch, Compute: 100000, Occupancy: 0.4}) // long
+		port.Execute(&rpcproto.Call{ID: cuda.CallDeviceSync})
+	})
+	k.Go("bt2", func(p *sim.Proc) {
+		p.Sleep(1)
+		port, _ := pk.Open(p, 2, 11)
+		port.Execute(&rpcproto.Call{ID: cuda.CallLaunch, Compute: 10000, Occupancy: 0.4})
+		port.Execute(&rpcproto.Call{ID: cuda.CallDeviceSync})
+		app2Done = p.Now()
+	})
+	k.Run()
+	// App 2's 25us kernel (occ 0.4) overlaps app 1's 250us kernel; its
+	// "device" sync is stream-scoped so it returns at ~26us, not ~250us.
+	if app2Done > 100 {
+		t.Fatalf("app2 sync at %v; SST failed to scope the sync", app2Done)
+	}
+}
+
+func TestASTDefaultStreamTranslation(t *testing.T) {
+	k := sim.NewKernel(1)
+	pk, _ := newPacker(k)
+	k.Go("bt", func(p *sim.Proc) {
+		port, _ := pk.Open(p, 1, 10)
+		if got := port.translateStream(cuda.DefaultStream); got != port.Stream() {
+			t.Errorf("default stream translated to %v, want %v", got, port.Stream())
+		}
+		if got := port.translateStream(7); got != 7 {
+			t.Errorf("explicit stream translated to %v, want 7", got)
+		}
+	})
+	k.Run()
+}
+
+func TestThreadExitFreesEverything(t *testing.T) {
+	k := sim.NewKernel(1)
+	pk, dev := newPacker(k)
+	k.Go("bt", func(p *sim.Proc) {
+		port, _ := pk.Open(p, 1, 10)
+		ptr, _ := mallocVia(port, 1000)
+		port.Execute(&rpcproto.Call{
+			ID: cuda.CallMemcpy, Dir: cuda.H2D,
+			PtrID: ptr.ID, PtrSize: ptr.Size, Bytes: 400,
+		})
+		r := port.Execute(&rpcproto.Call{ID: cuda.CallThreadExit})
+		if r.Err != "" {
+			t.Errorf("exit: %s", r.Err)
+		}
+		if dev.MemUsed() != 0 {
+			t.Errorf("device memory leaked: %d", dev.MemUsed())
+		}
+		if pk.PMT().Len() != 0 {
+			t.Errorf("PMT leaked %d entries", pk.PMT().Len())
+		}
+		r = port.Execute(&rpcproto.Call{ID: cuda.CallLaunch, Compute: 1})
+		if errors.Is(r.AsError(), cuda.ErrThreadExited) == false {
+			t.Errorf("call after exit = %v", r.AsError())
+		}
+	})
+	k.Run()
+}
+
+func TestPinCostCharged(t *testing.T) {
+	k := sim.NewKernel(1)
+	dev := testDev(k)
+	rt := cuda.NewRuntime(k, []*gpu.Device{dev}, cuda.Config{})
+	pk := New(rt, Config{PinBandwidth: 10}) // 10 B/us staging
+	var elapsed sim.Time
+	k.Go("bt", func(p *sim.Proc) {
+		port, _ := pk.Open(p, 1, 10)
+		ptr, _ := mallocVia(port, 1000)
+		t0 := p.Now()
+		port.Execute(&rpcproto.Call{
+			ID: cuda.CallMemcpy, Dir: cuda.H2D,
+			PtrID: ptr.ID, PtrSize: ptr.Size, Bytes: 500,
+		})
+		elapsed = p.Now() - t0
+		port.Execute(&rpcproto.Call{ID: cuda.CallDeviceSync})
+	})
+	k.Run()
+	if elapsed != 50 {
+		t.Fatalf("pin staging cost %v, want 50us", elapsed)
+	}
+}
+
+func TestUnknownCallRejected(t *testing.T) {
+	k := sim.NewKernel(1)
+	pk, _ := newPacker(k)
+	k.Go("bt", func(p *sim.Proc) {
+		port, _ := pk.Open(p, 1, 10)
+		r := port.Execute(&rpcproto.Call{ID: cuda.CallID(99)})
+		if !errors.Is(r.AsError(), cuda.ErrNotImplemented) {
+			t.Errorf("unknown call = %v", r.AsError())
+		}
+	})
+	k.Run()
+}
+
+func TestStreamCreateAndExplicitUse(t *testing.T) {
+	k := sim.NewKernel(1)
+	pk, _ := newPacker(k)
+	k.Go("bt", func(p *sim.Proc) {
+		port, _ := pk.Open(p, 1, 10)
+		r := port.Execute(&rpcproto.Call{ID: cuda.CallStreamCreate})
+		if r.Err != "" || r.Stream == 0 {
+			t.Errorf("stream create = %+v", r)
+		}
+		r = port.Execute(&rpcproto.Call{ID: cuda.CallLaunch, Compute: 5000, Stream: r.Stream})
+		if r.Err != "" {
+			t.Errorf("launch on explicit stream: %s", r.Err)
+		}
+		r = port.Execute(&rpcproto.Call{ID: cuda.CallStreamDestroy, Stream: 0})
+		if !errors.Is(r.AsError(), cuda.ErrInvalidValue) {
+			t.Errorf("destroying stream 0 = %v", r.AsError())
+		}
+	})
+	k.Run()
+}

@@ -1,0 +1,104 @@
+package packer
+
+import (
+	"sort"
+
+	"repro/internal/cuda"
+)
+
+// PinnedEntry is one row of the Pinned Memory Table: a host staging buffer
+// the MOT allocated for an in-flight asynchronous copy.
+type PinnedEntry struct {
+	ID     int64
+	AppID  int
+	Stream cuda.StreamID
+	Bytes  int64
+	Dir    cuda.Dir
+}
+
+// PMT is the per-device Pinned Memory Table. It tracks the pinned staging
+// buffers backing asynchronous memory operations; buffers are reclaimed when
+// the owning application reaches a synchronization point (stream sync,
+// device sync, D2H copy completion, or exit).
+type PMT struct {
+	entries map[int64]PinnedEntry
+	nextID  int64
+
+	// Accounting.
+	Pinned      int64 // bytes currently pinned
+	HighWater   int64
+	TotalAdds   int
+	TotalFrees  int
+	TotalPinned int64 // cumulative bytes ever pinned
+}
+
+// NewPMT returns an empty table.
+func NewPMT() *PMT {
+	return &PMT{entries: make(map[int64]PinnedEntry)}
+}
+
+// Add records a new pinned staging buffer and returns its id.
+func (t *PMT) Add(appID int, stream cuda.StreamID, bytes int64, dir cuda.Dir) int64 {
+	t.nextID++
+	t.entries[t.nextID] = PinnedEntry{
+		ID: t.nextID, AppID: appID, Stream: stream, Bytes: bytes, Dir: dir,
+	}
+	t.Pinned += bytes
+	t.TotalPinned += bytes
+	t.TotalAdds++
+	if t.Pinned > t.HighWater {
+		t.HighWater = t.Pinned
+	}
+	return t.nextID
+}
+
+// Release frees one entry by id.
+func (t *PMT) Release(id int64) {
+	if e, ok := t.entries[id]; ok {
+		t.Pinned -= e.Bytes
+		t.TotalFrees++
+		delete(t.entries, id)
+	}
+}
+
+// ReleaseSynced frees every entry of the application on the given stream —
+// the stream has drained, so the copies have consumed their staging buffers.
+func (t *PMT) ReleaseSynced(appID int, stream cuda.StreamID) {
+	for _, id := range t.idsWhere(func(e PinnedEntry) bool {
+		return e.AppID == appID && e.Stream == stream
+	}) {
+		t.Release(id)
+	}
+}
+
+// ReleaseApp frees every entry of the application (device sync or exit).
+func (t *PMT) ReleaseApp(appID int) {
+	for _, id := range t.idsWhere(func(e PinnedEntry) bool { return e.AppID == appID }) {
+		t.Release(id)
+	}
+}
+
+// Len returns the number of live entries.
+func (t *PMT) Len() int { return len(t.entries) }
+
+// AppEntries returns the live entries of one application, ordered by id.
+func (t *PMT) AppEntries(appID int) []PinnedEntry {
+	var out []PinnedEntry
+	for _, id := range t.idsWhere(func(e PinnedEntry) bool { return e.AppID == appID }) {
+		out = append(out, t.entries[id])
+	}
+	return out
+}
+
+// idsWhere returns matching entry ids in ascending order (deterministic
+// iteration over the map).
+func (t *PMT) idsWhere(pred func(PinnedEntry) bool) []int64 {
+	var ids []int64
+	for id, e := range t.entries {
+		if pred(e) {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

@@ -1,0 +1,86 @@
+package packer
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cuda"
+)
+
+func TestPMTAddReleaseAccounting(t *testing.T) {
+	pmt := NewPMT()
+	id1 := pmt.Add(1, 3, 100, cuda.H2D)
+	id2 := pmt.Add(1, 3, 200, cuda.H2D)
+	if pmt.Pinned != 300 || pmt.HighWater != 300 || pmt.Len() != 2 {
+		t.Fatalf("accounting: %+v", pmt)
+	}
+	pmt.Release(id1)
+	if pmt.Pinned != 200 || pmt.HighWater != 300 {
+		t.Fatalf("after release: pinned=%d hw=%d", pmt.Pinned, pmt.HighWater)
+	}
+	pmt.Release(id1) // double release is a no-op
+	if pmt.Pinned != 200 {
+		t.Fatal("double release changed accounting")
+	}
+	pmt.Release(id2)
+	if pmt.Pinned != 0 || pmt.Len() != 0 {
+		t.Fatal("final accounting nonzero")
+	}
+	if pmt.TotalAdds != 2 || pmt.TotalFrees != 2 || pmt.TotalPinned != 300 {
+		t.Fatalf("counters: %+v", pmt)
+	}
+}
+
+func TestPMTReleaseSyncedScopedToStream(t *testing.T) {
+	pmt := NewPMT()
+	pmt.Add(1, 3, 100, cuda.H2D)
+	pmt.Add(1, 4, 100, cuda.H2D)
+	pmt.Add(2, 3, 100, cuda.H2D)
+	pmt.ReleaseSynced(1, 3)
+	if pmt.Len() != 2 {
+		t.Fatalf("entries = %d, want 2", pmt.Len())
+	}
+	if len(pmt.AppEntries(1)) != 1 || pmt.AppEntries(1)[0].Stream != 4 {
+		t.Fatal("wrong entry released")
+	}
+}
+
+func TestPMTReleaseApp(t *testing.T) {
+	pmt := NewPMT()
+	pmt.Add(1, 3, 100, cuda.H2D)
+	pmt.Add(1, 4, 100, cuda.H2D)
+	pmt.Add(2, 3, 100, cuda.H2D)
+	pmt.ReleaseApp(1)
+	if pmt.Len() != 1 || len(pmt.AppEntries(2)) != 1 {
+		t.Fatalf("entries after ReleaseApp = %d", pmt.Len())
+	}
+}
+
+// Property: for any interleaving of adds and releases, pinned bytes equal
+// the sum of live entries and never go negative; high water is monotone.
+func TestQuickPMTBalance(t *testing.T) {
+	f := func(ops []uint16) bool {
+		pmt := NewPMT()
+		var live []int64
+		for _, op := range ops {
+			if op%3 == 0 && len(live) > 0 {
+				pmt.Release(live[0])
+				live = live[1:]
+			} else {
+				id := pmt.Add(int(op%4), cuda.StreamID(op%2), int64(op%100)+1, cuda.H2D)
+				live = append(live, id)
+			}
+			var sum int64
+			for _, e := range pmt.entries {
+				sum += e.Bytes
+			}
+			if pmt.Pinned != sum || pmt.Pinned < 0 || pmt.HighWater < pmt.Pinned {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

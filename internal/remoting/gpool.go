@@ -1,0 +1,92 @@
+// Package remoting implements the gPool abstraction: the logical
+// aggregation of every GPU in a cluster of nodes into a single pool visible
+// to the Strings scheduler. The gPool Creator collects device information
+// from each node's backend daemon, assigns global GPU ids (GIDs), builds the
+// gMap from GID to (node, local device) and derives the Device Status
+// Table's static rows.
+package remoting
+
+import (
+	"fmt"
+
+	"repro/internal/balancer"
+	"repro/internal/gpu"
+)
+
+// Entry is one gMap row: the global id and the physical location of a GPU.
+type Entry struct {
+	GID      balancer.GID
+	Node     int
+	Addr     string // node address (used by the TCP remoting demo)
+	LocalDev int
+	Spec     gpu.Spec
+}
+
+// GMap is the gPool's global device map, broadcast to every node.
+type GMap struct {
+	entries []Entry
+}
+
+// NodeInfo is what a node's backend daemon reports to the gPool Creator.
+type NodeInfo struct {
+	Node    int
+	Addr    string
+	Devices []gpu.Spec
+}
+
+// BuildGMap runs the gPool Creator: it assigns GIDs in node order and
+// returns the gMap.
+func BuildGMap(nodes []NodeInfo) *GMap {
+	g := &GMap{}
+	gid := balancer.GID(0)
+	for _, n := range nodes {
+		for i, spec := range n.Devices {
+			g.entries = append(g.entries, Entry{
+				GID: gid, Node: n.Node, Addr: n.Addr, LocalDev: i, Spec: spec,
+			})
+			gid++
+		}
+	}
+	return g
+}
+
+// Len returns the pool size.
+func (g *GMap) Len() int { return len(g.entries) }
+
+// Lookup resolves a GID to its gMap row.
+func (g *GMap) Lookup(gid balancer.GID) (Entry, bool) {
+	if int(gid) < 0 || int(gid) >= len(g.entries) {
+		return Entry{}, false
+	}
+	return g.entries[gid], true
+}
+
+// Entries returns all rows in GID order.
+func (g *GMap) Entries() []Entry { return g.entries }
+
+// DST derives the Device Status Table's static rows from the pool: name,
+// location, and the gPool Creator's one-time capability weights.
+func (g *GMap) DST() *balancer.DST {
+	rows := make([]*balancer.DSTEntry, 0, len(g.entries))
+	for _, e := range g.entries {
+		rows = append(rows, &balancer.DSTEntry{
+			GID:          e.GID,
+			Node:         e.Node,
+			LocalDev:     e.LocalDev,
+			Name:         e.Spec.Name,
+			Weight:       e.Spec.Weight,
+			ComputeRate:  e.Spec.ComputeRate,
+			MemBandwidth: e.Spec.MemBandwidth,
+		})
+	}
+	return balancer.NewDST(rows)
+}
+
+// String renders the gMap like the paper's Figure 4 table.
+func (g *GMap) String() string {
+	s := "gid (nid, lid)\n"
+	for _, e := range g.entries {
+		s += fmt.Sprintf("%3d  (%d, %d)  %s\n", e.GID, e.Node, e.LocalDev, e.Spec.Name)
+	}
+	return s
+}

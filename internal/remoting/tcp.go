@@ -1,0 +1,248 @@
+package remoting
+
+import (
+	"fmt"
+	"io"
+	"net"
+
+	"repro/internal/cuda"
+	"repro/internal/gpu"
+	"repro/internal/rpcproto"
+	"repro/internal/sim"
+)
+
+// TCPBackend demonstrates GPU remoting over an actual socket: it accepts
+// framed rpcproto connections and executes the marshalled CUDA calls
+// against a simulated device, returning each call's result together with
+// the virtual time it consumed. One simulated device (and one virtual
+// clock) exists per connection — the session is a self-contained remote
+// GPU.
+type TCPBackend struct {
+	Spec gpu.Spec
+}
+
+// Serve accepts connections until the listener closes.
+func (b *TCPBackend) Serve(lis net.Listener) error {
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			return err
+		}
+		go func() {
+			defer conn.Close()
+			_ = b.ServeConn(conn)
+		}()
+	}
+}
+
+// ServeConn runs one remoting session over rw.
+func (b *TCPBackend) ServeConn(rw io.ReadWriter) error {
+	sess := newTCPSession(b.Spec)
+	for {
+		body, err := rpcproto.ReadFrame(rw)
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		msg, err := rpcproto.Decode(body)
+		if err != nil {
+			return err
+		}
+		call, ok := msg.(*rpcproto.Call)
+		if !ok {
+			return fmt.Errorf("remoting: unexpected message %T", msg)
+		}
+		reply := sess.execute(call)
+		if call.NonBlocking {
+			continue
+		}
+		if err := rpcproto.WriteFrame(rw, rpcproto.EncodeReply(reply)); err != nil {
+			return err
+		}
+		if call.ID == cuda.CallThreadExit {
+			return nil
+		}
+	}
+}
+
+// tcpSession executes calls on a per-connection simulated device.
+type tcpSession struct {
+	k       *sim.Kernel
+	dev     *gpu.Device
+	ctx     *gpu.Context
+	streams map[cuda.StreamID]*gpu.Stream
+	lastOp  map[cuda.StreamID]*sim.Event
+	allocs  map[int64]int64
+	events  map[cuda.EventID]*gpu.Op
+	nextS   cuda.StreamID
+	nextE   cuda.EventID
+	nextP   int64
+}
+
+func newTCPSession(spec gpu.Spec) *tcpSession {
+	k := sim.NewKernel(1)
+	dev := gpu.NewDevice(k, spec, 0)
+	s := &tcpSession{
+		k: k, dev: dev, ctx: dev.NewContext(),
+		streams: make(map[cuda.StreamID]*gpu.Stream),
+		lastOp:  make(map[cuda.StreamID]*sim.Event),
+		allocs:  make(map[int64]int64),
+		events:  make(map[cuda.EventID]*gpu.Op),
+		nextS:   1,
+		nextE:   1,
+	}
+	s.streams[cuda.DefaultStream] = s.ctx.NewStream()
+	return s
+}
+
+// stream resolves a stream id.
+func (s *tcpSession) stream(id cuda.StreamID) (*gpu.Stream, bool) {
+	st, ok := s.streams[id]
+	return st, ok
+}
+
+// submit queues an op and returns its completion event.
+func (s *tcpSession) submit(id cuda.StreamID, op *gpu.Op) (*sim.Event, error) {
+	st, ok := s.stream(id)
+	if !ok {
+		return nil, cuda.ErrInvalidStream
+	}
+	ev := st.Submit(op)
+	s.lastOp[id] = ev
+	return ev, nil
+}
+
+// runUntil drives the session's virtual clock until ev fires.
+func (s *tcpSession) runUntil(ev *sim.Event) {
+	s.k.Go("waiter", func(p *sim.Proc) { p.Wait(ev) })
+	s.k.Run()
+}
+
+// execute performs one call; blocking semantics advance the virtual clock.
+func (s *tcpSession) execute(call *rpcproto.Call) *rpcproto.Reply {
+	reply := &rpcproto.Reply{Seq: call.Seq}
+	switch call.ID {
+	case cuda.CallSetDevice:
+		// The session is the device; nothing to select.
+	case cuda.CallDeviceCount:
+		reply.Count = 1
+	case cuda.CallMalloc:
+		if err := s.dev.Alloc(call.Bytes); err != nil {
+			reply.SetError(cuda.ErrMemoryAllocation)
+			break
+		}
+		s.nextP++
+		s.allocs[s.nextP] = call.Bytes
+		reply.PtrID, reply.PtrSize = s.nextP, call.Bytes
+	case cuda.CallFree:
+		size, ok := s.allocs[call.PtrID]
+		if !ok {
+			reply.SetError(cuda.ErrInvalidPtr)
+			break
+		}
+		delete(s.allocs, call.PtrID)
+		s.dev.Free(size)
+	case cuda.CallMemcpy, cuda.CallMemcpyAsync:
+		kind := gpu.OpH2D
+		if call.Dir == cuda.D2H {
+			kind = gpu.OpD2H
+		}
+		ev, err := s.submit(cuda.StreamID(call.Stream), &gpu.Op{Kind: kind, Bytes: call.Bytes})
+		if err != nil {
+			reply.SetError(err)
+			break
+		}
+		if call.ID == cuda.CallMemcpy {
+			s.runUntil(ev)
+		}
+	case cuda.CallLaunch:
+		_, err := s.submit(cuda.StreamID(call.Stream), &gpu.Op{
+			Kind: gpu.OpKernel, Compute: call.Compute,
+			MemTraffic: call.MemTraffic, Occupancy: call.Occupancy,
+		})
+		reply.SetError(err)
+	case cuda.CallStreamCreate:
+		id := s.nextS
+		s.nextS++
+		s.streams[id] = s.ctx.NewStream()
+		reply.Stream = int32(id)
+	case cuda.CallStreamSync:
+		if ev, ok := s.lastOp[cuda.StreamID(call.Stream)]; ok {
+			s.runUntil(ev)
+		}
+	case cuda.CallStreamDestroy:
+		id := cuda.StreamID(call.Stream)
+		if id == cuda.DefaultStream {
+			reply.SetError(cuda.ErrInvalidValue)
+			break
+		}
+		if _, ok := s.streams[id]; !ok {
+			reply.SetError(cuda.ErrInvalidStream)
+			break
+		}
+		delete(s.streams, id)
+	case cuda.CallEventCreate:
+		id := s.nextE
+		s.nextE++
+		s.events[id] = nil
+		reply.Event = int32(id)
+	case cuda.CallEventRecord:
+		if _, ok := s.events[cuda.EventID(call.Event)]; !ok {
+			reply.SetError(cuda.ErrInvalidEvent)
+			break
+		}
+		op := &gpu.Op{Kind: gpu.OpMarker}
+		if _, err := s.submit(cuda.StreamID(call.Stream), op); err != nil {
+			reply.SetError(err)
+			break
+		}
+		s.events[cuda.EventID(call.Event)] = op
+	case cuda.CallEventSync:
+		op, ok := s.events[cuda.EventID(call.Event)]
+		if !ok || op == nil {
+			reply.SetError(cuda.ErrInvalidEvent)
+			break
+		}
+		if !op.Done.Fired() {
+			s.runUntil(op.Done)
+		}
+	case cuda.CallEventElapsed:
+		a, okA := s.events[cuda.EventID(call.Event)]
+		b, okB := s.events[cuda.EventID(call.Event2)]
+		if !okA || !okB || a == nil || b == nil || !a.Done.Fired() || !b.Done.Fired() {
+			reply.SetError(cuda.ErrInvalidEvent)
+			break
+		}
+		reply.Elapsed = int64(b.Finished - a.Finished)
+	case cuda.CallEventDestroy:
+		if _, ok := s.events[cuda.EventID(call.Event)]; !ok {
+			reply.SetError(cuda.ErrInvalidEvent)
+			break
+		}
+		delete(s.events, cuda.EventID(call.Event))
+	case cuda.CallDeviceSync, cuda.CallThreadExit:
+		for _, ev := range s.lastOp {
+			if !ev.Fired() {
+				s.runUntil(ev)
+			}
+		}
+		if call.ID == cuda.CallThreadExit {
+			for id, size := range s.allocs {
+				delete(s.allocs, id)
+				s.dev.Free(size)
+			}
+			reply.Feedback = &rpcproto.Feedback{
+				AppID:    call.AppID,
+				Kind:     call.KernelName,
+				ExecTime: s.k.Now(),
+				GPUTime:  s.dev.AppService(0),
+				XferTime: s.dev.AppTransferTime(0),
+			}
+		}
+	default:
+		reply.SetError(cuda.ErrNotImplemented)
+	}
+	return reply
+}

@@ -1,0 +1,130 @@
+package remoting
+
+import (
+	"net"
+	"testing"
+
+	"repro/internal/cuda"
+	"repro/internal/gpu"
+	"repro/internal/rpcproto"
+)
+
+// dialSession starts a backend on a pipe and returns the client side.
+func dialSession(t *testing.T) net.Conn {
+	t.Helper()
+	client, server := net.Pipe()
+	b := &TCPBackend{Spec: gpu.TeslaC2050}
+	go func() {
+		defer server.Close()
+		_ = b.ServeConn(server)
+	}()
+	return client
+}
+
+func roundTrip(t *testing.T, conn net.Conn, call *rpcproto.Call) *rpcproto.Reply {
+	t.Helper()
+	if err := rpcproto.WriteFrame(conn, rpcproto.EncodeCall(call)); err != nil {
+		t.Fatal(err)
+	}
+	if call.NonBlocking {
+		return nil
+	}
+	body, err := rpcproto.ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := rpcproto.Decode(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return msg.(*rpcproto.Reply)
+}
+
+func TestTCPBackendSession(t *testing.T) {
+	conn := dialSession(t)
+	defer conn.Close()
+
+	r := roundTrip(t, conn, &rpcproto.Call{ID: cuda.CallSetDevice, Seq: 1, AppID: 7, KernelName: "MC"})
+	if r.Err != "" {
+		t.Fatalf("register: %s", r.Err)
+	}
+	r = roundTrip(t, conn, &rpcproto.Call{ID: cuda.CallDeviceCount, Seq: 2})
+	if r.Count != 1 {
+		t.Fatalf("count = %d", r.Count)
+	}
+	r = roundTrip(t, conn, &rpcproto.Call{ID: cuda.CallMalloc, Seq: 3, Bytes: 1 << 20})
+	if r.Err != "" || r.PtrID == 0 {
+		t.Fatalf("malloc: %+v", r)
+	}
+	ptr := r.PtrID
+	r = roundTrip(t, conn, &rpcproto.Call{
+		ID: cuda.CallMemcpy, Seq: 4, Dir: cuda.H2D, Bytes: 1 << 20, PtrID: ptr, PtrSize: 1 << 20,
+	})
+	if r.Err != "" {
+		t.Fatalf("memcpy: %s", r.Err)
+	}
+	// Non-blocking launch produces no reply.
+	roundTrip(t, conn, &rpcproto.Call{
+		ID: cuda.CallLaunch, Seq: 5, Compute: 1e6, NonBlocking: true,
+	})
+	r = roundTrip(t, conn, &rpcproto.Call{ID: cuda.CallDeviceSync, Seq: 6})
+	if r.Err != "" {
+		t.Fatalf("sync: %s", r.Err)
+	}
+	r = roundTrip(t, conn, &rpcproto.Call{ID: cuda.CallFree, Seq: 7, PtrID: ptr})
+	if r.Err != "" {
+		t.Fatalf("free: %s", r.Err)
+	}
+	r = roundTrip(t, conn, &rpcproto.Call{ID: cuda.CallThreadExit, Seq: 8, AppID: 7, KernelName: "MC"})
+	if r.Err != "" || r.Feedback == nil {
+		t.Fatalf("exit: %+v", r)
+	}
+	if r.Feedback.ExecTime <= 0 {
+		t.Fatalf("feedback exec time %v", r.Feedback.ExecTime)
+	}
+}
+
+func TestTCPBackendErrors(t *testing.T) {
+	conn := dialSession(t)
+	defer conn.Close()
+	r := roundTrip(t, conn, &rpcproto.Call{ID: cuda.CallFree, Seq: 1, PtrID: 99})
+	if r.Err == "" {
+		t.Fatal("free of bogus pointer succeeded")
+	}
+	r = roundTrip(t, conn, &rpcproto.Call{ID: cuda.CallMalloc, Seq: 2, Bytes: 1 << 40})
+	if r.Err == "" {
+		t.Fatal("oversized malloc succeeded")
+	}
+	r = roundTrip(t, conn, &rpcproto.Call{ID: cuda.CallStreamSync, Seq: 3, Stream: 42})
+	if r.Err != "" {
+		t.Fatalf("sync of unknown stream should be a no-op, got %s", r.Err)
+	}
+	r = roundTrip(t, conn, &rpcproto.Call{ID: cuda.CallID(77), Seq: 4})
+	if r.Err == "" {
+		t.Fatal("unknown call succeeded")
+	}
+}
+
+func TestTCPBackendOverRealSocket(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	b := &TCPBackend{Spec: gpu.Quadro2000}
+	go func() { _ = b.Serve(lis) }()
+
+	conn, err := net.Dial("tcp", lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := roundTrip(t, conn, &rpcproto.Call{ID: cuda.CallDeviceCount, Seq: 1})
+	if r.Count != 1 {
+		t.Fatalf("count over TCP = %d", r.Count)
+	}
+	r = roundTrip(t, conn, &rpcproto.Call{ID: cuda.CallThreadExit, Seq: 2})
+	if r.Feedback == nil {
+		t.Fatal("no feedback on exit")
+	}
+}

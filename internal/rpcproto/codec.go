@@ -1,0 +1,255 @@
+package rpcproto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/cuda"
+	"repro/internal/sim"
+)
+
+// Wire format: every message is a frame of
+//
+//	uint32 length | uint8 kind | body
+//
+// with little-endian integers, float64 as IEEE bits, strings as uint16
+// length-prefixed UTF-8 and booleans as single bytes. The body layouts are
+// fixed field orders defined by the encode functions below.
+
+// Frame kinds.
+const (
+	frameCall  = 1
+	frameReply = 2
+)
+
+// ErrCorruptFrame reports an undecodable message.
+var ErrCorruptFrame = errors.New("rpcproto: corrupt frame")
+
+// maxFrame guards against absurd length prefixes from a broken peer.
+const maxFrame = 64 << 20
+
+type wbuf struct{ b []byte }
+
+func (w *wbuf) u8(v uint8)    { w.b = append(w.b, v) }
+func (w *wbuf) u16(v uint16)  { w.b = binary.LittleEndian.AppendUint16(w.b, v) }
+func (w *wbuf) u32(v uint32)  { w.b = binary.LittleEndian.AppendUint32(w.b, v) }
+func (w *wbuf) u64(v uint64)  { w.b = binary.LittleEndian.AppendUint64(w.b, v) }
+func (w *wbuf) i32(v int32)   { w.u32(uint32(v)) }
+func (w *wbuf) i64(v int64)   { w.u64(uint64(v)) }
+func (w *wbuf) f64(v float64) { w.u64(math.Float64bits(v)) }
+func (w *wbuf) boolean(v bool) {
+	if v {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+func (w *wbuf) str(s string) {
+	if len(s) > math.MaxUint16 {
+		s = s[:math.MaxUint16]
+	}
+	w.u16(uint16(len(s)))
+	w.b = append(w.b, s...)
+}
+
+type rbuf struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *rbuf) need(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.b) {
+		r.err = ErrCorruptFrame
+		return nil
+	}
+	s := r.b[r.off : r.off+n]
+	r.off += n
+	return s
+}
+func (r *rbuf) u8() uint8 {
+	s := r.need(1)
+	if s == nil {
+		return 0
+	}
+	return s[0]
+}
+func (r *rbuf) u16() uint16 {
+	s := r.need(2)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(s)
+}
+func (r *rbuf) u32() uint32 {
+	s := r.need(4)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(s)
+}
+func (r *rbuf) u64() uint64 {
+	s := r.need(8)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(s)
+}
+func (r *rbuf) i32() int32    { return int32(r.u32()) }
+func (r *rbuf) i64() int64    { return int64(r.u64()) }
+func (r *rbuf) f64() float64  { return math.Float64frombits(r.u64()) }
+func (r *rbuf) boolean() bool { return r.u8() != 0 }
+func (r *rbuf) str() string {
+	n := int(r.u16())
+	s := r.need(n)
+	if s == nil {
+		return ""
+	}
+	return string(s)
+}
+
+// EncodeCall serializes c into a framed message.
+func EncodeCall(c *Call) []byte {
+	w := &wbuf{b: make([]byte, 4, 96+len(c.KernelName))}
+	w.u8(frameCall)
+	w.u32(uint32(c.ID))
+	w.u64(c.Seq)
+	w.i64(c.AppID)
+	w.i64(c.TenantID)
+	w.i32(c.Weight)
+	w.i32(c.Dev)
+	w.i32(c.Stream)
+	w.u8(uint8(c.Dir))
+	w.i64(c.Bytes)
+	w.i64(c.PtrID)
+	w.i64(c.PtrSize)
+	w.i32(c.PtrDev)
+	w.str(c.KernelName)
+	w.f64(c.Compute)
+	w.f64(c.MemTraffic)
+	w.f64(c.Occupancy)
+	w.boolean(c.NonBlocking)
+	w.i32(c.Event)
+	w.i32(c.Event2)
+	binary.LittleEndian.PutUint32(w.b[:4], uint32(len(w.b)-4))
+	return w.b
+}
+
+// EncodeReply serializes r into a framed message.
+func EncodeReply(r *Reply) []byte {
+	w := &wbuf{b: make([]byte, 4, 96+len(r.Err))}
+	w.u8(frameReply)
+	w.u64(r.Seq)
+	w.str(r.Err)
+	w.i64(r.PtrID)
+	w.i64(r.PtrSize)
+	w.i32(r.PtrDev)
+	w.i32(r.Stream)
+	w.i32(r.Count)
+	w.i32(r.Event)
+	w.i64(r.Elapsed)
+	w.boolean(r.Feedback != nil)
+	if f := r.Feedback; f != nil {
+		w.i64(f.AppID)
+		w.str(f.Kind)
+		w.i32(f.GID)
+		w.i64(int64(f.ExecTime))
+		w.i64(int64(f.GPUTime))
+		w.i64(int64(f.XferTime))
+		w.f64(f.MemBW)
+		w.f64(f.GPUUtil)
+	}
+	binary.LittleEndian.PutUint32(w.b[:4], uint32(len(w.b)-4))
+	return w.b
+}
+
+// Decode parses one framed message (without the length prefix) into a *Call
+// or *Reply.
+func Decode(body []byte) (interface{}, error) {
+	r := &rbuf{b: body}
+	switch kind := r.u8(); kind {
+	case frameCall:
+		c := &Call{}
+		c.ID = cuda.CallID(r.u32())
+		c.Seq = r.u64()
+		c.AppID = r.i64()
+		c.TenantID = r.i64()
+		c.Weight = r.i32()
+		c.Dev = r.i32()
+		c.Stream = r.i32()
+		c.Dir = cuda.Dir(r.u8())
+		c.Bytes = r.i64()
+		c.PtrID = r.i64()
+		c.PtrSize = r.i64()
+		c.PtrDev = r.i32()
+		c.KernelName = r.str()
+		c.Compute = r.f64()
+		c.MemTraffic = r.f64()
+		c.Occupancy = r.f64()
+		c.NonBlocking = r.boolean()
+		c.Event = r.i32()
+		c.Event2 = r.i32()
+		if r.err != nil {
+			return nil, r.err
+		}
+		return c, nil
+	case frameReply:
+		rp := &Reply{}
+		rp.Seq = r.u64()
+		rp.Err = r.str()
+		rp.PtrID = r.i64()
+		rp.PtrSize = r.i64()
+		rp.PtrDev = r.i32()
+		rp.Stream = r.i32()
+		rp.Count = r.i32()
+		rp.Event = r.i32()
+		rp.Elapsed = r.i64()
+		if r.boolean() {
+			f := &Feedback{}
+			f.AppID = r.i64()
+			f.Kind = r.str()
+			f.GID = r.i32()
+			f.ExecTime = sim.Time(r.i64())
+			f.GPUTime = sim.Time(r.i64())
+			f.XferTime = sim.Time(r.i64())
+			f.MemBW = r.f64()
+			f.GPUUtil = r.f64()
+			rp.Feedback = f
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
+		return rp, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown kind %d", ErrCorruptFrame, kind)
+	}
+}
+
+// WriteFrame writes one already-encoded frame to w.
+func WriteFrame(w io.Writer, frame []byte) error {
+	_, err := w.Write(frame)
+	return err
+}
+
+// ReadFrame reads one frame body (without length prefix) from r.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrame {
+		return nil, fmt.Errorf("%w: frame length %d", ErrCorruptFrame, n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}

@@ -1,0 +1,63 @@
+package rpcproto
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode hammers the frame decoder with arbitrary bytes: it must never
+// panic, and whatever it accepts must re-encode to an identical decode
+// (decode/encode/decode is a fixed point).
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{frameCall})
+	f.Add([]byte{frameReply})
+	f.Add(EncodeCall(sampleCall())[4:])
+	f.Add(EncodeReply(&Reply{Seq: 9, Err: "cuda: out of memory"})[4:])
+	f.Add([]byte{frameCall, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		msg, err := Decode(body)
+		if err != nil {
+			return
+		}
+		var reenc []byte
+		switch v := msg.(type) {
+		case *Call:
+			reenc = EncodeCall(v)
+		case *Reply:
+			reenc = EncodeReply(v)
+		default:
+			t.Fatalf("unexpected decode type %T", msg)
+		}
+		again, err := Decode(reenc[4:])
+		if err != nil {
+			t.Fatalf("re-decode of re-encode failed: %v", err)
+		}
+		reenc2 := append([]byte(nil), reenc...)
+		switch v := again.(type) {
+		case *Call:
+			reenc2 = EncodeCall(v)
+		case *Reply:
+			reenc2 = EncodeReply(v)
+		}
+		if !bytes.Equal(reenc, reenc2) {
+			t.Fatal("encode/decode is not a fixed point")
+		}
+	})
+}
+
+// FuzzReadFrame feeds arbitrary byte streams through the framing layer.
+func FuzzReadFrame(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add(EncodeCall(sampleCall()))
+	f.Add([]byte{1, 0, 0, 0, frameCall})
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		body, err := ReadFrame(bytes.NewReader(stream))
+		if err != nil {
+			return
+		}
+		if len(body) == 0 || len(body) > maxFrame {
+			t.Fatalf("accepted frame of %d bytes", len(body))
+		}
+	})
+}

@@ -1,0 +1,142 @@
+// Package rpcproto defines the wire protocol between the Strings frontend
+// (the CUDA interposer library linked into applications) and the backend
+// daemons that own the GPUs: call/reply message types, a compact binary
+// codec, and transports — a virtual-time transport for simulation and a real
+// framed-TCP transport demonstrating GPU remoting over an actual socket.
+package rpcproto
+
+import (
+	"fmt"
+
+	"repro/internal/cuda"
+	"repro/internal/sim"
+)
+
+// Call is a marshalled CUDA runtime API invocation (the paper's "RPC packet"
+// of Figure 3: call id + parameters).
+type Call struct {
+	ID  cuda.CallID
+	Seq uint64
+
+	// Application identity, carried on registration-relevant calls.
+	AppID    int64
+	TenantID int64
+	Weight   int32
+
+	// Target device: a gPool-global GID after the affinity mapper has
+	// resolved the application's cudaSetDevice, a local ordinal at the
+	// backend.
+	Dev int32
+
+	// Stream-addressed calls.
+	Stream int32
+
+	// Event-addressed calls (CallEvent*): Event is the handle, Event2 the
+	// second handle of cudaEventElapsedTime.
+	Event  int32
+	Event2 int32
+
+	// Memory operations.
+	Dir     cuda.Dir
+	Bytes   int64
+	PtrID   int64
+	PtrSize int64
+	PtrDev  int32
+
+	// Kernel launches.
+	KernelName string
+	Compute    float64
+	MemTraffic float64
+	Occupancy  float64
+
+	// NonBlocking marks RPCs the interposer issues asynchronously (calls
+	// without output parameters, per the paper's asynchrony optimization).
+	NonBlocking bool
+}
+
+// Reply is the backend's response to a Call.
+type Reply struct {
+	Seq uint64
+
+	// Err is the CUDA error string; empty means success.
+	Err string
+
+	// Outputs.
+	PtrID   int64
+	PtrSize int64
+	PtrDev  int32
+	Stream  int32
+	Count   int32
+	Event   int32
+	Elapsed int64 // microseconds (cudaEventElapsedTime)
+
+	// Feedback is piggybacked on the cudaThreadExit reply (the paper's
+	// Feedback Engine path to the Scheduler Feedback Table).
+	Feedback *Feedback
+}
+
+// Feedback carries the Request Monitor's per-application characteristics
+// from a device-level scheduler to the GPU Affinity Mapper.
+type Feedback struct {
+	AppID    int64
+	Kind     string   // application class name (SFT key)
+	GID      int32    // device the application ran on
+	ExecTime sim.Time // wall time from registration to exit
+	GPUTime  sim.Time // attained GPU service
+	XferTime sim.Time // time on the copy engines
+	MemBW    float64  // bytes/us of device-memory traffic while on GPU
+	GPUUtil  float64  // GPUTime / ExecTime
+}
+
+// Err converts a Reply error string back into an error, mapping the
+// well-known CUDA error strings onto the cuda package's sentinel errors so
+// errors.Is works across the RPC boundary.
+func (r *Reply) AsError() error {
+	if r.Err == "" {
+		return nil
+	}
+	for _, e := range []error{
+		cuda.ErrInvalidDevice, cuda.ErrMemoryAllocation, cuda.ErrInvalidValue,
+		cuda.ErrInvalidPtr, cuda.ErrInvalidStream, cuda.ErrThreadExited,
+		cuda.ErrNotImplemented, cuda.ErrBackendUnreachable,
+	} {
+		if r.Err == e.Error() {
+			return e
+		}
+	}
+	return fmt.Errorf("rpc: %s", r.Err)
+}
+
+// SetError stores err in the reply.
+func (r *Reply) SetError(err error) {
+	if err == nil {
+		r.Err = ""
+		return
+	}
+	r.Err = err.Error()
+}
+
+// PayloadBytes returns the bulk data size a call ships over the wire beyond
+// the header: H2D copies carry the host buffer with the request.
+func (c *Call) PayloadBytes() int64 {
+	if c.ID == cuda.CallMemcpy || c.ID == cuda.CallMemcpyAsync {
+		if c.Dir == cuda.H2D {
+			return c.Bytes
+		}
+	}
+	return 0
+}
+
+// ReplyPayloadBytes returns the bulk data size the reply to c carries back:
+// D2H copies return the device buffer with the response.
+func (c *Call) ReplyPayloadBytes() int64 {
+	if c.ID == cuda.CallMemcpy && c.Dir == cuda.D2H {
+		return c.Bytes
+	}
+	return 0
+}
+
+// String renders the call for traces.
+func (c *Call) String() string {
+	return fmt.Sprintf("%v{seq=%d app=%d dev=%d stream=%d}", c.ID, c.Seq, c.AppID, c.Dev, c.Stream)
+}

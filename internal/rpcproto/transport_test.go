@@ -1,0 +1,143 @@
+package rpcproto
+
+import (
+	"testing"
+
+	"repro/internal/cuda"
+	"repro/internal/sim"
+)
+
+func TestConnDeliversInOrderWithLatency(t *testing.T) {
+	k := sim.NewKernel(1)
+	conn := NewConn(k, LinkSpec{Latency: 10}) // no bandwidth cost
+	var got []uint64
+	var times []sim.Time
+	k.Go("backend", func(p *sim.Proc) {
+		b := conn.B()
+		for i := 0; i < 3; i++ {
+			m := b.Recv(p).(*Call)
+			got = append(got, m.Seq)
+			times = append(times, p.Now())
+		}
+	})
+	k.Go("frontend", func(p *sim.Proc) {
+		a := conn.A()
+		for i := 0; i < 3; i++ {
+			a.Send(p, &Call{ID: cuda.CallLaunch, Seq: uint64(i)}, 0)
+			p.Sleep(1)
+		}
+	})
+	k.Run()
+	for i, s := range got {
+		if s != uint64(i) {
+			t.Fatalf("order = %v", got)
+		}
+	}
+	if times[0] != 10 {
+		t.Fatalf("first delivery at %v, want 10us", times[0])
+	}
+}
+
+func TestConnBandwidthChargesSender(t *testing.T) {
+	k := sim.NewKernel(1)
+	conn := NewConn(k, LinkSpec{Latency: 0, Bandwidth: 100})
+	var sendCost sim.Time
+	k.Go("frontend", func(p *sim.Proc) {
+		a := conn.A()
+		t0 := p.Now()
+		// 10000-byte payload at 100 B/us ≈ 100us + header.
+		a.Send(p, &Call{ID: cuda.CallMemcpy, Dir: cuda.H2D, Bytes: 10000}, 10000)
+		sendCost = p.Now() - t0
+	})
+	k.Go("backend", func(p *sim.Proc) {
+		conn.B().Recv(p)
+	})
+	k.Run()
+	if sendCost < 100 || sendCost > 105 {
+		t.Fatalf("send cost = %v, want ~100us", sendCost)
+	}
+}
+
+func TestConnBidirectional(t *testing.T) {
+	k := sim.NewKernel(1)
+	conn := NewConn(k, SharedMemLink)
+	var reply *Reply
+	k.Go("backend", func(p *sim.Proc) {
+		b := conn.B()
+		c := b.Recv(p).(*Call)
+		b.Send(p, &Reply{Seq: c.Seq, Count: 4}, 0)
+	})
+	k.Go("frontend", func(p *sim.Proc) {
+		a := conn.A()
+		a.Send(p, &Call{ID: cuda.CallDeviceCount, Seq: 9}, 0)
+		reply = a.Recv(p).(*Reply)
+	})
+	k.Run()
+	if reply == nil || reply.Seq != 9 || reply.Count != 4 {
+		t.Fatalf("reply = %+v", reply)
+	}
+}
+
+func TestTryRecvAndInboxLen(t *testing.T) {
+	k := sim.NewKernel(1)
+	conn := NewConn(k, LinkSpec{})
+	k.Go("frontend", func(p *sim.Proc) {
+		a := conn.A()
+		if _, ok := a.TryRecv(); ok {
+			t.Error("TryRecv on empty inbox succeeded")
+		}
+		a.Send(p, &Call{Seq: 1}, 0)
+		a.Send(p, &Call{Seq: 2}, 0)
+		p.Yield() // let timer deliveries land
+		b := conn.B()
+		if b.InboxLen() != 2 {
+			t.Errorf("InboxLen = %d, want 2", b.InboxLen())
+		}
+		if m, ok := b.TryRecv(); !ok || m.(*Call).Seq != 1 {
+			t.Errorf("TryRecv = %v, %v", m, ok)
+		}
+	})
+	k.Run()
+}
+
+func TestLinkTransferTime(t *testing.T) {
+	l := LinkSpec{Bandwidth: 125}
+	if got := l.TransferTime(125000); got != 1000 {
+		t.Fatalf("TransferTime = %v, want 1000us", got)
+	}
+	if got := (LinkSpec{}).TransferTime(1 << 30); got != 0 {
+		t.Fatalf("infinite bandwidth TransferTime = %v, want 0", got)
+	}
+	if got := l.TransferTime(0); got != 0 {
+		t.Fatalf("zero size TransferTime = %v", got)
+	}
+}
+
+func TestGigESlowerThanShm(t *testing.T) {
+	run := func(link LinkSpec) sim.Time {
+		k := sim.NewKernel(1)
+		conn := NewConn(k, link)
+		var done sim.Time
+		k.Go("backend", func(p *sim.Proc) {
+			b := conn.B()
+			c := b.Recv(p).(*Call)
+			b.Send(p, &Reply{Seq: c.Seq}, 0)
+		})
+		k.Go("frontend", func(p *sim.Proc) {
+			a := conn.A()
+			a.Send(p, &Call{ID: cuda.CallMemcpy, Dir: cuda.H2D, Bytes: 1 << 20}, 1<<20)
+			a.Recv(p)
+			done = p.Now()
+		})
+		k.Run()
+		return done
+	}
+	shm, gige := run(SharedMemLink), run(GigELink)
+	if gige <= shm {
+		t.Fatalf("GigE RTT %v not slower than shm RTT %v", gige, shm)
+	}
+	// 1 MiB at 125 B/us ≈ 8.4ms of wire time.
+	if gige < 8*sim.Millisecond {
+		t.Fatalf("GigE 1MiB copy cost %v, want >= 8ms", gige)
+	}
+}

@@ -1,0 +1,74 @@
+package sim
+
+// Event is a one-shot latch. Processes that Wait on it park until Fire is
+// called; once fired, all subsequent waits return immediately. Events are the
+// completion tokens of the simulation (an op finished, a request completed).
+type Event struct {
+	k       *Kernel
+	fired   bool
+	waiters []*Proc
+}
+
+// NewEvent returns an unfired event bound to k.
+func (k *Kernel) NewEvent() *Event { return &Event{k: k} }
+
+// Fired reports whether the event has fired.
+func (e *Event) Fired() bool { return e.fired }
+
+// Fire latches the event and wakes every waiter at the current virtual
+// instant (in wait order). Firing an already fired event is a no-op.
+func (e *Event) Fire() {
+	if e.fired {
+		return
+	}
+	e.fired = true
+	for _, p := range e.waiters {
+		e.k.schedule(p, e.k.now, wakeEvent)
+	}
+	e.waiters = nil
+}
+
+// Signal is a repeatable notification: each Notify wakes the processes
+// currently waiting (in wait order) and leaves the signal ready for new
+// waiters. It is the building block for condition-variable-style coordination
+// such as the Dispatcher waking backend threads.
+type Signal struct {
+	k       *Kernel
+	waiters []*Proc
+}
+
+// NewSignal returns a signal bound to k.
+func (k *Kernel) NewSignal() *Signal { return &Signal{k: k} }
+
+// Notify wakes every process currently waiting on s.
+func (s *Signal) Notify() {
+	for _, p := range s.waiters {
+		s.k.schedule(p, s.k.now, wakeEvent)
+	}
+	s.waiters = nil
+}
+
+// NotifyOne wakes the longest-waiting process, if any, and reports whether a
+// process was woken.
+func (s *Signal) NotifyOne() bool {
+	if len(s.waiters) == 0 {
+		return false
+	}
+	p := s.waiters[0]
+	s.waiters = s.waiters[1:]
+	s.k.schedule(p, s.k.now, wakeEvent)
+	return true
+}
+
+// Waiting returns the number of processes parked on s.
+func (s *Signal) Waiting() int { return len(s.waiters) }
+
+// drop removes p from the waiter list (used when a timed wait times out).
+func (s *Signal) drop(p *Proc) {
+	for i, w := range s.waiters {
+		if w == p {
+			s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Kernel is a deterministic discrete-event executor. Processes created with
+// Go run as goroutines, but the kernel enforces that exactly one process
+// executes at any instant; every blocking operation hands control back to the
+// kernel, which advances the virtual clock to the next scheduled activation.
+//
+// A Kernel is not safe for use from goroutines other than its own processes.
+type Kernel struct {
+	now     Time
+	seq     uint64
+	queue   activationHeap
+	yielded chan struct{} // signalled by the running process when it parks
+	running *Proc
+	procs   map[*Proc]struct{}
+	nextID  int
+	rng     *rand.Rand
+	tracer  func(t Time, proc, msg string)
+	stopped bool
+	timers  *timers
+}
+
+// activation is a pending wakeup of a process at a virtual instant. The epoch
+// ties the activation to one park of the process: once the process has been
+// woken (by any activation), activations from the same park become stale and
+// are discarded when popped.
+type activation struct {
+	at    Time
+	seq   uint64
+	proc  *Proc
+	epoch uint64
+	tag   int
+}
+
+type activationHeap []activation
+
+func (h activationHeap) Len() int { return len(h) }
+func (h activationHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h activationHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *activationHeap) Push(x interface{}) { *h = append(*h, x.(activation)) }
+func (h *activationHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// NewKernel returns a kernel whose clock starts at zero. The seed fixes the
+// kernel's random stream (exposed via Rand) so that runs are reproducible.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{
+		yielded: make(chan struct{}),
+		procs:   make(map[*Proc]struct{}),
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Rand returns the kernel's deterministic random stream.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// SetTracer installs a trace callback invoked by Proc.Tracef. A nil tracer
+// disables tracing.
+func (k *Kernel) SetTracer(fn func(t Time, proc, msg string)) { k.tracer = fn }
+
+// Stop makes Run return after the currently executing process parks. Pending
+// activations are retained (a subsequent Run call would resume them).
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Go creates a new process named name executing fn and schedules its first
+// activation at the current virtual time. It may be called before Run or from
+// inside a running process.
+func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
+	k.nextID++
+	p := &Proc{
+		k:      k,
+		id:     k.nextID,
+		name:   name,
+		resume: make(chan struct{}),
+	}
+	k.procs[p] = struct{}{}
+	go func() {
+		<-p.resume
+		p.epoch++
+		fn(p)
+		p.done = true
+		delete(k.procs, p)
+		k.yielded <- struct{}{}
+	}()
+	k.schedule(p, k.now, wakeStart)
+	return p
+}
+
+// Wake tags distinguishing what woke a parked process.
+const (
+	wakeStart = iota
+	wakeTimer
+	wakeEvent
+)
+
+// schedule enqueues a wakeup of p at time at (which must be >= now).
+func (k *Kernel) schedule(p *Proc, at Time, tag int) {
+	if at < k.now {
+		panic(fmt.Sprintf("sim: scheduling %q in the past: %v < %v", p.name, at, k.now))
+	}
+	k.seq++
+	heap.Push(&k.queue, activation{at: at, seq: k.seq, proc: p, epoch: p.epoch, tag: tag})
+	p.pending++
+}
+
+// Run executes activations until none remain or Stop is called. It returns
+// the number of activations dispatched.
+func (k *Kernel) Run() int {
+	return k.RunUntil(Time(1<<62 - 1))
+}
+
+// RunUntil executes activations with time <= limit. The clock never advances
+// past the last dispatched activation; if the queue's head is beyond limit,
+// the clock is set to limit and RunUntil returns. If processes remain blocked
+// with no pending activation when the queue drains (a deadlock from the
+// model's point of view) they are left parked; Blocked reports them.
+func (k *Kernel) RunUntil(limit Time) int {
+	k.stopped = false
+	n := 0
+	for len(k.queue) > 0 && !k.stopped {
+		a := k.queue[0]
+		if a.at > limit {
+			if k.now < limit {
+				k.now = limit
+			}
+			return n
+		}
+		heap.Pop(&k.queue)
+		a.proc.pending--
+		if a.proc.done || a.epoch != a.proc.epoch {
+			continue // stale wakeup from an earlier park
+		}
+		k.now = a.at
+		a.proc.wakeTag = a.tag
+		k.dispatch(a.proc)
+		n++
+	}
+	return n
+}
+
+// dispatch resumes p and waits for it to park again.
+func (k *Kernel) dispatch(p *Proc) {
+	k.running = p
+	p.resume <- struct{}{}
+	<-k.yielded
+	k.running = nil
+}
+
+// Blocked returns the names of processes that are alive but have no pending
+// activation — i.e. processes waiting on events that can no longer fire.
+// Useful in tests to assert clean termination.
+func (k *Kernel) Blocked() []string {
+	var names []string
+	for p := range k.procs {
+		if !p.done && p.pending == 0 && p.parked {
+			names = append(names, p.name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ProcCount returns the number of live processes.
+func (k *Kernel) ProcCount() int { return len(k.procs) }

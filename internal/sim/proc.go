@@ -1,0 +1,103 @@
+package sim
+
+import "fmt"
+
+// Proc is a simulated process: a goroutine cooperatively scheduled by a
+// Kernel. All Proc methods must be called from the process's own function;
+// they are the points at which the process can block and virtual time can
+// advance.
+type Proc struct {
+	k       *Kernel
+	id      int
+	name    string
+	resume  chan struct{}
+	epoch   uint64 // incremented on every wakeup; see activation.epoch
+	pending int    // number of queued activations
+	parked  bool
+	done    bool
+	wakeTag int
+}
+
+// Name returns the process name given to Kernel.Go.
+func (p *Proc) Name() string { return p.name }
+
+// ID returns the process's unique small-integer id (creation order).
+func (p *Proc) ID() int { return p.id }
+
+// Kernel returns the kernel running this process.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// park hands control back to the kernel and blocks until the next wakeup.
+func (p *Proc) park() {
+	p.parked = true
+	p.k.yielded <- struct{}{}
+	<-p.resume
+	p.parked = false
+	p.epoch++
+}
+
+// Sleep blocks the process for d units of virtual time. Nonpositive
+// durations yield the processor for the current instant (other activations
+// at the same time run first).
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	p.k.schedule(p, p.k.now+d, wakeTimer)
+	p.park()
+}
+
+// Yield reschedules the process at the current instant, letting every other
+// activation pending at this time run first.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Wait blocks until e fires. If e has already fired it returns immediately.
+func (p *Proc) Wait(e *Event) {
+	if e.fired {
+		return
+	}
+	e.waiters = append(e.waiters, p)
+	p.park()
+}
+
+// WaitTimeout blocks until e fires or d elapses, whichever comes first. It
+// reports whether the event fired (true) or the timeout won (false). If e has
+// already fired it returns true immediately.
+func (p *Proc) WaitTimeout(e *Event, d Time) bool {
+	if e.fired {
+		return true
+	}
+	e.waiters = append(e.waiters, p)
+	p.k.schedule(p, p.k.now+d, wakeTimer)
+	p.park()
+	return p.wakeTag == wakeEvent
+}
+
+// WaitSignal blocks until s is next notified.
+func (p *Proc) WaitSignal(s *Signal) {
+	s.waiters = append(s.waiters, p)
+	p.park()
+}
+
+// WaitSignalTimeout blocks until s is notified or d elapses; it reports
+// whether the signal arrived.
+func (p *Proc) WaitSignalTimeout(s *Signal, d Time) bool {
+	s.waiters = append(s.waiters, p)
+	p.k.schedule(p, p.k.now+d, wakeTimer)
+	p.park()
+	if p.wakeTag != wakeEvent {
+		s.drop(p)
+		return false
+	}
+	return true
+}
+
+// Tracef emits a trace line through the kernel's tracer, if one is installed.
+func (p *Proc) Tracef(format string, args ...interface{}) {
+	if p.k.tracer != nil {
+		p.k.tracer(p.k.now, p.name, fmt.Sprintf(format, args...))
+	}
+}

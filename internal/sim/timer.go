@@ -1,0 +1,82 @@
+package sim
+
+import "container/heap"
+
+// timerEntry is a deferred callback.
+type timerEntry struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type timerHeap []timerEntry
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x interface{}) { *h = append(*h, x.(timerEntry)) }
+func (h *timerHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// timers is the kernel's deferred-callback facility, backed by one lazily
+// started process.
+type timers struct {
+	heap    timerHeap
+	seq     uint64
+	kick    *Signal
+	kicked  bool
+	started bool
+}
+
+// After schedules fn to run at now+d in the context of the kernel's timer
+// process. Callbacks must not block (they may Put into queues, fire events,
+// notify signals — anything non-parking). Callbacks at the same instant run
+// in registration order.
+func (k *Kernel) After(d Time, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	if k.timers == nil {
+		k.timers = &timers{kick: k.NewSignal()}
+	}
+	t := k.timers
+	t.seq++
+	heap.Push(&t.heap, timerEntry{at: k.now + d, seq: t.seq, fn: fn})
+	if !t.started {
+		t.started = true
+		k.Go("sim-timers", k.runTimers)
+		return
+	}
+	t.kicked = true
+	t.kick.Notify()
+}
+
+// runTimers delivers deferred callbacks in time order.
+func (k *Kernel) runTimers(p *Proc) {
+	t := k.timers
+	for {
+		for len(t.heap) > 0 && t.heap[0].at <= p.Now() {
+			e := heap.Pop(&t.heap).(timerEntry)
+			e.fn()
+		}
+		if t.kicked {
+			t.kicked = false
+			continue
+		}
+		if len(t.heap) == 0 {
+			p.WaitSignal(t.kick)
+			continue
+		}
+		p.WaitSignalTimeout(t.kick, t.heap[0].at-p.Now())
+	}
+}

@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestAfterFiresAtTime(t *testing.T) {
+	k := NewKernel(1)
+	var fired Time = -1
+	k.Go("setup", func(p *Proc) {
+		k.After(40, func() { fired = k.Now() })
+	})
+	k.Run()
+	if fired != 40 {
+		t.Fatalf("callback at %v, want 40us", fired)
+	}
+}
+
+func TestAfterOrderingSameInstant(t *testing.T) {
+	k := NewKernel(1)
+	var order []int
+	k.Go("setup", func(p *Proc) {
+		k.After(10, func() { order = append(order, 1) })
+		k.After(10, func() { order = append(order, 2) })
+		k.After(5, func() { order = append(order, 0) })
+	})
+	k.Run()
+	if !reflect.DeepEqual(order, []int{0, 1, 2}) {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestAfterNegativeDelayRunsNow(t *testing.T) {
+	k := NewKernel(1)
+	var fired Time = -1
+	k.Go("setup", func(p *Proc) {
+		p.Sleep(7)
+		k.After(-5, func() { fired = k.Now() })
+	})
+	k.Run()
+	if fired != 7 {
+		t.Fatalf("callback at %v, want 7us", fired)
+	}
+}
+
+func TestAfterFromCallback(t *testing.T) {
+	k := NewKernel(1)
+	var times []Time
+	k.Go("setup", func(p *Proc) {
+		k.After(10, func() {
+			times = append(times, k.Now())
+			k.After(10, func() { times = append(times, k.Now()) })
+		})
+	})
+	k.Run()
+	if !reflect.DeepEqual(times, []Time{10, 20}) {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func TestAfterInterleavedWithInsertions(t *testing.T) {
+	// A later-inserted earlier timer must still fire first.
+	k := NewKernel(1)
+	var order []string
+	k.Go("setup", func(p *Proc) {
+		k.After(100, func() { order = append(order, "late") })
+		p.Sleep(1)
+		k.After(10, func() { order = append(order, "early") })
+	})
+	k.Run()
+	if !reflect.DeepEqual(order, []string{"early", "late"}) {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestAfterIntoQueueWakesConsumer(t *testing.T) {
+	k := NewKernel(1)
+	q := NewQueue[int](k)
+	var got int
+	var at Time
+	k.Go("cons", func(p *Proc) {
+		got = q.Get(p)
+		at = p.Now()
+	})
+	k.Go("prod", func(p *Proc) {
+		k.After(33, func() { q.Put(9) })
+	})
+	k.Run()
+	if got != 9 || at != 33 {
+		t.Fatalf("got %d at %v, want 9 at 33us", got, at)
+	}
+}

@@ -1,0 +1,181 @@
+// Package stringsched is the public API of the Strings reproduction: a
+// deterministic, simulation-backed implementation of "Scheduling
+// Multi-tenant Cloud Workloads on Accelerator-based Systems" (SC'14).
+//
+// The package exposes three layers:
+//
+//   - Cluster construction and execution (NewCluster, Cluster.Run): build a
+//     multi-node GPU server, pick a runtime (bare CUDA, Rain, or Strings),
+//     a workload-balancing policy and a device-level scheduling policy, and
+//     drive request streams through it on a virtual clock.
+//
+//   - Workloads (Benchmarks, Profile, StreamSpec): the paper's Table I
+//     applications, calibrated against the Tesla C2050 reference device,
+//     plus the SPECpower-style negative-exponential arrival model.
+//
+//   - Experiments (NewSuite and the Fig*/TableI/Ablation* methods):
+//     regenerate every table and figure of the paper's evaluation.
+//
+// Everything runs in virtual time: experiments spanning tens of simulated
+// minutes complete in milliseconds, and identical seeds give bit-identical
+// results.
+package stringsched
+
+import (
+	"repro/internal/balancer"
+	"repro/internal/core"
+	"repro/internal/devsched"
+	"repro/internal/experiments"
+	"repro/internal/gpu"
+	"repro/internal/metrics"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Re-exported core types: cluster construction and execution.
+type (
+	// Config describes a deployment: nodes, runtime mode and policies.
+	Config = core.Config
+	// NodeConfig lists one node's GPUs.
+	NodeConfig = core.NodeConfig
+	// Mode selects the runtime serving GPU work.
+	Mode = core.Mode
+	// Cluster is a wired deployment ready to run request streams.
+	Cluster = core.Cluster
+	// RunResult aggregates an experiment run.
+	RunResult = core.RunResult
+	// DeviceSpec describes a GPU's capabilities.
+	DeviceSpec = gpu.Spec
+)
+
+// Runtime modes.
+const (
+	// ModeCUDA is static provisioning on the bare CUDA runtime.
+	ModeCUDA = core.ModeCUDA
+	// ModeRain is the authors' prior scheduler (one backend process per
+	// application).
+	ModeRain = core.ModeRain
+	// ModeStrings is the paper's system (context packing + two-level
+	// scheduling).
+	ModeStrings = core.ModeStrings
+)
+
+// The paper's testbed devices.
+var (
+	Quadro2000 = gpu.Quadro2000
+	Quadro4000 = gpu.Quadro4000
+	TeslaC2050 = gpu.TeslaC2050
+	TeslaC2070 = gpu.TeslaC2070
+)
+
+// NewCluster builds a cluster from cfg.
+func NewCluster(cfg Config) (*Cluster, error) { return core.New(cfg) }
+
+// GID is a gPool-global GPU identifier.
+type GID = balancer.GID
+
+// Workload types.
+type (
+	// Kind identifies a Table I benchmark.
+	Kind = workload.Kind
+	// Profile is a calibrated application execution plan.
+	Profile = workload.Profile
+	// StreamSpec describes one stream of end-user requests.
+	StreamSpec = workload.StreamSpec
+	// Pair is one of the paper's 24 Group A × Group B mixes.
+	Pair = workload.Pair
+)
+
+// Table I benchmarks.
+const (
+	DXTC            = workload.DXTC
+	Scan            = workload.Scan
+	BinomialOptions = workload.BinomialOptions
+	MatrixMultiply  = workload.MatrixMultiply
+	Histogram       = workload.Histogram
+	Eigenvalues     = workload.Eigenvalues
+	BlackScholes    = workload.BlackScholes
+	MonteCarlo      = workload.MonteCarlo
+	Gaussian        = workload.Gaussian
+	SortingNetworks = workload.SortingNetworks
+)
+
+// Pairs returns the 24 workload pairs A..X.
+func Pairs() []Pair { return workload.Pairs() }
+
+// Style selects how an application issues its GPU work.
+type Style = workload.Style
+
+// Application styles: the CUDA-SDK synchronous default, and a hand-tuned
+// double-buffered pipeline over explicit streams.
+const (
+	StyleSync        = workload.StyleSync
+	StylePipelined   = workload.StylePipelined
+	StyleMultiThread = workload.StyleMultiThread
+)
+
+// ProfileFor returns the calibrated profile of a benchmark.
+func ProfileFor(k Kind) Profile { return workload.ProfileFor(k) }
+
+// BalancingPolicies lists the workload-balancing policy names accepted by
+// Config.Balance, in the paper's order.
+func BalancingPolicies() []string { return balancer.Names() }
+
+// DevicePolicies lists the device-level scheduling policy names accepted by
+// Config.DevPolicy.
+func DevicePolicies() []string { return []string{"none", "TFS", "LAS", "PS"} }
+
+// Time is virtual time in microseconds.
+type Time = sim.Time
+
+// Time units.
+const (
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Metrics.
+
+// WeightedSpeedup is the paper's equation (2).
+func WeightedSpeedup(alone, shared []Time) float64 {
+	return metrics.WeightedSpeedup(alone, shared)
+}
+
+// JainFairness is the paper's equation (3).
+func JainFairness(x []float64) float64 { return metrics.JainFairness(x) }
+
+// Table is a printable figure: labels × named series.
+type Table = metrics.Table
+
+// Experiments.
+type (
+	// Suite regenerates the paper's tables and figures.
+	Suite = experiments.Suite
+	// SuiteOptions scales the experiment suite.
+	SuiteOptions = experiments.Options
+	// Fig2Result carries Figure 2's utilization timelines.
+	Fig2Result = experiments.Fig2Result
+)
+
+// NewSuite creates an experiment suite.
+func NewSuite(opt SuiteOptions) *Suite { return experiments.NewSuite(opt) }
+
+// SchedulerConfig tunes the device-level scheduler.
+type SchedulerConfig = devsched.Config
+
+// Reporting.
+
+// ReportPage assembles tables and text blocks into a standalone HTML report
+// with inline SVG charts.
+type ReportPage = report.Page
+
+// NewReportPage creates an HTML report page.
+func NewReportPage(title string) *ReportPage { return report.NewPage(title) }
+
+// BarChartSVG renders a table as a grouped-bar SVG fragment.
+func BarChartSVG(t *Table) string { return report.BarChart(t, report.ChartOptions{}) }
+
+// RequestEvent is one row of a run's request log.
+type RequestEvent = core.RequestEvent

@@ -1,0 +1,73 @@
+package stringsched_test
+
+import (
+	"testing"
+
+	"repro/stringsched"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	cfg := stringsched.Config{
+		Seed: 1,
+		Nodes: []stringsched.NodeConfig{
+			{Devices: []stringsched.DeviceSpec{stringsched.Quadro2000, stringsched.TeslaC2050}},
+		},
+		Mode:      stringsched.ModeStrings,
+		Balance:   "GMin",
+		DevPolicy: "PS",
+	}
+	c, err := stringsched.NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.Run([]stringsched.StreamSpec{{
+		Kind: stringsched.Gaussian, Count: 4, LambdaFactor: 0.6,
+		Node: 0, Tenant: 1, Weight: 1,
+	}})
+	if err != nil || len(r.Errors) > 0 {
+		t.Fatalf("run: %v %v", err, r.Errors)
+	}
+	if r.Finished != 4 {
+		t.Fatalf("finished = %d", r.Finished)
+	}
+}
+
+func TestFacadePolicyLists(t *testing.T) {
+	if len(stringsched.BalancingPolicies()) != 7 {
+		t.Fatalf("balancing policies = %v", stringsched.BalancingPolicies())
+	}
+	if len(stringsched.DevicePolicies()) != 4 {
+		t.Fatalf("device policies = %v", stringsched.DevicePolicies())
+	}
+	if len(stringsched.Pairs()) != 24 {
+		t.Fatal("pairs != 24")
+	}
+}
+
+func TestFacadeMetrics(t *testing.T) {
+	if ws := stringsched.WeightedSpeedup(
+		[]stringsched.Time{100}, []stringsched.Time{50}); ws != 2 {
+		t.Fatalf("WeightedSpeedup = %v", ws)
+	}
+	if f := stringsched.JainFairness([]float64{1, 1}); f != 1 {
+		t.Fatalf("JainFairness = %v", f)
+	}
+}
+
+func TestFacadeProfile(t *testing.T) {
+	p := stringsched.ProfileFor(stringsched.MonteCarlo)
+	if p.Short != "MC" || p.SoloRuntime <= 0 {
+		t.Fatalf("profile = %+v", p.Spec)
+	}
+}
+
+func TestFacadeSuite(t *testing.T) {
+	s := stringsched.NewSuite(stringsched.SuiteOptions{
+		Seed: 1, Requests: 4,
+		Apps: []stringsched.Kind{stringsched.Gaussian},
+	})
+	tab := s.TableI()
+	if tab.Row("GPU Time %") == nil {
+		t.Fatal("TableI missing rows")
+	}
+}
