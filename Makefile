@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: build test race vet bench-smoke bench bench-json
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The parallel-workers determinism test is the suite's only test that runs
+# many simulations concurrently; under -race it exercises the kernel's
+# goroutine handoffs across every worker.
+race:
+	$(GO) test -race -run TestParallelWorkers ./internal/experiments/
+
+vet:
+	$(GO) vet ./...
+
+# One iteration of every micro-benchmark: proves they still compile and run
+# without paying full benchmark time. The codec benchmarks must report
+# 0 allocs/op at any -benchtime.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkKernelDispatch|BenchmarkQueuePingPong|BenchmarkCodecRoundTrip' -benchtime=1x .
+	$(GO) test -run '^$$' -bench . -benchtime=1x ./internal/rpcproto/
+
+# Full micro-benchmark pass with allocation counts.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput|BenchmarkKernelDispatch|BenchmarkQueuePingPong|BenchmarkCodecRoundTrip' -benchmem .
+
+# Regenerate BENCH_simcore.json (simulator throughput snapshot).
+bench-json:
+	$(GO) run ./cmd/strings-bench -bench-json BENCH_simcore.json

@@ -10,6 +10,8 @@ package repro
 import (
 	"testing"
 
+	"repro/internal/rpcproto"
+	"repro/internal/sim"
 	"repro/stringsched"
 )
 
@@ -206,5 +208,103 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 			b.Fatalf("%v %v", err, r.Errors)
 		}
 		b.ReportMetric(r.EndTime.Seconds(), "virtual_s/op")
+	}
+}
+
+// BenchmarkKernelDispatch measures raw event-loop overhead: 64 processes on
+// staggered sleep cadences, so every dispatch goes through the future heap
+// and a real park/resume handoff. Reports ns/event.
+func BenchmarkKernelDispatch(b *testing.B) {
+	const procs = 64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := sim.NewKernel(1)
+		for p := 0; p < procs; p++ {
+			period := sim.Time(1 + p%7)
+			k.Go("p", func(pr *sim.Proc) {
+				for t := 0; t < 256; t++ {
+					pr.Sleep(period)
+				}
+			})
+		}
+		k.Run()
+		if i == 0 {
+			b.ReportMetric(float64(k.Dispatched()), "events/op")
+		}
+	}
+}
+
+// BenchmarkQueuePingPong measures the baton-passing handoff through
+// sim.Queue: a producer and a consumer alternating through a pair of
+// depth-one queues, the pattern behind every interposer→scheduler exchange.
+func BenchmarkQueuePingPong(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := sim.NewKernel(1)
+		ping := sim.NewQueue[int](k)
+		pong := sim.NewQueue[int](k)
+		const rounds = 4096
+		k.Go("ping", func(p *sim.Proc) {
+			for r := 0; r < rounds; r++ {
+				ping.Put(r)
+				pong.Get(p)
+			}
+		})
+		k.Go("pong", func(p *sim.Proc) {
+			for r := 0; r < rounds; r++ {
+				v := ping.Get(p)
+				pong.Put(v)
+			}
+		})
+		k.Run()
+	}
+}
+
+// BenchmarkCodecRoundTrip measures one full call+reply wire round trip with
+// reused buffers, structs and an interner. Steady state must report
+// 0 allocs/op — the codec's zero-copy acceptance criterion.
+func BenchmarkCodecRoundTrip(b *testing.B) {
+	call := &rpcproto.Call{
+		ID: 7, Seq: 1, AppID: 3, TenantID: 2, Weight: 4,
+		KernelName: "monteCarloKernel", Compute: 5e8, MemTraffic: 1e8,
+	}
+	reply := &rpcproto.Reply{Seq: 1, Feedback: &rpcproto.Feedback{
+		AppID: 3, Kind: "MC", MemBW: 0.42,
+	}}
+	cbuf := make([]byte, 0, rpcproto.CallWireSize(call))
+	rbuf := make([]byte, 0, rpcproto.ReplyWireSize(reply))
+	var gotCall rpcproto.Call
+	var gotReply rpcproto.Reply
+	var names rpcproto.Interner
+	// Warm up: fill the interner and let the reply's Feedback struct be
+	// allocated once, so the timed loop measures pure steady state.
+	if cb, err := rpcproto.AppendCall(cbuf[:0], call); err == nil {
+		_ = rpcproto.DecodeCallInto(&gotCall, cb[4:], &names)
+	}
+	if rb, err := rpcproto.AppendReply(rbuf[:0], reply); err == nil {
+		_ = rpcproto.DecodeReplyInto(&gotReply, rb[4:], &names)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cb, err := rpcproto.AppendCall(cbuf[:0], call)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := rpcproto.DecodeCallInto(&gotCall, cb[4:], &names); err != nil {
+			b.Fatal(err)
+		}
+		rb, err := rpcproto.AppendReply(rbuf[:0], reply)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := rpcproto.DecodeReplyInto(&gotReply, rb[4:], &names); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if gotCall.KernelName != call.KernelName || gotReply.Feedback == nil {
+		b.Fatal("round trip corrupted data")
 	}
 }

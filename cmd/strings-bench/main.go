@@ -4,23 +4,110 @@
 //
 //	strings-bench [-exp all|table1|fig1|fig2|fig9|fig10|fig11|fig12|fig13|fig14|fig15|ablations]
 //	              [-requests N] [-lambda F] [-seed S] [-pairs N] [-width W]
+//	              [-cpuprofile out.pprof] [-memprofile out.pprof]
+//	              [-bench-json BENCH_simcore.json]
 //
 // Each experiment prints the same rows/series as the corresponding table or
 // figure in "Scheduling Multi-tenant Cloud Workloads on Accelerator-based
 // Systems" (SC'14). Absolute numbers come from the simulated testbed; the
 // shapes — which policy wins, by roughly what factor — are the
 // reproduction targets.
+//
+// -bench-json switches the binary into benchmark mode: instead of the
+// figure sweeps it runs the standard simulator-throughput scenario (a busy
+// two-GPU Strings node, the same one BenchmarkSimulatorThroughput times),
+// and writes events/sec, ns/event and allocs/event to the given JSON file.
+// -cpuprofile and -memprofile capture pprof profiles of whatever ran.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"repro/stringsched"
 )
+
+// benchReport is the BENCH_simcore.json schema: raw totals plus the derived
+// per-event rates that track kernel fast-path regressions.
+type benchReport struct {
+	Scenario       string  `json:"scenario"`
+	Iterations     int     `json:"iterations"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	VirtualSeconds float64 `json:"virtual_seconds"`
+	Events         uint64  `json:"events"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	NsPerEvent     float64 `json:"ns_per_event"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	BytesPerEvent  float64 `json:"bytes_per_event"`
+}
+
+// runBenchJSON runs the simulator-throughput scenario repeatedly and writes
+// the aggregate rates to path.
+func runBenchJSON(path string, seed int64, iters int) error {
+	if iters < 1 {
+		return fmt.Errorf("-bench-iters must be at least 1 (got %d)", iters)
+	}
+	var ms0, ms1 runtime.MemStats
+	var events uint64
+	var virtual float64
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		c, err := stringsched.NewCluster(stringsched.Config{
+			Seed: seed + int64(i),
+			Nodes: []stringsched.NodeConfig{{Devices: []stringsched.DeviceSpec{
+				stringsched.Quadro2000, stringsched.TeslaC2050,
+			}}},
+			Mode:    stringsched.ModeStrings,
+			Balance: "GMin",
+		})
+		if err != nil {
+			return err
+		}
+		r, err := c.Run([]stringsched.StreamSpec{{
+			Kind: stringsched.MonteCarlo, Count: 6, LambdaFactor: 0.5,
+			Node: 0, Tenant: 1, Weight: 1,
+		}})
+		if err != nil {
+			return err
+		}
+		if len(r.Errors) > 0 {
+			return fmt.Errorf("simulation errors: %v", r.Errors)
+		}
+		events += c.K.Dispatched()
+		virtual += r.EndTime.Seconds()
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	rep := benchReport{
+		Scenario:       "two-GPU Strings node, GMin, 6 MonteCarlo requests",
+		Iterations:     iters,
+		WallSeconds:    wall.Seconds(),
+		VirtualSeconds: virtual,
+		Events:         events,
+		EventsPerSec:   float64(events) / wall.Seconds(),
+		NsPerEvent:     float64(wall.Nanoseconds()) / float64(events),
+		AllocsPerEvent: float64(ms1.Mallocs-ms0.Mallocs) / float64(events),
+		BytesPerEvent:  float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(events),
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %.0f events/sec, %.0f ns/event, %.2f allocs/event (%d events, %.2fs wall)\n",
+		path, rep.EventsPerSec, rep.NsPerEvent, rep.AllocsPerEvent, rep.Events, rep.WallSeconds)
+	return nil
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run (all, table1, fig1, fig2, fig9..fig15, headline, ablations)")
@@ -33,7 +120,50 @@ func main() {
 	seeds := flag.Int("seeds", 1, "replications per scenario (pooled)")
 	csv := flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
 	htmlOut := flag.String("html", "", "also write an HTML report with SVG charts to this path")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this path on exit")
+	benchJSON := flag.String("bench-json", "", "benchmark mode: write simulator throughput metrics to this JSON file instead of running experiments")
+	benchIters := flag.Int("bench-iters", 20, "iterations of the throughput scenario in -bench-json mode")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	writeMemProfile := func() {
+		if *memprofile == "" {
+			return
+		}
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if *benchJSON != "" {
+		if err := runBenchJSON(*benchJSON, *seed, *benchIters); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		writeMemProfile()
+		return
+	}
 
 	opt := stringsched.SuiteOptions{
 		Seed:         *seed,
@@ -115,4 +245,5 @@ func main() {
 		fmt.Printf("HTML report written to %s\n", *htmlOut)
 	}
 	fmt.Printf("(%d simulations, %.1fs wall)\n", suite.Runs, time.Since(start).Seconds())
+	writeMemProfile()
 }

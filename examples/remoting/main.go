@@ -17,7 +17,11 @@ import (
 )
 
 func call(conn net.Conn, c *rpcproto.Call) *rpcproto.Reply {
-	if err := rpcproto.WriteFrame(conn, rpcproto.EncodeCall(c)); err != nil {
+	frame, err := rpcproto.EncodeCall(c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := rpcproto.WriteFrame(conn, frame); err != nil {
 		log.Fatal(err)
 	}
 	if c.NonBlocking {

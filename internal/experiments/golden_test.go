@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestFig9Golden pins one full Figure 9 run to the exact values produced by
+// the original container/heap kernel and allocating codec. The fast-path
+// kernel (split heap/now-queue, baton-chain handoff) and the zero-copy wire
+// path must be bit-for-bit deterministic drop-ins: any drift in these
+// numbers means the (time, sequence) dispatch order changed.
+func TestFig9Golden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Fig 9 run")
+	}
+	s := NewSuite(Options{
+		Seed:     1,
+		Requests: 8,
+		Apps: []workload.Kind{
+			workload.DXTC, workload.Scan,
+			workload.MonteCarlo, workload.BlackScholes,
+		},
+	})
+	tab := s.Fig9()
+
+	// Columns: DC, SC, MC, BS, AVG. Captured at commit time with the seed
+	// kernel and reproduced unchanged by the rewrite.
+	golden := map[string][]float64{
+		"GRR-Rain":       {3.40688816322, 1.07066901396, 2.78011414529, 2.1429761231, 2.35016186139},
+		"GMin-Rain":      {3.41951239164, 1.07066901396, 2.78011414529, 2.1429761231, 2.35331791849},
+		"GWtMin-Rain":    {4.1171094691, 1.09240530087, 2.84555966996, 2.31877604943, 2.59346262234},
+		"GRR-Strings":    {3.56703409811, 1.07052167916, 4.23448885591, 1.99645074833, 2.71712384538},
+		"GMin-Strings":   {3.58208588014, 1.07052167916, 4.36463701068, 1.99645074833, 2.75342382958},
+		"GWtMin-Strings": {4.27048423888, 1.0950806931, 4.71467875446, 2.17746970273, 3.06442834729},
+	}
+	const tol = 1e-9 // golden values carry 12 significant digits
+	for series, want := range golden {
+		row := tab.Row(series)
+		if row == nil {
+			t.Errorf("series %q missing from Fig 9", series)
+			continue
+		}
+		if len(row) != len(want) {
+			t.Errorf("series %q has %d columns, want %d", series, len(row), len(want))
+			continue
+		}
+		for i, w := range want {
+			if math.Abs(row[i]-w) > tol*math.Abs(w) {
+				t.Errorf("%s[%s] = %.12g, want %.12g (dispatch order drifted)",
+					series, tab.Labels[i], row[i], w)
+			}
+		}
+	}
+}

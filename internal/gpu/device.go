@@ -58,7 +58,7 @@ type Device struct {
 }
 
 type copyEngine struct {
-	queue   []*Op
+	queue   sim.Ring[*Op]
 	cur     *Op
 	curDone sim.Time
 	busy    float64 // integral of busy time
@@ -141,7 +141,7 @@ func (c *Context) Device() *Device { return c.dev }
 type Stream struct {
 	ctx   *Context
 	id    int
-	queue []*Op
+	queue sim.Ring[*Op]
 	busy  bool // head op dispatched to an engine and not yet finished
 }
 
@@ -159,7 +159,7 @@ func (s *Stream) ID() int { return s.id }
 func (s *Stream) Context() *Context { return s.ctx }
 
 // Pending returns the number of queued (undispatched) ops on the stream.
-func (s *Stream) Pending() int { return len(s.queue) }
+func (s *Stream) Pending() int { return s.queue.Len() }
 
 // Submit enqueues op on the stream and returns the op's completion event.
 // The op executes after all earlier ops on the same stream, when the stream's
@@ -171,7 +171,7 @@ func (s *Stream) Submit(op *Op) *sim.Event {
 	}
 	op.stream = s
 	op.Enqueued = d.k.Now()
-	s.queue = append(s.queue, op)
+	s.queue.Push(op)
 	s.ctx.pending++
 	d.wake()
 	return op.Done
@@ -483,14 +483,14 @@ func (d *Device) dispatch(now sim.Time) bool {
 	}
 	dispatched := false
 	for _, s := range d.resident.streams {
-		if s.busy || len(s.queue) == 0 {
+		if s.busy || s.queue.Len() == 0 {
 			continue
 		}
-		op := s.queue[0]
+		op := s.queue.Front()
 		switch op.Kind {
 		case OpMarker:
 			// Zero-cost stream marker: completes immediately in order.
-			s.queue = s.queue[1:]
+			s.queue.Pop()
 			op.Started = now
 			d.finish(op, now)
 			dispatched = true
@@ -500,7 +500,7 @@ func (d *Device) dispatch(now sim.Time) bool {
 				// the driver re-evaluates when a kernel completes.
 				continue
 			}
-			s.queue = s.queue[1:]
+			s.queue.Pop()
 			s.busy = true
 			op.kernelDemands(&d.spec)
 			op.Started = now
@@ -510,9 +510,9 @@ func (d *Device) dispatch(now sim.Time) bool {
 			dispatched = true
 		case OpH2D, OpD2H:
 			e := d.engineFor(op.Kind)
-			s.queue = s.queue[1:]
+			s.queue.Pop()
 			s.busy = true
-			e.queue = append(e.queue, op)
+			e.queue.Push(op)
 			dispatched = true
 		}
 	}
@@ -523,9 +523,8 @@ func (d *Device) dispatch(now sim.Time) bool {
 	}
 	// Start idle copy engines.
 	for _, e := range []*copyEngine{&d.h2d, &d.d2h} {
-		if e.cur == nil && len(e.queue) > 0 {
-			op := e.queue[0]
-			e.queue = e.queue[1:]
+		if e.cur == nil && e.queue.Len() > 0 {
+			op := e.queue.Pop()
 			op.Started = now
 			dur := op.copyDuration(&d.spec)
 			op.SoloTime = dur

@@ -35,30 +35,33 @@ func (b *TCPBackend) Serve(lis net.Listener) error {
 	}
 }
 
-// ServeConn runs one remoting session over rw.
+// ServeConn runs one remoting session over rw. The session reuses one
+// decode buffer, one call struct and one encode buffer for its entire
+// lifetime, so steady-state call handling does not allocate in the framing
+// layer.
 func (b *TCPBackend) ServeConn(rw io.ReadWriter) error {
 	sess := newTCPSession(b.Spec)
+	fr := rpcproto.NewFrameReader(rw)
+	defer fr.Close()
+	fw := rpcproto.NewFrameWriter(rw)
+	defer fw.Close()
+	var call rpcproto.Call
 	for {
-		body, err := rpcproto.ReadFrame(rw)
+		body, err := fr.Next()
 		if err != nil {
 			if err == io.EOF {
 				return nil
 			}
 			return err
 		}
-		msg, err := rpcproto.Decode(body)
-		if err != nil {
-			return err
+		if err := rpcproto.DecodeCallInto(&call, body, &fr.Names); err != nil {
+			return fmt.Errorf("remoting: %w", err)
 		}
-		call, ok := msg.(*rpcproto.Call)
-		if !ok {
-			return fmt.Errorf("remoting: unexpected message %T", msg)
-		}
-		reply := sess.execute(call)
+		reply := sess.execute(&call)
 		if call.NonBlocking {
 			continue
 		}
-		if err := rpcproto.WriteFrame(rw, rpcproto.EncodeReply(reply)); err != nil {
+		if err := fw.WriteReply(reply); err != nil {
 			return err
 		}
 		if call.ID == cuda.CallThreadExit {

@@ -23,7 +23,11 @@ func dialSession(t *testing.T) net.Conn {
 
 func roundTrip(t *testing.T, conn net.Conn, call *rpcproto.Call) *rpcproto.Reply {
 	t.Helper()
-	if err := rpcproto.WriteFrame(conn, rpcproto.EncodeCall(call)); err != nil {
+	frame, err := rpcproto.EncodeCall(call)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rpcproto.WriteFrame(conn, frame); err != nil {
 		t.Fatal(err)
 	}
 	if call.NonBlocking {

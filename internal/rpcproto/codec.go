@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"repro/internal/cuda"
 	"repro/internal/sim"
@@ -28,10 +29,18 @@ const (
 // ErrCorruptFrame reports an undecodable message.
 var ErrCorruptFrame = errors.New("rpcproto: corrupt frame")
 
+// ErrStringTooLong reports a string field exceeding the uint16 wire length
+// prefix. Encoding fails loudly instead of silently truncating the kernel
+// name on the wire.
+var ErrStringTooLong = errors.New("rpcproto: string exceeds 64 KiB wire limit")
+
 // maxFrame guards against absurd length prefixes from a broken peer.
 const maxFrame = 64 << 20
 
-type wbuf struct{ b []byte }
+type wbuf struct {
+	b   []byte
+	err error
+}
 
 func (w *wbuf) u8(v uint8)    { w.b = append(w.b, v) }
 func (w *wbuf) u16(v uint16)  { w.b = binary.LittleEndian.AppendUint16(w.b, v) }
@@ -49,7 +58,11 @@ func (w *wbuf) boolean(v bool) {
 }
 func (w *wbuf) str(s string) {
 	if len(s) > math.MaxUint16 {
-		s = s[:math.MaxUint16]
+		if w.err == nil {
+			w.err = fmt.Errorf("%w (%d bytes)", ErrStringTooLong, len(s))
+		}
+		w.u16(0)
+		return
 	}
 	w.u16(uint16(len(s)))
 	w.b = append(w.b, s...)
@@ -105,18 +118,57 @@ func (r *rbuf) i32() int32    { return int32(r.u32()) }
 func (r *rbuf) i64() int64    { return int64(r.u64()) }
 func (r *rbuf) f64() float64  { return math.Float64frombits(r.u64()) }
 func (r *rbuf) boolean() bool { return r.u8() != 0 }
-func (r *rbuf) str() string {
+func (r *rbuf) str(names *Interner) string {
 	n := int(r.u16())
 	s := r.need(n)
-	if s == nil {
+	if len(s) == 0 {
 		return ""
+	}
+	if names != nil {
+		return names.Intern(s)
 	}
 	return string(s)
 }
 
-// EncodeCall serializes c into a framed message.
-func EncodeCall(c *Call) []byte {
-	w := &wbuf{b: make([]byte, 4, 96+len(c.KernelName))}
+// Interner deduplicates decoded strings. Kernel names and error strings come
+// from small fixed sets, so a decoder that interns them allocates nothing in
+// steady state (the map lookup keyed by a []byte conversion does not copy).
+// An Interner is not safe for concurrent use; give each decoder its own.
+type Interner struct{ m map[string]string }
+
+// Intern returns the canonical string equal to b, copying it only the first
+// time a value is seen.
+func (t *Interner) Intern(b []byte) string {
+	if s, ok := t.m[string(b)]; ok {
+		return s
+	}
+	if t.m == nil {
+		t.m = make(map[string]string)
+	}
+	s := string(b)
+	t.m[s] = s
+	return s
+}
+
+// CallWireSize returns the exact encoded frame length of c (length prefix
+// included) without encoding. The simulated transport charges link costs by
+// this size on every message, so it must not allocate.
+func CallWireSize(c *Call) int { return 109 + len(c.KernelName) }
+
+// ReplyWireSize is CallWireSize for replies.
+func ReplyWireSize(r *Reply) int {
+	n := 56 + len(r.Err)
+	if r.Feedback != nil {
+		n += 54 + len(r.Feedback.Kind)
+	}
+	return n
+}
+
+// AppendCall appends c's framed encoding to dst and returns the extended
+// buffer. With sufficient capacity in dst it does not allocate.
+func AppendCall(dst []byte, c *Call) ([]byte, error) {
+	start := len(dst)
+	w := &wbuf{b: append(dst, 0, 0, 0, 0)}
 	w.u8(frameCall)
 	w.u32(uint32(c.ID))
 	w.u64(c.Seq)
@@ -137,13 +189,18 @@ func EncodeCall(c *Call) []byte {
 	w.boolean(c.NonBlocking)
 	w.i32(c.Event)
 	w.i32(c.Event2)
-	binary.LittleEndian.PutUint32(w.b[:4], uint32(len(w.b)-4))
-	return w.b
+	if w.err != nil {
+		return dst, w.err
+	}
+	binary.LittleEndian.PutUint32(w.b[start:start+4], uint32(len(w.b)-start-4))
+	return w.b, nil
 }
 
-// EncodeReply serializes r into a framed message.
-func EncodeReply(r *Reply) []byte {
-	w := &wbuf{b: make([]byte, 4, 96+len(r.Err))}
+// AppendReply appends r's framed encoding to dst and returns the extended
+// buffer. With sufficient capacity in dst it does not allocate.
+func AppendReply(dst []byte, r *Reply) ([]byte, error) {
+	start := len(dst)
+	w := &wbuf{b: append(dst, 0, 0, 0, 0)}
 	w.u8(frameReply)
 	w.u64(r.Seq)
 	w.str(r.Err)
@@ -165,65 +222,107 @@ func EncodeReply(r *Reply) []byte {
 		w.f64(f.MemBW)
 		w.f64(f.GPUUtil)
 	}
-	binary.LittleEndian.PutUint32(w.b[:4], uint32(len(w.b)-4))
-	return w.b
+	if w.err != nil {
+		return dst, w.err
+	}
+	binary.LittleEndian.PutUint32(w.b[start:start+4], uint32(len(w.b)-start-4))
+	return w.b, nil
+}
+
+// EncodeCall serializes c into a freshly allocated framed message.
+func EncodeCall(c *Call) ([]byte, error) {
+	return AppendCall(make([]byte, 0, CallWireSize(c)), c)
+}
+
+// EncodeReply serializes r into a freshly allocated framed message.
+func EncodeReply(r *Reply) ([]byte, error) {
+	return AppendReply(make([]byte, 0, ReplyWireSize(r)), r)
+}
+
+// DecodeCallInto parses a frameCall body (without the length prefix) into c,
+// overwriting every field. names may be nil; with an Interner, steady-state
+// decoding does not allocate.
+func DecodeCallInto(c *Call, body []byte, names *Interner) error {
+	r := &rbuf{b: body}
+	if kind := r.u8(); kind != frameCall {
+		return fmt.Errorf("%w: kind %d, want call", ErrCorruptFrame, kind)
+	}
+	c.ID = cuda.CallID(r.u32())
+	c.Seq = r.u64()
+	c.AppID = r.i64()
+	c.TenantID = r.i64()
+	c.Weight = r.i32()
+	c.Dev = r.i32()
+	c.Stream = r.i32()
+	c.Dir = cuda.Dir(r.u8())
+	c.Bytes = r.i64()
+	c.PtrID = r.i64()
+	c.PtrSize = r.i64()
+	c.PtrDev = r.i32()
+	c.KernelName = r.str(names)
+	c.Compute = r.f64()
+	c.MemTraffic = r.f64()
+	c.Occupancy = r.f64()
+	c.NonBlocking = r.boolean()
+	c.Event = r.i32()
+	c.Event2 = r.i32()
+	return r.err
+}
+
+// DecodeReplyInto parses a frameReply body (without the length prefix) into
+// rp, overwriting every field. A reused rp's Feedback struct is recycled when
+// the frame carries feedback and cleared when it does not.
+func DecodeReplyInto(rp *Reply, body []byte, names *Interner) error {
+	r := &rbuf{b: body}
+	if kind := r.u8(); kind != frameReply {
+		return fmt.Errorf("%w: kind %d, want reply", ErrCorruptFrame, kind)
+	}
+	rp.Seq = r.u64()
+	rp.Err = r.str(names)
+	rp.PtrID = r.i64()
+	rp.PtrSize = r.i64()
+	rp.PtrDev = r.i32()
+	rp.Stream = r.i32()
+	rp.Count = r.i32()
+	rp.Event = r.i32()
+	rp.Elapsed = r.i64()
+	if r.boolean() {
+		f := rp.Feedback
+		if f == nil {
+			f = &Feedback{}
+			rp.Feedback = f
+		}
+		f.AppID = r.i64()
+		f.Kind = r.str(names)
+		f.GID = r.i32()
+		f.ExecTime = sim.Time(r.i64())
+		f.GPUTime = sim.Time(r.i64())
+		f.XferTime = sim.Time(r.i64())
+		f.MemBW = r.f64()
+		f.GPUUtil = r.f64()
+	} else {
+		rp.Feedback = nil
+	}
+	return r.err
 }
 
 // Decode parses one framed message (without the length prefix) into a *Call
 // or *Reply.
 func Decode(body []byte) (interface{}, error) {
-	r := &rbuf{b: body}
-	switch kind := r.u8(); kind {
+	if len(body) == 0 {
+		return nil, ErrCorruptFrame
+	}
+	switch kind := body[0]; kind {
 	case frameCall:
 		c := &Call{}
-		c.ID = cuda.CallID(r.u32())
-		c.Seq = r.u64()
-		c.AppID = r.i64()
-		c.TenantID = r.i64()
-		c.Weight = r.i32()
-		c.Dev = r.i32()
-		c.Stream = r.i32()
-		c.Dir = cuda.Dir(r.u8())
-		c.Bytes = r.i64()
-		c.PtrID = r.i64()
-		c.PtrSize = r.i64()
-		c.PtrDev = r.i32()
-		c.KernelName = r.str()
-		c.Compute = r.f64()
-		c.MemTraffic = r.f64()
-		c.Occupancy = r.f64()
-		c.NonBlocking = r.boolean()
-		c.Event = r.i32()
-		c.Event2 = r.i32()
-		if r.err != nil {
-			return nil, r.err
+		if err := DecodeCallInto(c, body, nil); err != nil {
+			return nil, err
 		}
 		return c, nil
 	case frameReply:
 		rp := &Reply{}
-		rp.Seq = r.u64()
-		rp.Err = r.str()
-		rp.PtrID = r.i64()
-		rp.PtrSize = r.i64()
-		rp.PtrDev = r.i32()
-		rp.Stream = r.i32()
-		rp.Count = r.i32()
-		rp.Event = r.i32()
-		rp.Elapsed = r.i64()
-		if r.boolean() {
-			f := &Feedback{}
-			f.AppID = r.i64()
-			f.Kind = r.str()
-			f.GID = r.i32()
-			f.ExecTime = sim.Time(r.i64())
-			f.GPUTime = sim.Time(r.i64())
-			f.XferTime = sim.Time(r.i64())
-			f.MemBW = r.f64()
-			f.GPUUtil = r.f64()
-			rp.Feedback = f
-		}
-		if r.err != nil {
-			return nil, r.err
+		if err := DecodeReplyInto(rp, body, nil); err != nil {
+			return nil, err
 		}
 		return rp, nil
 	default:
@@ -237,7 +336,9 @@ func WriteFrame(w io.Writer, frame []byte) error {
 	return err
 }
 
-// ReadFrame reads one frame body (without length prefix) from r.
+// ReadFrame reads one frame body (without length prefix) from r into a fresh
+// buffer. Steady-state readers should use FrameReader, which reuses its
+// buffer across frames.
 func ReadFrame(r io.Reader) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -252,4 +353,101 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 		return nil, err
 	}
 	return body, nil
+}
+
+// bufPool recycles frame buffers across FrameReader/FrameWriter lifetimes so
+// per-connection sessions (one remoting session per accepted conn) reuse
+// steady-state buffers instead of regrowing them.
+var bufPool = sync.Pool{
+	New: func() interface{} {
+		b := make([]byte, 0, 512)
+		return &b
+	},
+}
+
+// FrameWriter writes framed messages to an io.Writer through a reusable,
+// pool-backed encode buffer: steady-state writes perform zero allocations.
+type FrameWriter struct {
+	w   io.Writer
+	buf *[]byte
+}
+
+// NewFrameWriter returns a writer over w.
+func NewFrameWriter(w io.Writer) *FrameWriter {
+	return &FrameWriter{w: w, buf: bufPool.Get().(*[]byte)}
+}
+
+// WriteCall encodes and writes one call frame.
+func (fw *FrameWriter) WriteCall(c *Call) error {
+	b, err := AppendCall((*fw.buf)[:0], c)
+	*fw.buf = b[:0]
+	if err != nil {
+		return err
+	}
+	_, err = fw.w.Write(b)
+	return err
+}
+
+// WriteReply encodes and writes one reply frame.
+func (fw *FrameWriter) WriteReply(r *Reply) error {
+	b, err := AppendReply((*fw.buf)[:0], r)
+	*fw.buf = b[:0]
+	if err != nil {
+		return err
+	}
+	_, err = fw.w.Write(b)
+	return err
+}
+
+// Close returns the encode buffer to the pool. The writer must not be used
+// afterwards.
+func (fw *FrameWriter) Close() {
+	if fw.buf != nil {
+		bufPool.Put(fw.buf)
+		fw.buf = nil
+	}
+}
+
+// FrameReader reads framed messages from an io.Reader through a reusable,
+// pool-backed body buffer. The slice returned by Next is valid only until
+// the following Next call.
+type FrameReader struct {
+	r     io.Reader
+	buf   *[]byte
+	hdr   [4]byte
+	Names Interner // shared string table for DecodeCallInto/DecodeReplyInto
+}
+
+// NewFrameReader returns a reader over r.
+func NewFrameReader(r io.Reader) *FrameReader {
+	return &FrameReader{r: r, buf: bufPool.Get().(*[]byte)}
+}
+
+// Next reads one frame body (without the length prefix) into the reader's
+// buffer and returns it. Steady-state reads perform zero allocations.
+func (fr *FrameReader) Next() ([]byte, error) {
+	if _, err := io.ReadFull(fr.r, fr.hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(fr.hdr[:])
+	if n == 0 || n > maxFrame {
+		return nil, fmt.Errorf("%w: frame length %d", ErrCorruptFrame, n)
+	}
+	if cap(*fr.buf) < int(n) {
+		*fr.buf = make([]byte, n)
+	}
+	body := (*fr.buf)[:n]
+	if _, err := io.ReadFull(fr.r, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// Close returns the body buffer to the pool. The reader must not be used
+// afterwards, and slices returned by Next become invalid.
+func (fr *FrameReader) Close() {
+	if fr.buf != nil {
+		bufPool.Put(fr.buf)
+		fr.buf = nil
+	}
 }

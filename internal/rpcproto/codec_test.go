@@ -22,9 +22,27 @@ func sampleCall() *Call {
 	}
 }
 
+func mustEncodeCall(t testing.TB, c *Call) []byte {
+	t.Helper()
+	frame, err := EncodeCall(c)
+	if err != nil {
+		t.Fatalf("EncodeCall: %v", err)
+	}
+	return frame
+}
+
+func mustEncodeReply(t testing.TB, r *Reply) []byte {
+	t.Helper()
+	frame, err := EncodeReply(r)
+	if err != nil {
+		t.Fatalf("EncodeReply: %v", err)
+	}
+	return frame
+}
+
 func TestCallRoundTrip(t *testing.T) {
 	c := sampleCall()
-	frame := EncodeCall(c)
+	frame := mustEncodeCall(t, c)
 	got, err := Decode(frame[4:])
 	if err != nil {
 		t.Fatalf("Decode: %v", err)
@@ -44,7 +62,7 @@ func TestReplyRoundTripWithFeedback(t *testing.T) {
 			XferTime: 3 * sim.Second, MemBW: 3047.32, GPUUtil: 0.45,
 		},
 	}
-	frame := EncodeReply(r)
+	frame := mustEncodeReply(t, r)
 	got, err := Decode(frame[4:])
 	if err != nil {
 		t.Fatalf("Decode: %v", err)
@@ -56,7 +74,7 @@ func TestReplyRoundTripWithFeedback(t *testing.T) {
 
 func TestReplyRoundTripWithoutFeedback(t *testing.T) {
 	r := &Reply{Seq: 1}
-	got, err := Decode(EncodeReply(r)[4:])
+	got, err := Decode(mustEncodeReply(t, r)[4:])
 	if err != nil {
 		t.Fatalf("Decode: %v", err)
 	}
@@ -72,7 +90,7 @@ func TestDecodeCorruptFrames(t *testing.T) {
 	if _, err := Decode([]byte{9, 1, 2}); !errors.Is(err, ErrCorruptFrame) {
 		t.Fatalf("unknown kind err = %v", err)
 	}
-	frame := EncodeCall(sampleCall())
+	frame := mustEncodeCall(t, sampleCall())
 	if _, err := Decode(frame[4 : len(frame)-3]); !errors.Is(err, ErrCorruptFrame) {
 		t.Fatalf("truncated frame err = %v", err)
 	}
@@ -81,7 +99,7 @@ func TestDecodeCorruptFrames(t *testing.T) {
 func TestReplyErrorMapping(t *testing.T) {
 	r := &Reply{}
 	r.SetError(cuda.ErrMemoryAllocation)
-	back, err := Decode(EncodeReply(r)[4:])
+	back, err := Decode(mustEncodeReply(t, r)[4:])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +137,7 @@ func TestPayloadBytes(t *testing.T) {
 
 func TestWriteReadFrame(t *testing.T) {
 	var buf bytes.Buffer
-	frame := EncodeCall(sampleCall())
+	frame := mustEncodeCall(t, sampleCall())
 	if err := WriteFrame(&buf, frame); err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +183,7 @@ func TestTCPRoundTrip(t *testing.T) {
 		}
 		done <- m.(*Call)
 	}()
-	if err := WriteFrame(a, EncodeCall(sampleCall())); err != nil {
+	if err := WriteFrame(a, mustEncodeCall(t, sampleCall())); err != nil {
 		t.Fatal(err)
 	}
 	got := <-done
@@ -189,7 +207,14 @@ func TestQuickCallRoundTrip(t *testing.T) {
 		if dir {
 			c.Dir = cuda.D2H
 		}
-		got, err := Decode(EncodeCall(c)[4:])
+		frame, err := EncodeCall(c)
+		if err != nil {
+			return len(name) > 65535 // only oversized strings may fail
+		}
+		if len(frame) != CallWireSize(c) {
+			return false
+		}
+		got, err := Decode(frame[4:])
 		return err == nil && reflect.DeepEqual(got, c)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
@@ -209,7 +234,14 @@ func TestQuickReplyRoundTrip(t *testing.T) {
 				MemBW: bw, GPUUtil: util,
 			}
 		}
-		got, err := Decode(EncodeReply(r)[4:])
+		frame, err := EncodeReply(r)
+		if err != nil {
+			return len(errs) > 65535 || len(kind) > 65535
+		}
+		if len(frame) != ReplyWireSize(r) {
+			return false
+		}
+		got, err := Decode(frame[4:])
 		return err == nil && reflect.DeepEqual(got, r)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {

@@ -12,8 +12,10 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{frameCall})
 	f.Add([]byte{frameReply})
-	f.Add(EncodeCall(sampleCall())[4:])
-	f.Add(EncodeReply(&Reply{Seq: 9, Err: "cuda: out of memory"})[4:])
+	sampleFrame, _ := EncodeCall(sampleCall())
+	errFrame, _ := EncodeReply(&Reply{Seq: 9, Err: "cuda: out of memory"})
+	f.Add(sampleFrame[4:])
+	f.Add(errFrame[4:])
 	f.Add([]byte{frameCall, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
 	f.Fuzz(func(t *testing.T, body []byte) {
 		msg, err := Decode(body)
@@ -23,11 +25,14 @@ func FuzzDecode(f *testing.F) {
 		var reenc []byte
 		switch v := msg.(type) {
 		case *Call:
-			reenc = EncodeCall(v)
+			reenc, err = EncodeCall(v)
 		case *Reply:
-			reenc = EncodeReply(v)
+			reenc, err = EncodeReply(v)
 		default:
 			t.Fatalf("unexpected decode type %T", msg)
+		}
+		if err != nil {
+			t.Fatalf("re-encode of decoded message failed: %v", err)
 		}
 		again, err := Decode(reenc[4:])
 		if err != nil {
@@ -36,9 +41,9 @@ func FuzzDecode(f *testing.F) {
 		reenc2 := append([]byte(nil), reenc...)
 		switch v := again.(type) {
 		case *Call:
-			reenc2 = EncodeCall(v)
+			reenc2, _ = EncodeCall(v)
 		case *Reply:
-			reenc2 = EncodeReply(v)
+			reenc2, _ = EncodeReply(v)
 		}
 		if !bytes.Equal(reenc, reenc2) {
 			t.Fatal("encode/decode is not a fixed point")
@@ -49,7 +54,8 @@ func FuzzDecode(f *testing.F) {
 // FuzzReadFrame feeds arbitrary byte streams through the framing layer.
 func FuzzReadFrame(f *testing.F) {
 	f.Add([]byte{0, 0, 0, 0})
-	f.Add(EncodeCall(sampleCall()))
+	seed, _ := EncodeCall(sampleCall())
+	f.Add(seed)
 	f.Add([]byte{1, 0, 0, 0, frameCall})
 	f.Fuzz(func(t *testing.T, stream []byte) {
 		body, err := ReadFrame(bytes.NewReader(stream))

@@ -96,14 +96,15 @@ func (e Endpoint) TryRecv() (Msg, bool) { return e.in.TryGet() }
 // InboxLen returns the number of delivered, unconsumed messages.
 func (e Endpoint) InboxLen() int { return e.in.Len() }
 
-// wireSize measures the encoded frame size of a message; it exercises the
-// real codec so simulated costs match the true wire format.
+// wireSize measures the encoded frame size of a message without encoding it
+// (it is charged on every simulated Send, so it must not allocate); a codec
+// test pins these arithmetic sizes to the real encoder's output.
 func wireSize(m Msg) int {
 	switch v := m.(type) {
 	case *Call:
-		return len(EncodeCall(v))
+		return CallWireSize(v)
 	case *Reply:
-		return len(EncodeReply(v))
+		return ReplyWireSize(v)
 	default:
 		return 64
 	}

@@ -6,7 +6,7 @@ package sim
 type Event struct {
 	k       *Kernel
 	fired   bool
-	waiters []*Proc
+	waiters Ring[*Proc]
 }
 
 // NewEvent returns an unfired event bound to k.
@@ -22,10 +22,9 @@ func (e *Event) Fire() {
 		return
 	}
 	e.fired = true
-	for _, p := range e.waiters {
-		e.k.schedule(p, e.k.now, wakeEvent)
+	for e.waiters.Len() > 0 {
+		e.k.schedule(e.waiters.Pop(), e.k.now, wakeEvent)
 	}
-	e.waiters = nil
 }
 
 // Signal is a repeatable notification: each Notify wakes the processes
@@ -34,7 +33,7 @@ func (e *Event) Fire() {
 // such as the Dispatcher waking backend threads.
 type Signal struct {
 	k       *Kernel
-	waiters []*Proc
+	waiters Ring[*Proc]
 }
 
 // NewSignal returns a signal bound to k.
@@ -42,33 +41,25 @@ func (k *Kernel) NewSignal() *Signal { return &Signal{k: k} }
 
 // Notify wakes every process currently waiting on s.
 func (s *Signal) Notify() {
-	for _, p := range s.waiters {
-		s.k.schedule(p, s.k.now, wakeEvent)
+	for n := s.waiters.Len(); n > 0; n-- {
+		s.k.schedule(s.waiters.Pop(), s.k.now, wakeEvent)
 	}
-	s.waiters = nil
 }
 
 // NotifyOne wakes the longest-waiting process, if any, and reports whether a
 // process was woken.
 func (s *Signal) NotifyOne() bool {
-	if len(s.waiters) == 0 {
+	if s.waiters.Len() == 0 {
 		return false
 	}
-	p := s.waiters[0]
-	s.waiters = s.waiters[1:]
-	s.k.schedule(p, s.k.now, wakeEvent)
+	s.k.schedule(s.waiters.Pop(), s.k.now, wakeEvent)
 	return true
 }
 
 // Waiting returns the number of processes parked on s.
-func (s *Signal) Waiting() int { return len(s.waiters) }
+func (s *Signal) Waiting() int { return s.waiters.Len() }
 
 // drop removes p from the waiter list (used when a timed wait times out).
 func (s *Signal) drop(p *Proc) {
-	for i, w := range s.waiters {
-		if w == p {
-			s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
-			return
-		}
-	}
+	s.waiters.RemoveFirst(func(w *Proc) bool { return w == p })
 }

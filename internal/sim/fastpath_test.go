@@ -1,0 +1,182 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// The same-instant fast path must not reorder work: a self-reschedule at now
+// runs after every activation already pending at this instant, in sequence
+// order, exactly as the single-heap kernel ordered it.
+func TestSameInstantOrderingAcrossYields(t *testing.T) {
+	k := NewKernel(1)
+	var order []string
+	for i := 0; i < 3; i++ {
+		i := i
+		k.Go(fmt.Sprintf("p%d", i), func(p *Proc) {
+			for round := 0; round < 3; round++ {
+				order = append(order, fmt.Sprintf("p%d.%d", i, round))
+				p.Yield()
+			}
+		})
+	}
+	k.Run()
+	want := []string{
+		"p0.0", "p1.0", "p2.0",
+		"p0.1", "p1.1", "p2.1",
+		"p0.2", "p1.2", "p2.2",
+	}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}
+
+// Stale-epoch wakeups interleaved with same-instant self-reschedules: a
+// process whose event wait wins against a pending timeout leaves a stale
+// timer activation behind; same-instant Yields (the fast path) must neither
+// consume nor be disturbed by it, and when the stale instant arrives during
+// a later park the activation must be discarded silently.
+func TestStaleWakeupInterleavedWithSameInstantReschedule(t *testing.T) {
+	k := NewKernel(1)
+	e := k.NewEvent()
+	var wakes []Time
+	k.Go("w", func(p *Proc) {
+		if !p.WaitTimeout(e, 30) {
+			t.Error("event at t=10 should have beaten the t=30 timeout")
+		}
+		// The t=30 timer activation is now stale. Interleave same-instant
+		// self-reschedules at t=10, then sleep across the stale instant.
+		for i := 0; i < 3; i++ {
+			p.Yield()
+			wakes = append(wakes, p.Now())
+		}
+		p.Sleep(15) // t=25
+		wakes = append(wakes, p.Now())
+		p.Yield() // same-instant reschedule right before the stale instant
+		wakes = append(wakes, p.Now())
+		p.Sleep(10) // parks across t=30: the stale timer must not cut it short
+		wakes = append(wakes, p.Now())
+	})
+	k.Go("f", func(p *Proc) {
+		p.Sleep(10)
+		e.Fire()
+	})
+	k.Run()
+	want := []Time{10, 10, 10, 25, 25, 35}
+	if !reflect.DeepEqual(wakes, want) {
+		t.Fatalf("wakes = %v, want %v", wakes, want)
+	}
+}
+
+// Stop during a same-instant batch halts after the currently executing
+// process parks; the rest of the batch stays pending and resumes on the next
+// Run call in the original order.
+func TestStopDuringSameInstantBatch(t *testing.T) {
+	k := NewKernel(1)
+	var ran []int
+	for i := 0; i < 5; i++ {
+		i := i
+		k.Go(fmt.Sprintf("p%d", i), func(p *Proc) {
+			p.Sleep(1)
+			ran = append(ran, i)
+			if i == 1 {
+				p.Kernel().Stop()
+			}
+		})
+	}
+	k.Run()
+	if !reflect.DeepEqual(ran, []int{0, 1}) {
+		t.Fatalf("ran before stop = %v, want [0 1]", ran)
+	}
+	if k.Now() != 1 {
+		t.Fatalf("clock = %v, want 1us", k.Now())
+	}
+	k.Run()
+	if !reflect.DeepEqual(ran, []int{0, 1, 2, 3, 4}) {
+		t.Fatalf("ran after resume = %v, want [0 1 2 3 4]", ran)
+	}
+	if k.Now() != 1 {
+		t.Fatalf("clock moved to %v resuming a same-instant batch", k.Now())
+	}
+}
+
+// RunUntil at the limit boundary: activations exactly at the limit run; with
+// pending work beyond the limit the clock parks exactly at the limit; with
+// nothing pending the clock stays at the last dispatched instant.
+func TestRunUntilLimitBoundary(t *testing.T) {
+	k := NewKernel(1)
+	var wakes []Time
+	k.Go("s", func(p *Proc) {
+		for i := 0; i < 4; i++ {
+			p.Sleep(10)
+			wakes = append(wakes, p.Now())
+		}
+	})
+	n := k.RunUntil(20) // activations at 10 and 20 are <= limit and must run
+	if n != 3 {         // start activation + two timer wakeups
+		t.Fatalf("dispatched %d activations, want 3", n)
+	}
+	if !reflect.DeepEqual(wakes, []Time{10, 20}) {
+		t.Fatalf("wakes = %v, want [10 20]", wakes)
+	}
+	if k.Now() != 20 {
+		t.Fatalf("clock = %v, want 20us (exactly the limit)", k.Now())
+	}
+	k.RunUntil(25) // head is at 30: nothing runs, clock advances to the limit
+	if len(wakes) != 2 || k.Now() != 25 {
+		t.Fatalf("after quiet RunUntil: wakes=%v clock=%v, want 2 wakes @25us", wakes, k.Now())
+	}
+	k.Run() // drain: last activation at 40, clock must stay there (no limit snap)
+	if !reflect.DeepEqual(wakes, []Time{10, 20, 30, 40}) {
+		t.Fatalf("wakes = %v", wakes)
+	}
+	if k.Now() != 40 {
+		t.Fatalf("clock = %v after drain, want 40us", k.Now())
+	}
+	// A drained kernel must not move on further RunUntil calls either.
+	k.RunUntil(1000)
+	if k.Now() != 40 {
+		t.Fatalf("clock = %v after empty RunUntil, want 40us", k.Now())
+	}
+}
+
+// The dispatch counter excludes stale wakeups and accumulates across runs.
+func TestDispatchedCounter(t *testing.T) {
+	k := NewKernel(1)
+	e := k.NewEvent()
+	k.Go("w", func(p *Proc) {
+		p.WaitTimeout(e, 10) // event wins; timer activation goes stale
+		p.Sleep(100)
+	})
+	k.Go("f", func(p *Proc) {
+		p.Sleep(5)
+		e.Fire()
+	})
+	n := k.Run()
+	if uint64(n) != k.Dispatched() {
+		t.Fatalf("Run returned %d, Dispatched() = %d", n, k.Dispatched())
+	}
+	// start(w) + start(f) + f's sleep wake + event wake of w + w's final
+	// sleep wake: the stale timer at t=10 must not be counted.
+	if n != 5 {
+		t.Fatalf("dispatched %d activations, want 5 (stale timer excluded)", n)
+	}
+}
+
+// A deep chain of self-reschedules exercises the no-channel fast path; the
+// clock and ordering must match the semantics of the slow path exactly.
+func TestSelfRescheduleChain(t *testing.T) {
+	k := NewKernel(1)
+	count := 0
+	k.Go("spinner", func(p *Proc) {
+		for i := 0; i < 10000; i++ {
+			p.Yield()
+			count++
+		}
+	})
+	k.Run()
+	if count != 10000 || k.Now() != 0 {
+		t.Fatalf("count=%d now=%v, want 10000 yields at t=0", count, k.Now())
+	}
+}

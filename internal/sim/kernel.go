@@ -1,30 +1,54 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"sort"
 )
+
+// maxTime is the largest representable virtual instant; Run executes with it
+// as the limit.
+const maxTime = Time(1<<62 - 1)
 
 // Kernel is a deterministic discrete-event executor. Processes created with
 // Go run as goroutines, but the kernel enforces that exactly one process
 // executes at any instant; every blocking operation hands control back to the
 // kernel, which advances the virtual clock to the next scheduled activation.
 //
+// Scheduling state is split in two for speed. Activations at a future instant
+// live in a 4-ary min-heap ordered by (time, sequence). Activations at the
+// *current* instant go to a plain FIFO ring instead: sequence numbers are
+// monotone, so arrival order is (time, sequence) order, and the common case —
+// a process yielding, a Put waking a Get, an event firing at now — costs O(1)
+// with no heap traffic. Because every same-instant entry in the heap predates
+// (has a smaller sequence number than) every entry in the ring, the merged
+// order of the two structures is exactly the old single-heap order, which
+// keeps runs bit-identical.
+//
+// Control transfer is a baton chain rather than a central loop: the goroutine
+// that gives up control (a parking or exiting process) selects the next
+// activation itself and resumes its process directly. Handing off therefore
+// costs one channel operation instead of two, and a process that is its own
+// next activation (Yield, Sleep(0), a self-wakeup at now) continues with no
+// channel operation at all. The Run goroutine only participates at the start
+// and end of a run.
+//
 // A Kernel is not safe for use from goroutines other than its own processes.
 type Kernel struct {
-	now     Time
-	seq     uint64
-	queue   activationHeap
-	yielded chan struct{} // signalled by the running process when it parks
-	running *Proc
-	procs   map[*Proc]struct{}
-	nextID  int
-	rng     *rand.Rand
-	tracer  func(t Time, proc, msg string)
-	stopped bool
-	timers  *timers
+	now        Time
+	seq        uint64
+	limit      Time
+	future     heap4[activation]
+	nowQ       Ring[activation]
+	dispatched uint64
+	yielded    chan struct{} // signalled by the draining process when a run ends
+	running    *Proc
+	procs      map[*Proc]struct{}
+	nextID     int
+	rng        *rand.Rand
+	tracer     func(t Time, proc, msg string)
+	stopped    bool
+	timers     *timers
 }
 
 // activation is a pending wakeup of a process at a virtual instant. The epoch
@@ -36,26 +60,15 @@ type activation struct {
 	seq   uint64
 	proc  *Proc
 	epoch uint64
-	tag   int
+	tag   int32
 }
 
-type activationHeap []activation
-
-func (h activationHeap) Len() int { return len(h) }
-func (h activationHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// lessThan orders activations by (time, schedule sequence).
+func (a activation) lessThan(b activation) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h activationHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *activationHeap) Push(x interface{}) { *h = append(*h, x.(activation)) }
-func (h *activationHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+	return a.seq < b.seq
 }
 
 // NewKernel returns a kernel whose clock starts at zero. The seed fixes the
@@ -63,6 +76,7 @@ func (h *activationHeap) Pop() interface{} {
 func NewKernel(seed int64) *Kernel {
 	return &Kernel{
 		yielded: make(chan struct{}),
+		limit:   maxTime,
 		procs:   make(map[*Proc]struct{}),
 		rng:     rand.New(rand.NewSource(seed)),
 	}
@@ -73,6 +87,11 @@ func (k *Kernel) Now() Time { return k.now }
 
 // Rand returns the kernel's deterministic random stream.
 func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Dispatched returns the total number of activations dispatched over the
+// kernel's lifetime (stale wakeups excluded). It is the event count behind
+// events/sec throughput reporting.
+func (k *Kernel) Dispatched() uint64 { return k.dispatched }
 
 // SetTracer installs a trace callback invoked by Proc.Tracef. A nil tracer
 // disables tracing.
@@ -100,7 +119,10 @@ func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
 		fn(p)
 		p.done = true
 		delete(k.procs, p)
-		k.yielded <- struct{}{}
+		// Pass the baton on; the exiting goroutine is never resumed again.
+		if k.step(nil) == stepDrained {
+			k.drainToRun()
+		}
 	}()
 	k.schedule(p, k.now, wakeStart)
 	return p
@@ -114,19 +136,92 @@ const (
 )
 
 // schedule enqueues a wakeup of p at time at (which must be >= now).
-func (k *Kernel) schedule(p *Proc, at Time, tag int) {
+func (k *Kernel) schedule(p *Proc, at Time, tag int32) {
 	if at < k.now {
 		panic(fmt.Sprintf("sim: scheduling %q in the past: %v < %v", p.name, at, k.now))
 	}
 	k.seq++
-	heap.Push(&k.queue, activation{at: at, seq: k.seq, proc: p, epoch: p.epoch, tag: tag})
+	a := activation{at: at, seq: k.seq, proc: p, epoch: p.epoch, tag: tag}
+	if at == k.now {
+		k.nowQ.Push(a)
+	} else {
+		k.future.push(a)
+	}
 	p.pending++
+}
+
+// popNext removes and returns the next activation in (time, sequence) order,
+// or reports false if none is due at or before the run limit. Same-instant
+// heap entries always precede the ring (their sequence numbers are smaller),
+// so the heap is consulted first whenever its head is at now.
+func (k *Kernel) popNext() (activation, bool) {
+	if k.future.len() > 0 {
+		if h := k.future.peek(); h.at == k.now || k.nowQ.Len() == 0 {
+			if h.at > k.limit {
+				return activation{}, false
+			}
+			return k.future.pop(), true
+		}
+	}
+	if k.nowQ.Len() > 0 {
+		if k.nowQ.Front().at > k.limit {
+			return activation{}, false
+		}
+		return k.nowQ.Pop(), true
+	}
+	return activation{}, false
+}
+
+// Outcomes of a step: the caller is itself the next activation (continue
+// without parking), control was handed to another process, or nothing is
+// runnable within the limit and the run ends.
+const (
+	stepSelf = iota
+	stepHanded
+	stepDrained
+)
+
+// step selects the next activation and transfers control to its process. It
+// is executed by whichever goroutine is ceding control: a parking process
+// (self != nil), an exiting process, or the Run goroutine entering the chain
+// (self == nil). Exactly one goroutine runs simulation code at a time; the
+// channel send is the last action before the caller blocks or exits, so the
+// handoff's happens-before edge covers every kernel mutation.
+func (k *Kernel) step(self *Proc) int {
+	for !k.stopped {
+		a, ok := k.popNext()
+		if !ok {
+			break
+		}
+		a.proc.pending--
+		if a.proc.done || a.epoch != a.proc.epoch {
+			continue // stale wakeup from an earlier park
+		}
+		k.now = a.at
+		a.proc.wakeTag = a.tag
+		k.dispatched++
+		k.running = a.proc
+		if a.proc == self {
+			return stepSelf // same-instant fast path: no channel round-trip
+		}
+		a.proc.resume <- struct{}{}
+		return stepHanded
+	}
+	k.running = nil
+	return stepDrained
+}
+
+// drainToRun wakes the Run goroutine at the end of a run; called by the
+// process that found the queue drained (the Run goroutine handles its own
+// drained case inline).
+func (k *Kernel) drainToRun() {
+	k.yielded <- struct{}{}
 }
 
 // Run executes activations until none remain or Stop is called. It returns
 // the number of activations dispatched.
 func (k *Kernel) Run() int {
-	return k.RunUntil(Time(1<<62 - 1))
+	return k.RunUntil(maxTime)
 }
 
 // RunUntil executes activations with time <= limit. The clock never advances
@@ -136,34 +231,17 @@ func (k *Kernel) Run() int {
 // model's point of view) they are left parked; Blocked reports them.
 func (k *Kernel) RunUntil(limit Time) int {
 	k.stopped = false
-	n := 0
-	for len(k.queue) > 0 && !k.stopped {
-		a := k.queue[0]
-		if a.at > limit {
-			if k.now < limit {
-				k.now = limit
-			}
-			return n
-		}
-		heap.Pop(&k.queue)
-		a.proc.pending--
-		if a.proc.done || a.epoch != a.proc.epoch {
-			continue // stale wakeup from an earlier park
-		}
-		k.now = a.at
-		a.proc.wakeTag = a.tag
-		k.dispatch(a.proc)
-		n++
+	k.limit = limit
+	start := k.dispatched
+	if k.step(nil) == stepHanded {
+		<-k.yielded // a process drained the queue and ended the run
 	}
-	return n
-}
-
-// dispatch resumes p and waits for it to park again.
-func (k *Kernel) dispatch(p *Proc) {
-	k.running = p
-	p.resume <- struct{}{}
-	<-k.yielded
-	k.running = nil
+	if !k.stopped && (k.future.len() > 0 || k.nowQ.Len() > 0) && k.now < limit {
+		// The head activation is beyond the limit: the interval up to the
+		// limit is known quiet, so the clock may advance to it.
+		k.now = limit
+	}
+	return int(k.dispatched - start)
 }
 
 // Blocked returns the names of processes that are alive but have no pending

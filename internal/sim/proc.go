@@ -15,7 +15,7 @@ type Proc struct {
 	pending int    // number of queued activations
 	parked  bool
 	done    bool
-	wakeTag int
+	wakeTag int32
 }
 
 // Name returns the process name given to Kernel.Go.
@@ -30,11 +30,22 @@ func (p *Proc) Kernel() *Kernel { return p.k }
 // Now returns the current virtual time.
 func (p *Proc) Now() Time { return p.k.now }
 
-// park hands control back to the kernel and blocks until the next wakeup.
+// park cedes control, selecting and resuming the next activation directly
+// (see Kernel.step), and blocks until this process's next wakeup. If the
+// process is itself the next activation — a Yield, Sleep(0) or self-wakeup
+// at the current instant — it continues immediately without touching a
+// channel.
 func (p *Proc) park() {
 	p.parked = true
-	p.k.yielded <- struct{}{}
-	<-p.resume
+	switch p.k.step(p) {
+	case stepSelf:
+		// same-instant fast path: nothing blocked, no channel round-trip
+	case stepHanded:
+		<-p.resume
+	case stepDrained:
+		p.k.drainToRun()
+		<-p.resume
+	}
 	p.parked = false
 	p.epoch++
 }
@@ -59,7 +70,7 @@ func (p *Proc) Wait(e *Event) {
 	if e.fired {
 		return
 	}
-	e.waiters = append(e.waiters, p)
+	e.waiters.Push(p)
 	p.park()
 }
 
@@ -70,7 +81,7 @@ func (p *Proc) WaitTimeout(e *Event, d Time) bool {
 	if e.fired {
 		return true
 	}
-	e.waiters = append(e.waiters, p)
+	e.waiters.Push(p)
 	p.k.schedule(p, p.k.now+d, wakeTimer)
 	p.park()
 	return p.wakeTag == wakeEvent
@@ -78,14 +89,14 @@ func (p *Proc) WaitTimeout(e *Event, d Time) bool {
 
 // WaitSignal blocks until s is next notified.
 func (p *Proc) WaitSignal(s *Signal) {
-	s.waiters = append(s.waiters, p)
+	s.waiters.Push(p)
 	p.park()
 }
 
 // WaitSignalTimeout blocks until s is notified or d elapses; it reports
 // whether the signal arrived.
 func (p *Proc) WaitSignalTimeout(s *Signal, d Time) bool {
-	s.waiters = append(s.waiters, p)
+	s.waiters.Push(p)
 	p.k.schedule(p, p.k.now+d, wakeTimer)
 	p.park()
 	if p.wakeTag != wakeEvent {

@@ -3,10 +3,12 @@ package sim
 // Queue is an unbounded FIFO message queue between simulated processes.
 // Put never blocks; Get parks the caller until an item is available. Items
 // are delivered in insertion order and, when several processes wait, waiters
-// are served in arrival order.
+// are served in arrival order. The backing store is a ring buffer, so a
+// long-lived queue's memory is bounded by its peak depth, not by the total
+// number of items that ever flowed through it.
 type Queue[T any] struct {
 	k     *Kernel
-	items []T
+	items Ring[T]
 	ready *Signal
 }
 
@@ -16,24 +18,27 @@ func NewQueue[T any](k *Kernel) *Queue[T] {
 }
 
 // Len returns the number of queued items.
-func (q *Queue[T]) Len() int { return len(q.items) }
+func (q *Queue[T]) Len() int { return q.items.Len() }
+
+// Cap returns the capacity of the queue's backing buffer (it grows with peak
+// depth and is the bound regression tests assert on).
+func (q *Queue[T]) Cap() int { return q.items.Cap() }
 
 // Put appends v and wakes one waiting receiver, if any.
 func (q *Queue[T]) Put(v T) {
-	q.items = append(q.items, v)
+	q.items.Push(v)
 	q.ready.NotifyOne()
 }
 
 // Get removes and returns the oldest item, parking p until one is available.
 func (q *Queue[T]) Get(p *Proc) T {
-	for len(q.items) == 0 {
+	for q.items.Len() == 0 {
 		p.WaitSignal(q.ready)
 	}
-	v := q.items[0]
-	q.items = q.items[1:]
+	v := q.items.Pop()
 	// If items remain and other receivers are parked, pass the baton so a
 	// burst of Puts wakes every waiter exactly once.
-	if len(q.items) > 0 {
+	if q.items.Len() > 0 {
 		q.ready.NotifyOne()
 	}
 	return v
@@ -42,30 +47,27 @@ func (q *Queue[T]) Get(p *Proc) T {
 // TryGet removes and returns the oldest item without blocking; ok reports
 // whether an item was available.
 func (q *Queue[T]) TryGet() (v T, ok bool) {
-	if len(q.items) == 0 {
+	if q.items.Len() == 0 {
 		return v, false
 	}
-	v = q.items[0]
-	q.items = q.items[1:]
-	return v, true
+	return q.items.Pop(), true
 }
 
 // GetTimeout is like Get but gives up after d; ok reports whether an item was
 // received.
 func (q *Queue[T]) GetTimeout(p *Proc, d Time) (v T, ok bool) {
 	deadline := p.Now() + d
-	for len(q.items) == 0 {
+	for q.items.Len() == 0 {
 		remain := deadline - p.Now()
 		if remain <= 0 || !p.WaitSignalTimeout(q.ready, remain) {
-			if len(q.items) > 0 {
+			if q.items.Len() > 0 {
 				break // an item raced in at the deadline instant
 			}
 			return v, false
 		}
 	}
-	v = q.items[0]
-	q.items = q.items[1:]
-	if len(q.items) > 0 {
+	v = q.items.Pop()
+	if q.items.Len() > 0 {
 		q.ready.NotifyOne()
 	}
 	return v, true

@@ -7,7 +7,7 @@ type Semaphore struct {
 	k       *Kernel
 	free    int
 	cap     int
-	waiters []*Proc
+	waiters Ring[*Proc]
 }
 
 // NewSemaphore returns a semaphore with n units available.
@@ -17,11 +17,11 @@ func (k *Kernel) NewSemaphore(n int) *Semaphore {
 
 // Acquire takes one unit, parking p in FIFO order until one is free.
 func (s *Semaphore) Acquire(p *Proc) {
-	if s.free > 0 && len(s.waiters) == 0 {
+	if s.free > 0 && s.waiters.Len() == 0 {
 		s.free--
 		return
 	}
-	s.waiters = append(s.waiters, p)
+	s.waiters.Push(p)
 	// Release passes the unit directly to the woken waiter (no barging), so
 	// a single park suffices.
 	p.park()
@@ -29,7 +29,7 @@ func (s *Semaphore) Acquire(p *Proc) {
 
 // TryAcquire takes a unit without blocking and reports success.
 func (s *Semaphore) TryAcquire() bool {
-	if s.free > 0 && len(s.waiters) == 0 {
+	if s.free > 0 && s.waiters.Len() == 0 {
 		s.free--
 		return true
 	}
@@ -39,10 +39,8 @@ func (s *Semaphore) TryAcquire() bool {
 // Release returns one unit, waking the longest-waiting process if any. The
 // unit passes directly to the woken process (no barging).
 func (s *Semaphore) Release() {
-	if len(s.waiters) > 0 {
-		p := s.waiters[0]
-		s.waiters = s.waiters[1:]
-		s.k.schedule(p, s.k.now, wakeEvent)
+	if s.waiters.Len() > 0 {
+		s.k.schedule(s.waiters.Pop(), s.k.now, wakeEvent)
 		return
 	}
 	s.free++

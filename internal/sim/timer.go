@@ -1,7 +1,5 @@
 package sim
 
-import "container/heap"
-
 // timerEntry is a deferred callback.
 type timerEntry struct {
 	at  Time
@@ -9,29 +7,18 @@ type timerEntry struct {
 	fn  func()
 }
 
-type timerHeap []timerEntry
-
-func (h timerHeap) Len() int { return len(h) }
-func (h timerHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// lessThan orders timer entries by (time, registration sequence).
+func (a timerEntry) lessThan(b timerEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h timerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *timerHeap) Push(x interface{}) { *h = append(*h, x.(timerEntry)) }
-func (h *timerHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+	return a.seq < b.seq
 }
 
 // timers is the kernel's deferred-callback facility, backed by one lazily
 // started process.
 type timers struct {
-	heap    timerHeap
+	heap    heap4[timerEntry]
 	seq     uint64
 	kick    *Signal
 	kicked  bool
@@ -51,7 +38,7 @@ func (k *Kernel) After(d Time, fn func()) {
 	}
 	t := k.timers
 	t.seq++
-	heap.Push(&t.heap, timerEntry{at: k.now + d, seq: t.seq, fn: fn})
+	t.heap.push(timerEntry{at: k.now + d, seq: t.seq, fn: fn})
 	if !t.started {
 		t.started = true
 		k.Go("sim-timers", k.runTimers)
@@ -65,18 +52,17 @@ func (k *Kernel) After(d Time, fn func()) {
 func (k *Kernel) runTimers(p *Proc) {
 	t := k.timers
 	for {
-		for len(t.heap) > 0 && t.heap[0].at <= p.Now() {
-			e := heap.Pop(&t.heap).(timerEntry)
-			e.fn()
+		for t.heap.len() > 0 && t.heap.peek().at <= p.Now() {
+			t.heap.pop().fn()
 		}
 		if t.kicked {
 			t.kicked = false
 			continue
 		}
-		if len(t.heap) == 0 {
+		if t.heap.len() == 0 {
 			p.WaitSignal(t.kick)
 			continue
 		}
-		p.WaitSignalTimeout(t.kick, t.heap[0].at-p.Now())
+		p.WaitSignalTimeout(t.kick, t.heap.peek().at-p.Now())
 	}
 }
