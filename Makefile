@@ -1,6 +1,7 @@
 GO ?= go
+BIN ?= bin
 
-.PHONY: build test race vet bench-smoke bench bench-json
+.PHONY: build test race vet lint stringscheck bench-smoke bench bench-json
 
 build:
 	$(GO) build ./...
@@ -8,14 +9,24 @@ build:
 test:
 	$(GO) test ./...
 
-# The parallel-workers determinism test is the suite's only test that runs
-# many simulations concurrently; under -race it exercises the kernel's
-# goroutine handoffs across every worker.
+# Full-tree race pass. -short skips the heavyweight experiment sweeps
+# (guarded with testing.Short) so the whole pass stays under ~2 minutes
+# while still racing every kernel handoff path, including the
+# parallel-workers suite.
 race:
-	$(GO) test -race -run TestParallelWorkers ./internal/experiments/
+	$(GO) test -race -short ./...
 
 vet:
 	$(GO) vet ./...
+
+# stringscheck: the determinism/protocol-invariant analyzer suite
+# (DESIGN.md "Determinism invariants"). Runs as a go vet unit checker so
+# it sees exactly what the build sees and caches per package.
+stringscheck:
+	$(GO) build -o $(BIN)/stringscheck ./cmd/stringscheck
+
+lint: stringscheck
+	$(GO) vet -vettool=$(BIN)/stringscheck ./...
 
 # One iteration of every micro-benchmark: proves they still compile and run
 # without paying full benchmark time. The codec benchmarks must report

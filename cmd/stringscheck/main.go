@@ -1,0 +1,77 @@
+// Command stringscheck enforces the simulator's determinism and protocol
+// invariants (DESIGN.md "Determinism invariants") with five analyzers:
+//
+//	simclock  — no wall-clock time in sim-driven packages
+//	detrand   — no process-global math/rand; thread a seeded *rand.Rand
+//	maporder  — no map-iteration order leaking into simulator state
+//	rawgo     — no raw goroutines outside the kernel's baton chain
+//	errflow   — no silently discarded errors on rpcproto/remoting paths
+//
+// It runs two ways:
+//
+//	stringscheck ./...                     # standalone, like a linter
+//	go vet -vettool=$(which stringscheck) ./...   # as a vet unit checker
+//
+// In vettool mode cmd/go invokes the binary once per package with a
+// vet.cfg file (plus -V=full and -flags probes, answered below).
+// Suppress a finding with: //lint:allow <analyzer> -- <reason>
+package main
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/driver"
+)
+
+func main() {
+	args := os.Args[1:]
+	for _, a := range args {
+		switch {
+		case strings.HasPrefix(a, "-V"):
+			printVersion()
+			return
+		case a == "-flags":
+			// cmd/go probes for analyzer flags; the suite has none.
+			fmt.Println("[]")
+			return
+		case a == "-doc", a == "--doc", a == "-help", a == "--help", a == "-h":
+			printDoc()
+			return
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(driver.VetTool(os.Stderr, args[0]))
+	}
+	os.Exit(driver.Standalone(os.Stderr, ".", args))
+}
+
+// printVersion answers cmd/go's -V=full probe. The output doubles as the
+// tool's build ID for go vet's action cache, so it must change whenever
+// the binary does: hash the executable itself.
+func printVersion() {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			_, _ = io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version devel buildID=%x\n", filepath.Base(os.Args[0]), h.Sum(nil))
+}
+
+func printDoc() {
+	fmt.Println("stringscheck enforces simulator determinism and protocol invariants.")
+	fmt.Println()
+	for _, a := range analysis.All() {
+		fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+	}
+	fmt.Println()
+	fmt.Println("usage: stringscheck [packages]   |   go vet -vettool=$(which stringscheck) [packages]")
+	fmt.Println("suppress: //lint:allow <analyzer>[,<analyzer>] -- <reason>")
+}

@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression comments have the form
+//
+//	//lint:allow <analyzer>[,<analyzer>...] [-- reason]
+//
+// and silence the named analyzers on the line carrying the comment and on
+// the line directly below it (so the comment can sit at the end of the
+// offending line or on its own line above it). The reason after "--" is
+// free text; writing one is strongly encouraged — the suppression is a
+// claim that a determinism rule provably does not apply, and the claim
+// should be auditable.
+
+const allowPrefix = "lint:allow"
+
+// allowedAt maps filename -> line -> analyzer names suppressed there.
+type allowedAt map[string]map[int]map[string]bool
+
+// collectAllows scans every comment in files for //lint:allow directives.
+func collectAllows(fset *token.FileSet, files []*ast.File) allowedAt {
+	out := make(allowedAt)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+				if i := strings.Index(rest, "--"); i >= 0 {
+					rest = strings.TrimSpace(rest[:i])
+				}
+				if rest == "" {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := out[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					out[pos.Filename] = lines
+				}
+				for _, name := range strings.FieldsFunc(rest, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+					for _, ln := range []int{pos.Line, pos.Line + 1} {
+						if lines[ln] == nil {
+							lines[ln] = make(map[string]bool)
+						}
+						lines[ln][name] = true
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// filterAllowed drops diagnostics whose position is covered by a matching
+// //lint:allow comment.
+func filterAllowed(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	if len(diags) == 0 {
+		return diags
+	}
+	allows := collectAllows(fset, files)
+	kept := diags[:0]
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if lines, ok := allows[pos.Filename]; ok {
+			if names, ok := lines[pos.Line]; ok && (names[d.Analyzer] || names["all"]) {
+				continue
+			}
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

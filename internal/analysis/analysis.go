@@ -1,0 +1,166 @@
+// Package analysis is a small, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary, carrying the five stringscheck
+// analyzers that mechanically enforce the simulator's determinism and
+// protocol invariants (see DESIGN.md "Determinism invariants").
+//
+// The framework is deliberately tiny: an Analyzer inspects one typechecked
+// package and reports Diagnostics; Run executes a set of analyzers over a
+// Target and filters diagnostics through //lint:allow suppressions. It
+// exists because the build environment is offline — x/tools is not
+// vendorable here — and because none of the five checks need cross-package
+// facts, modular analysis, or suggested fixes.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// "//lint:allow <name>" suppression comments.
+	Name string
+	// Doc is a one-paragraph description of the invariant, shown by
+	// "stringscheck -doc".
+	Doc string
+	// Run inspects the package held by pass and reports violations via
+	// pass.Reportf. A returned error aborts the whole check (reserved for
+	// internal failures, not findings).
+	Run func(pass *Pass) error
+}
+
+// A Pass carries one typechecked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one reported violation.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Message  string
+}
+
+// A Target is one typechecked package ready for analysis.
+type Target struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// NewInfo returns a types.Info with every map the analyzers consult.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+}
+
+// All returns the full stringscheck suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{Simclock, Detrand, Maporder, Rawgo, Errflow}
+}
+
+// ByName resolves one analyzer, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Run executes analyzers over the target, applies //lint:allow filtering,
+// and returns the surviving diagnostics sorted by position.
+func Run(t *Target, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      t.Fset,
+			Files:     t.Files,
+			Pkg:       t.Pkg,
+			TypesInfo: t.Info,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	diags = filterAllowed(t.Fset, t.Files, diags)
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := t.Fset.Position(diags[i].Pos), t.Fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// ---- shared predicates ----
+
+// isTestFile reports whether the file holding pos is a _test.go file; all
+// five analyzers check production code only (tests legitimately use
+// goroutines, wall clocks for timeouts, and unordered iteration).
+func isTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// simDriven reports whether pkg belongs to the simulator's deterministic
+// domain: it is internal/sim itself, or it directly imports internal/sim or
+// one of the façade packages (stringsched, internal/core) that drive it.
+// Matching is by path suffix so analysistest fixtures under testdata/src
+// trigger the same way the real tree does.
+func simDriven(pkg *types.Package) bool {
+	if pkg == nil {
+		return false
+	}
+	if pathEndsWith(pkg.Path(), "internal/sim") {
+		return true
+	}
+	for _, imp := range pkg.Imports() {
+		p := imp.Path()
+		if pathEndsWith(p, "internal/sim") ||
+			pathEndsWith(p, "internal/core") ||
+			pathEndsWith(p, "stringsched") {
+			return true
+		}
+	}
+	return false
+}
+
+// pathEndsWith reports whether path equals suffix or ends with "/"+suffix.
+func pathEndsWith(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}

@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Detrand forbids the process-global math/rand source.
+//
+// Every stochastic choice in the simulator — arrival draws, tie-breaks,
+// workload mixes — must flow from a seeded *rand.Rand that the caller
+// threads through (the kernel's rand.New(rand.NewSource(seed)) in
+// internal/sim, or the per-stream derivation in internal/core/run.go).
+// The package-level rand.Intn/Float64/Shuffle/... functions share one
+// process-global source, so two simulations in the same process perturb
+// each other and no run is reproducible from its seed. Constructors
+// (rand.New, rand.NewSource, rand.NewZipf, ...) are the sanctioned way to
+// build a threaded source and stay legal, as do methods on an explicit
+// *rand.Rand value.
+var Detrand = &Analyzer{
+	Name: "detrand",
+	Doc: "forbid package-level math/rand functions (shared global source); " +
+		"randomness must come from a seeded *rand.Rand threaded through the call chain",
+	Run: runDetrand,
+}
+
+// detrandConstructors build explicit sources or generators and are allowed.
+var detrandConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+func runDetrand(pass *Pass) error {
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			// Methods (r.Intn on a threaded *rand.Rand) are the sanctioned
+			// pattern; only package-level functions hit the global source.
+			if fn.Type().(*types.Signature).Recv() != nil {
+				return true
+			}
+			if detrandConstructors[fn.Name()] {
+				return true
+			}
+			pass.Reportf(id.Pos(),
+				"rand.%s draws from the process-global source, breaking seed reproducibility; thread a seeded *rand.Rand instead (see internal/core/run.go) (//lint:allow detrand -- <reason> to suppress)", fn.Name())
+			return true
+		})
+	}
+	return nil
+}

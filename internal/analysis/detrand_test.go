@@ -1,0 +1,14 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// TestDetrand covers forbidden package-level math/rand functions, the
+// constructor and *rand.Rand-method carve-outs, and //lint:allow.
+func TestDetrand(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.Detrand, "detrand")
+}

@@ -1,0 +1,41 @@
+// Package driver runs the stringscheck suite in the binary's two modes:
+// standalone (`stringscheck ./...`, backed by the load package) and as a
+// `go vet -vettool=` unit checker speaking cmd/go's vet.cfg protocol.
+package driver
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+// Standalone lints the packages matching patterns from dir, printing
+// diagnostics to w. It returns 0 for a clean tree, 2 when diagnostics were
+// reported, 1 on operational failure (load or typecheck error).
+func Standalone(w io.Writer, dir string, patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	targets, err := load.Targets(dir, patterns)
+	if err != nil {
+		fmt.Fprintf(w, "stringscheck: %v\n", err)
+		return 1
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].Path < targets[j].Path })
+	exit := 0
+	for _, t := range targets {
+		diags, err := analysis.Run(t, analysis.All())
+		if err != nil {
+			fmt.Fprintf(w, "stringscheck: %s: %v\n", t.Path, err)
+			return 1
+		}
+		for _, d := range diags {
+			fmt.Fprintf(w, "%s: %s: %s\n", t.Fset.Position(d.Pos), d.Analyzer, d.Message)
+			exit = 2
+		}
+	}
+	return exit
+}

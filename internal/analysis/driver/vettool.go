@@ -1,0 +1,137 @@
+package driver
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+// vetConfig mirrors the JSON cmd/go writes to the vet.cfg file it hands a
+// -vettool binary (one invocation per package). Fields we do not consume
+// are listed for documentation value and decoded for free.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// VetTool analyzes the single package described by the cfg file, printing
+// diagnostics to w in go-vet style. Exit semantics match x/tools
+// unitchecker: 0 clean, 1 operational failure, 2 diagnostics reported.
+func VetTool(w io.Writer, cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(w, "stringscheck: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(w, "stringscheck: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+
+	// cmd/go caches the vetx facts file as this action's output; the suite
+	// is facts-free, so an empty file satisfies the contract.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(w, "stringscheck: %v\n", err)
+			return 1
+		}
+	}
+	// Dependency-only invocation: nothing to report, no facts to compute.
+	if cfg.VetxOnly {
+		return 0
+	}
+	// Test variants ("pkg [pkg.test]", "pkg.test") recompile the package's
+	// production files alongside _test.go files. The analyzers check
+	// production files only and those are covered by the primary variant,
+	// so analyzing here would only duplicate diagnostics.
+	if strings.Contains(cfg.ImportPath, " [") || strings.HasSuffix(cfg.ImportPath, ".test") {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, g := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, g, nil, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintf(w, "stringscheck: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return 0
+	}
+
+	// Imports resolve through the export data cmd/go already compiled:
+	// source path -> canonical path (ImportMap) -> export file (PackageFile).
+	exports := make(map[string]string, len(cfg.PackageFile))
+	for canon, file := range cfg.PackageFile {
+		exports[canon] = file
+	}
+	lookupExports := make(map[string]string, len(cfg.ImportMap))
+	for src, canon := range cfg.ImportMap {
+		lookupExports[src] = exports[canon]
+	}
+	for canon, file := range exports {
+		if _, ok := lookupExports[canon]; !ok {
+			lookupExports[canon] = file
+		}
+	}
+
+	info := analysis.NewInfo()
+	conf := types.Config{Importer: load.ExportImporter(fset, lookupExports)}
+	if cfg.GoVersion != "" {
+		conf.GoVersion = cfg.GoVersion
+	}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(w, "stringscheck: typechecking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	target := &analysis.Target{
+		Path:  cfg.ImportPath,
+		Fset:  fset,
+		Files: files,
+		Pkg:   tpkg,
+		Info:  info,
+	}
+	diags, err := analysis.Run(target, analysis.All())
+	if err != nil {
+		fmt.Fprintf(w, "stringscheck: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(w, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

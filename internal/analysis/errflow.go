@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Errflow flags discarded errors on the wire-protocol paths.
+//
+// PR 1's ErrStringTooLong fix showed why this matters: the codec used to
+// truncate >64KiB strings silently, and the bug lived exactly where an
+// error return was being dropped. On encode/decode/transport paths
+// (internal/rpcproto, internal/remoting) a swallowed error means a
+// corrupt or short frame sails on as if it were valid, so every call
+// whose results include an error must consume it. Deliberate discards
+// must be spelled `_ = f()` (greppable, reviewed) rather than a bare call
+// statement; `defer f()` cleanup is conventional and exempt, as are the
+// fmt.Print* console helpers.
+var Errflow = &Analyzer{
+	Name: "errflow",
+	Doc: "flag call statements that drop an error result in internal/rpcproto and " +
+		"internal/remoting; wire-protocol errors must be consumed or explicitly discarded with _ =",
+	Run: runErrflow,
+}
+
+func runErrflow(pass *Pass) error {
+	if !pathEndsWith(pass.Pkg.Path(), "internal/rpcproto") &&
+		!pathEndsWith(pass.Pkg.Path(), "internal/remoting") {
+		return nil
+	}
+	errType := types.Universe.Lookup("error").Type()
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isConsoleHelper(pass, call) {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[call]
+			if !ok {
+				return true
+			}
+			if !resultCarriesError(tv.Type, errType) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"result of %s carries an error that is silently discarded on a wire-protocol path; handle it or write `_ = %s` to make the discard explicit (//lint:allow errflow -- <reason> to suppress)",
+				exprString(pass.Fset, call.Fun), exprString(pass.Fset, call))
+			return true
+		})
+	}
+	return nil
+}
+
+// resultCarriesError reports whether t is error or a tuple with an error.
+func resultCarriesError(t types.Type, errType types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if types.Identical(t, errType) {
+		return true
+	}
+	tup, ok := t.(*types.Tuple)
+	if !ok {
+		return false
+	}
+	for i := 0; i < tup.Len(); i++ {
+		if types.Identical(tup.At(i).Type(), errType) {
+			return true
+		}
+	}
+	return false
+}
+
+// isConsoleHelper exempts fmt.Print/Printf/Println, whose (n, err) results
+// are conventionally ignored for console output.
+func isConsoleHelper(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "fmt" {
+		return false
+	}
+	switch obj.Name() {
+	case "Print", "Printf", "Println":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,14 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// TestErrflow covers dropped error results on call statements, the
+// explicit `_ =` / defer / fmt.Print* carve-outs, and //lint:allow.
+func TestErrflow(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.Errflow, "repro/internal/rpcproto")
+}

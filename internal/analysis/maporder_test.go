@@ -1,0 +1,21 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// TestMaporder covers unsorted key collection, call/send/float-accumulation
+// effects, the collect-then-sort and per-key-bucketing carve-outs, benign
+// counters and delete sweeps, and //lint:allow suppression.
+func TestMaporder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.Maporder, "maporder")
+}
+
+// TestMaporderSkipsNonSimPackages: map ranges outside the sim-driven
+// domain are not checked.
+func TestMaporderSkipsNonSimPackages(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.Maporder, "notsim")
+}

@@ -1,0 +1,50 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// Rawgo forbids raw goroutines in sim-driven packages.
+//
+// The kernel hands execution between simulated processes with a baton
+// chain: exactly one process runs at a time, and the kernel only advances
+// the virtual clock when that process parks (internal/sim/kernel.go). A
+// raw `go func` in scheduling code runs outside the baton, racing the
+// kernel on shared state and observing a clock that may advance under it.
+// Concurrency inside the simulated world must go through sim.Kernel
+// process APIs (Kernel.Go / Proc.Wait / Queue / Signal). Real concurrency
+// at the system boundary — a TCP accept loop, an experiment worker pool
+// where each worker owns a private kernel — is legitimate and carries a
+// //lint:allow rawgo with its justification.
+var Rawgo = &Analyzer{
+	Name: "rawgo",
+	Doc: "forbid `go` statements in sim-driven packages outside internal/sim itself; " +
+		"simulated concurrency must use the kernel's baton-chain process APIs",
+	Run: runRawgo,
+}
+
+func runRawgo(pass *Pass) error {
+	if !simDriven(pass.Pkg) {
+		return nil
+	}
+	// The kernel itself implements the baton chain with one goroutine per
+	// simulated process; it is the sole holder of that right.
+	if pathEndsWith(pass.Pkg.Path(), "internal/sim") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			pass.Reportf(g.Pos(),
+				"raw goroutine in a sim-driven package bypasses the kernel's baton-chain handoff; use sim.Kernel process APIs (Kernel.Go/Proc.Wait), or //lint:allow rawgo -- <reason> for real system-boundary concurrency")
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,26 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// TestRawgo covers raw `go` statements (named and literal), the kernel
+// process-API alternative, and //lint:allow suppression.
+func TestRawgo(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.Rawgo, "rawgo")
+}
+
+// TestRawgoExemptsKernel: internal/sim itself implements the baton chain
+// and may spawn goroutines.
+func TestRawgoExemptsKernel(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.Rawgo, "repro/internal/sim")
+}
+
+// TestRawgoSkipsNonSimPackages: goroutines outside the sim-driven domain
+// are not checked.
+func TestRawgoSkipsNonSimPackages(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.Rawgo, "notsim")
+}

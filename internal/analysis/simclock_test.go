@@ -1,0 +1,20 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// TestSimclock covers the forbidden wall-clock reads, the time.Time state
+// diagnostic, the time.Duration carve-out, and //lint:allow suppression.
+func TestSimclock(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.Simclock, "simclock")
+}
+
+// TestSimclockSkipsNonSimPackages: a package that does not import
+// internal/sim (or a façade) may use the wall clock freely.
+func TestSimclockSkipsNonSimPackages(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.Simclock, "notsim")
+}

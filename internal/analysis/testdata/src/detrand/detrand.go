@@ -1,0 +1,32 @@
+// Fixture for the detrand analyzer: package-level math/rand functions
+// share the process-global source and are forbidden everywhere.
+package detrand
+
+import "math/rand"
+
+func bad() int {
+	return rand.Intn(10) // want `rand\.Intn draws from the process-global source`
+}
+
+func shuffleBad(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand\.Shuffle draws from the process-global source`
+}
+
+func floatBad() float64 {
+	return rand.Float64() // want `rand\.Float64 draws from the process-global source`
+}
+
+func seeded(seed int64) int {
+	// Constructors plus methods on a threaded *rand.Rand are the
+	// sanctioned pattern.
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+func threaded(rng *rand.Rand) float64 {
+	return rng.Float64()
+}
+
+func allowed() float64 {
+	return rand.Float64() //lint:allow detrand -- fixture: demonstration of the escape hatch
+}

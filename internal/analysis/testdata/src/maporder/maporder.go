@@ -1,0 +1,89 @@
+// Fixture for the maporder analyzer: map iteration order must not leak
+// into simulator state in sim-driven packages.
+package maporder
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
+
+var _ sim.Time // importing internal/sim makes this package sim-driven
+
+func unsortedKeys(m map[string]int) []string {
+	var ks []string
+	for k := range m { // want `map iteration order leaks into ks`
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+func sortedKeys(m map[string]int) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+func sortSliceAlsoCounts(m map[string]int32) []int64 {
+	var out []int64
+	for _, v := range m {
+		out = append(out, int64(v)) // conversions are not calls
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func callEffect(m map[string]int, f func(int)) {
+	for _, v := range m { // want `call to f inside map iteration`
+		f(v)
+	}
+}
+
+func sendEffect(m map[string]int, ch chan int) {
+	for _, v := range m { // want `send on ch inside map iteration`
+		ch <- v
+	}
+}
+
+func floatAccum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m { // want `floating-point accumulation into total`
+		total += v
+	}
+	return total
+}
+
+func intCountersAreFine(m map[string]int) (n, sum int) {
+	for _, v := range m {
+		n++
+		sum += v
+	}
+	return
+}
+
+func deleteSweepIsFine(m map[string]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+func perKeyBucketingIsFine(src map[string][]int, dst map[string][]int) {
+	// dst[k] is injective in the range key: each iteration touches its
+	// own entry, so order cannot escape.
+	for k, vs := range src {
+		dst[k] = append(dst[k], vs...)
+	}
+}
+
+type accum struct{ n int }
+
+func (a *accum) add(v int) { a.n += v }
+
+func allowed(m map[string]int, a *accum) {
+	for _, v := range m { //lint:allow maporder -- fixture: add is commutative over ints
+		a.add(v)
+	}
+}

@@ -1,0 +1,20 @@
+// Fixture proving the sim-driven trigger: this package does not import
+// repro/internal/sim or a façade, so simclock/maporder/rawgo stay silent
+// even though every rule is "violated" below.
+package notsim
+
+import "time"
+
+func wallClockIsFine() time.Time { return time.Now() }
+
+func rangeIsFine(m map[string]int, f func(int)) {
+	for _, v := range m {
+		f(v)
+	}
+}
+
+func goroutinesAreFine() {
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}

@@ -1,0 +1,19 @@
+// Fixture for the rawgo analyzer: raw goroutines are forbidden in
+// sim-driven packages outside the kernel itself.
+package rawgo
+
+import "repro/internal/sim"
+
+func spawn(k *sim.Kernel) {
+	go leak()   // want `raw goroutine in a sim-driven package`
+	go func() { // want `raw goroutine in a sim-driven package`
+		leak()
+	}()
+	k.Go("worker", func(p *sim.Proc) {}) // kernel process API: sanctioned
+}
+
+func leak() {}
+
+func accepted() {
+	go leak() //lint:allow rawgo -- fixture: real accept loop at the system boundary
+}

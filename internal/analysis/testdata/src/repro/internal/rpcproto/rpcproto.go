@@ -1,0 +1,29 @@
+// Fixture for the errflow analyzer: its import path ends in
+// internal/rpcproto, so discarded errors on call statements are forbidden.
+package rpcproto
+
+import "fmt"
+
+type Writer struct{}
+
+func (w *Writer) WriteFrame(b []byte) error { return nil }
+func (w *Writer) Flush() (int, error)       { return 0, nil }
+
+func drops(w *Writer, b []byte) {
+	w.WriteFrame(b) // want `result of w\.WriteFrame carries an error that is silently discarded`
+	w.Flush()       // want `result of w\.Flush carries an error that is silently discarded`
+}
+
+func handled(w *Writer, b []byte) error {
+	if err := w.WriteFrame(b); err != nil {
+		return err
+	}
+	_ = w.WriteFrame(b) // explicit discard is greppable and review-visible
+	defer w.Flush()     // cleanup path: conventional, exempt
+	fmt.Println("ok")   // console helper: exempt
+	return nil
+}
+
+func allowed(w *Writer, b []byte) {
+	w.WriteFrame(b) //lint:allow errflow -- fixture: fire-and-forget probe
+}

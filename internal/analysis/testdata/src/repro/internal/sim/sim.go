@@ -1,0 +1,25 @@
+// Package sim is a miniature stand-in for the real discrete-event kernel,
+// just enough for fixtures to import it (which is what makes a fixture
+// package "sim-driven" to the analyzers). It also doubles as the rawgo
+// exemption fixture: the kernel itself implements the baton chain and may
+// use raw goroutines.
+package sim
+
+// Time is virtual time in microseconds.
+type Time int64
+
+// Proc is a simulated process.
+type Proc struct{}
+
+// Kernel is the discrete-event kernel.
+type Kernel struct{}
+
+// Go spawns a simulated process under the baton chain.
+func (k *Kernel) Go(name string, fn func(p *Proc)) {
+	done := make(chan struct{})
+	go func() { // the kernel owns the baton chain: no rawgo diagnostic here
+		defer close(done)
+		fn(&Proc{})
+	}()
+	<-done
+}

@@ -1,0 +1,32 @@
+// Fixture for the simclock analyzer: this package imports
+// repro/internal/sim, so wall-clock time is forbidden.
+package simclock
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+type state struct {
+	virtual sim.Time
+	started time.Time // want `time\.Time is wall-clock state in a sim-driven package`
+}
+
+func bad(s *state) {
+	_ = time.Now()               // want `time\.Now reads the wall clock in a sim-driven package`
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the wall clock in a sim-driven package`
+	select {
+	case <-time.After(time.Second): // want `time\.After reads the wall clock in a sim-driven package`
+	default:
+	}
+}
+
+func unitsAreFine(d time.Duration) time.Duration {
+	// Durations and unit constants are pure arithmetic, not clock reads.
+	return d * 2 * time.Millisecond
+}
+
+func allowed() {
+	_ = time.Now() //lint:allow simclock -- fixture: harness measures wall time around the run
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 	"sort"
 
 	"repro/internal/cuda"
@@ -164,7 +165,12 @@ func (c *Cluster) RunUntil(streams []workload.StreamSpec, horizon sim.Time) (*Ru
 	// Replace the completion-derived tenant accounting with the devices'
 	// view at the horizon.
 	c.results.TenantService = make(map[int64]sim.Time)
-	for appID, tenant := range c.appTenant {
+	appIDs := make([]int, 0, len(c.appTenant))
+	for appID := range c.appTenant {
+		appIDs = append(appIDs, appID)
+	}
+	slices.Sort(appIDs)
+	for _, appID := range appIDs {
 		var svc sim.Time
 		for _, d := range c.devices {
 			// Delivered service only: the driver's context-switch charge
@@ -174,7 +180,7 @@ func (c *Cluster) RunUntil(streams []workload.StreamSpec, horizon sim.Time) (*Ru
 			// received).
 			svc += d.AppService(appID)
 		}
-		c.results.TenantService[tenant] += svc
+		c.results.TenantService[c.appTenant[appID]] += svc
 	}
 	return c.results, nil
 }

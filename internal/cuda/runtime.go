@@ -2,6 +2,7 @@ package cuda
 
 import (
 	"fmt"
+	"slices"
 
 	"repro/internal/gpu"
 	"repro/internal/sim"
@@ -407,7 +408,20 @@ func (t *Thread) ThreadExit() error {
 	if err := t.DeviceSynchronize(); err != nil {
 		return err
 	}
+	// Free in (device, allocation-id) order: Free itself is additive, but
+	// releasing in map order would make any future accounting hook on the
+	// free path order-dependent.
+	ptrs := make([]Ptr, 0, len(t.allocs))
 	for p := range t.allocs {
+		ptrs = append(ptrs, p)
+	}
+	slices.SortFunc(ptrs, func(a, b Ptr) int {
+		if a.Dev != b.Dev {
+			return a.Dev - b.Dev
+		}
+		return int(a.ID - b.ID)
+	})
+	for _, p := range ptrs {
 		t.rt.devices[p.Dev].Free(p.Size)
 	}
 	t.allocs = make(map[Ptr]struct{})
@@ -421,10 +435,6 @@ func sortedStreamIDs(m map[StreamID]*sim.Event) []StreamID {
 	for id := range m {
 		ids = append(ids, id)
 	}
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
-		}
-	}
+	slices.Sort(ids)
 	return ids
 }

@@ -178,7 +178,11 @@ func (PS) Pick(now sim.Time, entries []*Entry, cfg *Config) []*Entry {
 		}
 		groups[ph] = append(groups[ph], e)
 	}
-	for _, g := range groups {
+	// Order each group over the fixed phase list rather than by ranging the
+	// map: sorting is per-group and so order-independent, but iterating the
+	// known phases keeps the loop mechanically deterministic (maporder).
+	for _, ph := range []Phase{PhaseKL, PhaseH2D, PhaseD2H, PhaseDFL} {
+		g := groups[ph]
 		sort.Slice(g, func(i, j int) bool {
 			if g[i].Attained != g[j].Attained {
 				return g[i].Attained < g[j].Attained

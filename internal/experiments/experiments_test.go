@@ -124,6 +124,9 @@ func TestFig10ShapeHolds(t *testing.T) {
 }
 
 func TestFig11FairnessOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep; skipped with -short (race gate)")
+	}
 	ps := workload.Pairs()
 	s := NewSuite(Options{Seed: 1, Requests: 6,
 		Pairs: []workload.Pair{ps[1], ps[13]}}) // DC-MC, MM-MC: contended mixes
@@ -144,6 +147,9 @@ func TestFig11FairnessOrdering(t *testing.T) {
 }
 
 func TestFig12And13Orderings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep; skipped with -short (race gate)")
+	}
 	s := smallSuite()
 	f12 := s.Fig12()
 	lasRain := avgRow(t, f12, "GWtMinLAS-Rain")
@@ -169,6 +175,9 @@ func TestFig12And13Orderings(t *testing.T) {
 }
 
 func TestFig14And15FeedbackWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep; skipped with -short (race gate)")
+	}
 	s := smallSuite()
 	f10 := s.Fig10()
 	f14 := s.Fig14()
@@ -190,6 +199,9 @@ func TestFig14And15FeedbackWins(t *testing.T) {
 }
 
 func TestSuiteCachingSharesBaselines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep; skipped with -short (race gate)")
+	}
 	s := smallSuite()
 	s.Fig10()
 	runs := s.Runs
@@ -206,6 +218,9 @@ func TestSuiteCachingSharesBaselines(t *testing.T) {
 }
 
 func TestAblationsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep; skipped with -short (race gate)")
+	}
 	ps := workload.Pairs()
 	s := NewSuite(Options{Seed: 1, Requests: 5, Pairs: ps[:1]})
 	for _, tab := range []*metrics.Table{
@@ -306,6 +321,9 @@ func TestCSVOutput(t *testing.T) {
 }
 
 func TestHeadlineTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep; skipped with -short (race gate)")
+	}
 	s := smallSuite()
 	tab := s.Headline()
 	if len(tab.Labels) != 9 {

@@ -204,7 +204,7 @@ func (s *Suite) forEach(n int, fn func(i int)) {
 	var firstPanic interface{}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func() { //lint:allow rawgo -- experiment worker pool: each worker builds a private cluster + kernel per index and shares nothing with the simulated world
 			defer wg.Done()
 			for i := range idx {
 				func() {

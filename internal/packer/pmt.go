@@ -1,7 +1,7 @@
 package packer
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/cuda"
 )
@@ -91,14 +91,19 @@ func (t *PMT) AppEntries(appID int) []PinnedEntry {
 }
 
 // idsWhere returns matching entry ids in ascending order (deterministic
-// iteration over the map).
+// iteration over the map). The predicate runs over already-sorted ids so
+// map order never reaches it.
 func (t *PMT) idsWhere(pred func(PinnedEntry) bool) []int64 {
-	var ids []int64
-	for id, e := range t.entries {
-		if pred(e) {
-			ids = append(ids, id)
+	ids := make([]int64, 0, len(t.entries))
+	for id := range t.entries {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	out := ids[:0]
+	for _, id := range ids {
+		if pred(t.entries[id]) {
+			out = append(out, id)
 		}
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
+	return out
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"slices"
 
 	"repro/internal/cuda"
 	"repro/internal/gpu"
@@ -28,7 +29,7 @@ func (b *TCPBackend) Serve(lis net.Listener) error {
 		if err != nil {
 			return err
 		}
-		go func() {
+		go func() { //lint:allow rawgo -- real network concurrency at the system boundary: each connection owns a private kernel and shares no simulator state
 			defer conn.Close()
 			_ = b.ServeConn(conn)
 		}()
@@ -226,15 +227,27 @@ func (s *tcpSession) execute(call *rpcproto.Call) *rpcproto.Reply {
 		}
 		delete(s.events, cuda.EventID(call.Event))
 	case cuda.CallDeviceSync, cuda.CallThreadExit:
-		for _, ev := range s.lastOp {
-			if !ev.Fired() {
+		// Drain streams in id order: runUntil advances the virtual clock,
+		// so map iteration order here would leak into the event sequence.
+		sids := make([]cuda.StreamID, 0, len(s.lastOp))
+		for id := range s.lastOp {
+			sids = append(sids, id)
+		}
+		slices.Sort(sids)
+		for _, id := range sids {
+			if ev := s.lastOp[id]; !ev.Fired() {
 				s.runUntil(ev)
 			}
 		}
 		if call.ID == cuda.CallThreadExit {
-			for id, size := range s.allocs {
+			ptrs := make([]int64, 0, len(s.allocs))
+			for id := range s.allocs {
+				ptrs = append(ptrs, id)
+			}
+			slices.Sort(ptrs)
+			for _, id := range ptrs {
+				s.dev.Free(s.allocs[id])
 				delete(s.allocs, id)
-				s.dev.Free(size)
 			}
 			reply.Feedback = &rpcproto.Feedback{
 				AppID:    call.AppID,
