@@ -34,6 +34,7 @@ lint: stringscheck
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkKernelDispatch|BenchmarkQueuePingPong|BenchmarkCodecRoundTrip' -benchtime=1x .
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./internal/rpcproto/
+	$(GO) run ./cmd/strings-bench -exp faults -pairs 1 -requests 4
 
 # Full micro-benchmark pass with allocation counts.
 bench:

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	strings-bench [-exp all|table1|fig1|fig2|fig9|fig10|fig11|fig12|fig13|fig14|fig15|ablations]
+//	strings-bench [-exp all|table1|fig1|fig2|fig9|fig10|fig11|fig12|fig13|fig14|fig15|ablations|faults]
 //	              [-requests N] [-lambda F] [-seed S] [-pairs N] [-width W]
 //	              [-cpuprofile out.pprof] [-memprofile out.pprof]
 //	              [-bench-json BENCH_simcore.json]
@@ -110,7 +110,7 @@ func runBenchJSON(path string, seed int64, iters int) error {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, table1, fig1, fig2, fig9..fig15, headline, ablations)")
+	exp := flag.String("exp", "all", "experiment to run (all, table1, fig1, fig2, fig9..fig15, headline, ablations, faults; faults is opt-in and not part of all)")
 	requests := flag.Int("requests", 12, "requests per short-job stream")
 	lambda := flag.Float64("lambda", 0.6, "mean inter-arrival as a fraction of solo runtime")
 	seed := flag.Int64("seed", 1, "simulation seed")
@@ -193,26 +193,30 @@ func main() {
 	}
 	runners := []struct {
 		name string
-		fn   func()
+		// extra experiments run only when named explicitly, never under
+		// -exp all (they change cluster configuration — fault injection —
+		// rather than reproduce a paper figure).
+		extra bool
+		fn    func()
 	}{
-		{"table1", func() { render(suite.TableI()) }},
-		{"fig1", func() { render(suite.Fig1()) }},
-		{"fig2", func() {
+		{name: "table1", fn: func() { render(suite.TableI()) }},
+		{name: "fig1", fn: func() { render(suite.Fig1()) }},
+		{name: "fig2", fn: func() {
 			out := suite.Fig2().Format(*width)
 			fmt.Println(out)
 			if page != nil {
 				page.AddPre("Fig 2: sequential vs concurrent Monte Carlo", out)
 			}
 		}},
-		{"fig9", func() { render(suite.Fig9()) }},
-		{"fig10", func() { render(suite.Fig10()) }},
-		{"fig11", func() { render(suite.Fig11()) }},
-		{"fig12", func() { render(suite.Fig12()) }},
-		{"fig13", func() { render(suite.Fig13()) }},
-		{"fig14", func() { render(suite.Fig14()) }},
-		{"fig15", func() { render(suite.Fig15()) }},
-		{"headline", func() { render(suite.Headline()) }},
-		{"ablations", func() {
+		{name: "fig9", fn: func() { render(suite.Fig9()) }},
+		{name: "fig10", fn: func() { render(suite.Fig10()) }},
+		{name: "fig11", fn: func() { render(suite.Fig11()) }},
+		{name: "fig12", fn: func() { render(suite.Fig12()) }},
+		{name: "fig13", fn: func() { render(suite.Fig13()) }},
+		{name: "fig14", fn: func() { render(suite.Fig14()) }},
+		{name: "fig15", fn: func() { render(suite.Fig15()) }},
+		{name: "headline", fn: func() { render(suite.Headline()) }},
+		{name: "ablations", fn: func() {
 			render(suite.AblationContextSwitch())
 			render(suite.AblationCopyEngines())
 			render(suite.AblationRemoteBandwidth())
@@ -221,13 +225,14 @@ func main() {
 			render(suite.AblationArbiter())
 			render(suite.AblationAppStyle())
 		}},
+		{name: "faults", extra: true, fn: func() { render(suite.Faults()) }},
 	}
 
 	want := strings.ToLower(*exp)
 	matched := false
 	start := time.Now() //lint:allow simclock -- bench harness: wall time measures the simulator itself, it never reaches simulated state
 	for _, r := range runners {
-		if want == "all" || want == r.name {
+		if (want == "all" && !r.extra) || want == r.name {
 			matched = true
 			r.fn()
 		}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	stringsd [-addr :9009] [-device TeslaC2050]
+//	stringsd [-addr :9009] [-device TeslaC2050] [-read-timeout 30s] [-write-timeout 30s]
 //
 // Pair it with examples/remoting or any client speaking internal/rpcproto.
 package main
@@ -14,6 +14,7 @@ import (
 	"flag"
 	"log"
 	"net"
+	"time"
 
 	"repro/internal/gpu"
 	"repro/internal/remoting"
@@ -22,6 +23,8 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:9009", "listen address")
 	device := flag.String("device", "TeslaC2050", "device to emulate: Quadro2000, Quadro4000, TeslaC2050, TeslaC2070")
+	readTimeout := flag.Duration("read-timeout", 30*time.Second, "per-read deadline on client connections; 0 disables")
+	writeTimeout := flag.Duration("write-timeout", 30*time.Second, "per-write deadline on client connections; 0 disables")
 	flag.Parse()
 
 	specs := map[string]gpu.Spec{
@@ -40,6 +43,10 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("stringsd: serving simulated %s on %s", spec.Name, lis.Addr())
-	backend := &remoting.TCPBackend{Spec: spec}
+	backend := &remoting.TCPBackend{
+		Spec:         spec,
+		ReadTimeout:  *readTimeout,
+		WriteTimeout: *writeTimeout,
+	}
 	log.Fatal(backend.Serve(lis))
 }

@@ -9,9 +9,11 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"time"
 
 	"repro/internal/cuda"
 	"repro/internal/gpu"
+	"repro/internal/netguard"
 	"repro/internal/remoting"
 	"repro/internal/rpcproto"
 )
@@ -44,11 +46,16 @@ func main() {
 		log.Fatal(err)
 	}
 	defer lis.Close()
-	backend := &remoting.TCPBackend{Spec: gpu.TeslaC2050}
+	backend := &remoting.TCPBackend{
+		Spec:         gpu.TeslaC2050,
+		ReadTimeout:  30 * time.Second,
+		WriteTimeout: 30 * time.Second,
+	}
 	go func() { _ = backend.Serve(lis) }()
 	fmt.Printf("backend daemon (simulated %s) listening on %s\n\n", gpu.TeslaC2050.Name, lis.Addr())
 
-	conn, err := net.Dial("tcp", lis.Addr().String())
+	// Dial with retries so a slow-starting daemon doesn't fail the client.
+	conn, err := netguard.DialRetry("tcp", lis.Addr().String(), 5, 20*time.Millisecond)
 	if err != nil {
 		log.Fatal(err)
 	}

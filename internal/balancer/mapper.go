@@ -12,6 +12,8 @@ type Mapper struct {
 
 	selections int
 	feedbacks  int
+	spills     int // selections rerouted off a non-Healthy pick
+	failures   int // failed-call reports absorbed
 }
 
 // NewMapper wires a mapper over the gPool's DST with the given policy.
@@ -29,16 +31,44 @@ func (m *Mapper) SFT() *SFT { return m.sft }
 func (m *Mapper) Policy() Policy { return m.policy }
 
 // Select answers one device-selection request: the policy picks a GID and
-// the mapper records the binding in the DST.
+// the mapper records the binding in the DST. A policy may still name a
+// non-Healthy device (stale round-robin state, or a pool with no healthy
+// rows); the mapper spills such picks over to the least-loaded healthy
+// survivor when one exists.
 func (m *Mapper) Select(req Request) GID {
 	gid := m.policy.Select(req, m.dst, m.sft)
 	if m.dst.Entry(gid) == nil && m.dst.Len() > 0 {
 		gid = 0
 	}
+	if e := m.dst.Entry(gid); e != nil && e.Health != Healthy {
+		if alt, ok := argminWhere(m.dst, req.Node, func(e *DSTEntry) float64 {
+			return float64(e.Load) / e.Weight
+		}, true); ok {
+			gid = alt
+			m.spills++
+		}
+	}
 	m.dst.Bind(gid, req.Kind)
 	m.selections++
 	return gid
 }
+
+// ReportFailure folds one failed call against gid into the failure detector
+// and returns the row's resulting health, so callers can decide between a
+// retry (Suspect) and a failover (Dead).
+func (m *Mapper) ReportFailure(gid GID) Health {
+	m.failures++
+	return m.dst.MarkFailure(gid)
+}
+
+// ReportRecovered records a successful call against a previously suspect
+// device, returning its row to Healthy.
+func (m *Mapper) ReportRecovered(gid GID) {
+	m.dst.MarkRecovered(gid)
+}
+
+// Spills returns how many selections were rerouted off a non-Healthy pick.
+func (m *Mapper) Spills() int { return m.spills }
 
 // Release undoes a binding when the application exits.
 func (m *Mapper) Release(gid GID, kind string) {

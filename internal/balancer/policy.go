@@ -27,9 +27,20 @@ func NewGRR() *GRR { return &GRR{} }
 // Name implements Policy.
 func (g *GRR) Name() string { return "GRR" }
 
-// Select implements Policy.
+// Select implements Policy. Non-Healthy devices are skipped: the cursor
+// advances past them, so round-robin continues over the surviving pool.
+// When every device is down the plain rotation answer is returned and the
+// Mapper's spillover (or the caller) deals with the exhausted pool.
 func (g *GRR) Select(req Request, dst *DST, sft *SFT) GID {
-	gid := GID(g.next % dst.Len())
+	n := dst.Len()
+	for i := 0; i < n; i++ {
+		gid := GID(g.next % n)
+		g.next++
+		if e := dst.Entry(gid); e != nil && e.Health == Healthy {
+			return gid
+		}
+	}
+	gid := GID(g.next % n)
 	g.next++
 	return gid
 }
@@ -63,12 +74,26 @@ func (GWtMin) Select(req Request, dst *DST, sft *SFT) GID {
 }
 
 // argmin picks the entry minimizing score; ties prefer devices on localNode,
-// then lower GIDs.
+// then lower GIDs. Non-Healthy entries are skipped; if the whole pool is
+// down the scan falls back to every row so callers always get an answer
+// (the Mapper surfaces the exhaustion separately).
 func argmin(dst *DST, localNode int, score func(*DSTEntry) float64) GID {
+	if gid, ok := argminWhere(dst, localNode, score, true); ok {
+		return gid
+	}
+	gid, _ := argminWhere(dst, localNode, score, false)
+	return gid
+}
+
+// argminWhere is argmin's scan; healthyOnly restricts it to Healthy rows.
+func argminWhere(dst *DST, localNode int, score func(*DSTEntry) float64, healthyOnly bool) (GID, bool) {
 	var best *DSTEntry
 	var bestScore float64
 	bestLocal := false
 	for _, e := range dst.Entries() {
+		if healthyOnly && e.Health != Healthy {
+			continue
+		}
 		s := score(e)
 		local := e.Node == localNode
 		switch {
@@ -77,9 +102,9 @@ func argmin(dst *DST, localNode int, score func(*DSTEntry) float64) GID {
 		}
 	}
 	if best == nil {
-		return 0
+		return 0, false
 	}
-	return best.GID
+	return best.GID, true
 }
 
 // devLoad summarizes the expected outstanding work bound to one device,

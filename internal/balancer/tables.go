@@ -34,6 +34,10 @@ type DSTEntry struct {
 	// Dynamic state.
 	Load       int            // applications currently bound
 	BoundKinds map[string]int // bound application classes
+
+	// Failure-detector state (see health.go). Zero value = Healthy.
+	Health      Health
+	ConsecFails int // consecutive failed calls since the last success
 }
 
 // DST is the Device Status Table.

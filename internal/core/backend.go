@@ -70,6 +70,11 @@ func (b *stringsBackend) serve(p *sim.Proc, ep rpcproto.Endpoint) {
 		ep.Send(p, reply, 0)
 		return
 	}
+	if b.c.faultGate(p, b.gid) {
+		// The backend died before (or while) the registration was served:
+		// the daemon is gone, so the handshake reply never leaves the node.
+		return
+	}
 	appID := int(first.AppID)
 	held := 0
 	entry := b.sched.Register(appID, first.TenantID, int(first.Weight),
@@ -87,14 +92,30 @@ func (b *stringsBackend) serve(p *sim.Proc, ep rpcproto.Endpoint) {
 		if !ok {
 			continue
 		}
+		if b.c.faultGate(p, b.gid) {
+			// Killed: swallow the call and keep draining the inbox so
+			// retransmissions die here instead of backing up the queue.
+			continue
+		}
 		held = 1
 		b.sched.SetPhase(appID, devsched.CallPhase(call))
 		if devsched.GatesOnDispatch(call.ID) {
 			b.sched.WaitTurn(p, entry)
 		}
+		t0 := p.Now()
 		reply := port.Execute(call)
+		b.c.degradePenalty(p, b.gid, p.Now()-t0)
 		held = 0
 		b.sched.SetPhase(appID, devsched.PhaseDFL)
+		if b.c.gpuDown[b.gid] {
+			// The kill landed while the call executed: the reply is lost
+			// with the daemon.
+			if call.ID == cuda.CallThreadExit {
+				b.sched.Unregister(appID)
+				return
+			}
+			continue
+		}
 		if call.ID == cuda.CallThreadExit {
 			reply.Feedback = b.sched.Unregister(appID)
 			ep.Send(p, reply, 0)
@@ -127,6 +148,9 @@ func (c *Cluster) rainServe(p *sim.Proc, gid int, ep rpcproto.Endpoint) {
 		ep.Send(p, reply, 0)
 		return
 	}
+	if c.faultGate(p, gid) {
+		return
+	}
 	appID := int(first.AppID)
 	sched := c.scheds[gid]
 	held := 0
@@ -146,14 +170,26 @@ func (c *Cluster) rainServe(p *sim.Proc, gid int, ep rpcproto.Endpoint) {
 		if !ok {
 			continue
 		}
+		if c.faultGate(p, gid) {
+			continue
+		}
 		held = 1
 		sched.SetPhase(appID, devsched.CallPhase(call))
 		if devsched.GatesOnDispatch(call.ID) {
 			sched.WaitTurn(p, entry)
 		}
+		t0 := p.Now()
 		reply := c.rainExecute(t, call)
+		c.degradePenalty(p, gid, p.Now()-t0)
 		held = 0
 		sched.SetPhase(appID, devsched.PhaseDFL)
+		if c.gpuDown[gid] {
+			if call.ID == cuda.CallThreadExit {
+				sched.Unregister(appID)
+				return
+			}
+			continue
+		}
 		if call.ID == cuda.CallThreadExit {
 			reply.Feedback = sched.Unregister(appID)
 			ep.Send(p, reply, 0)

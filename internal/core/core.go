@@ -12,7 +12,9 @@ import (
 	"repro/internal/balancer"
 	"repro/internal/cuda"
 	"repro/internal/devsched"
+	"repro/internal/faults"
 	"repro/internal/gpu"
+	"repro/internal/interpose"
 	"repro/internal/packer"
 	"repro/internal/remoting"
 	"repro/internal/rpcproto"
@@ -88,6 +90,18 @@ type Config struct {
 	// waits for capacity instead of failing, removing the paper's
 	// assumption that the arrival rate never exhausts device memory.
 	MemoryGuard bool
+
+	// Faults schedules deterministic backend failures (kill/stall/degrade a
+	// node or GPU at a virtual time). The zero plan injects nothing and
+	// adds zero events. Ignored in ModeCUDA (there is no remoting layer to
+	// fail).
+	Faults faults.Plan
+
+	// Recovery arms the interposers' failure handling: per-call timeouts,
+	// idempotent retransmits and failover to a surviving GPU. The zero
+	// value disables it, leaving the frontend bit-identical to the
+	// pre-fault-tolerance behaviour.
+	Recovery interpose.Recovery
 }
 
 // Cluster is a fully wired simulated deployment.
@@ -107,6 +121,12 @@ type Cluster struct {
 	appSeq    int
 	appTenant map[int]int64 // app id → tenant, for horizon-based accounting
 	results   *RunResult
+
+	// Injected fault state, indexed by GID and written only by the fault
+	// injector (all zero in fault-free runs).
+	gpuDown    []bool
+	stallUntil []sim.Time
+	degrade    []float64
 }
 
 // selectResult carries a selection answer from the mapper service back to
@@ -126,6 +146,17 @@ type mapperMsg struct {
 	release bool
 	relGID  balancer.GID
 	relKind string
+
+	// Failure-detector traffic.
+	fail      bool
+	recovered bool
+	hGID      balancer.GID
+	hOut      *healthResult
+}
+
+// healthResult carries a failure report's verdict back to the caller.
+type healthResult struct {
+	h balancer.Health
 }
 
 // New builds a cluster per cfg. The kernel, devices, gPool, mapper service
@@ -178,6 +209,9 @@ func New(cfg Config) (*Cluster, error) {
 		})
 	}
 	c.gmap = remoting.BuildGMap(infos)
+	c.gpuDown = make([]bool, gid)
+	c.stallUntil = make([]sim.Time, gid)
+	c.degrade = make([]float64, gid)
 
 	if cfg.Mode == ModeCUDA {
 		return c, nil
@@ -210,6 +244,7 @@ func New(cfg Config) (*Cluster, error) {
 			c.backs = append(c.backs, newStringsBackend(c, g))
 		}
 	}
+	faults.Start(c.K, cfg.Faults, c)
 	return c, nil
 }
 
@@ -264,6 +299,17 @@ func (c *Cluster) mapperLoop(p *sim.Proc) {
 		m := c.mapQ.Get(p)
 		p.Sleep(serviceTime)
 		switch {
+		case m.fail:
+			h := c.mapper.ReportFailure(m.hGID)
+			if h == balancer.Dead {
+				// The detector gave up on the device: take it out of the
+				// gPool too, so the alive view and the DST agree.
+				c.gmap.MarkDead(m.hGID)
+			}
+			m.hOut.h = h
+			m.done.Fire()
+		case m.recovered:
+			c.mapper.ReportRecovered(m.hGID)
 		case m.done != nil:
 			m.out.gid = c.mapper.Select(m.req)
 			m.done.Fire()
@@ -317,6 +363,21 @@ func (c *Cluster) ConnectBackend(p *sim.Proc, gid balancer.GID, fromNode int) rp
 // ReportFeedback implements interpose.Fabric.
 func (c *Cluster) ReportFeedback(gid balancer.GID, kind string, fb *rpcproto.Feedback) {
 	c.mapQ.Put(mapperMsg{fb: fb, release: true, relGID: gid, relKind: kind})
+}
+
+// ReportFailure implements interpose.Fabric: it relays one failed call to
+// the affinity mapper's failure detector and blocks for the verdict.
+func (c *Cluster) ReportFailure(p *sim.Proc, gid balancer.GID) balancer.Health {
+	out := &healthResult{}
+	done := c.K.NewEvent()
+	c.mapQ.Put(mapperMsg{fail: true, hGID: gid, hOut: out, done: done})
+	p.Wait(done)
+	return out.h
+}
+
+// ReportRecovered implements interpose.Fabric (fire and forget).
+func (c *Cluster) ReportRecovered(gid balancer.GID) {
+	c.mapQ.Put(mapperMsg{recovered: true, hGID: gid})
 }
 
 // PoolSize implements interpose.Fabric.

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"repro/internal/sim"
+)
+
+// The cluster is the fault injector's target: faults flip per-GID state
+// that the backend serve loops consult. Nothing here feeds the failure
+// detector directly — upstream health tracking is driven purely by the
+// frontends' call timeouts, the same signal a real deployment has.
+
+// KillGPU implements faults.Target: the backend serving gid stops replying
+// permanently. Calls in flight lose their replies; queued and future calls
+// are swallowed.
+func (c *Cluster) KillGPU(gid int) {
+	if gid < 0 || gid >= len(c.gpuDown) {
+		return
+	}
+	c.gpuDown[gid] = true
+}
+
+// KillNode implements faults.Target: every GPU on the node dies.
+func (c *Cluster) KillNode(node int) {
+	for _, e := range c.gmap.Entries() {
+		if e.Node == node {
+			c.KillGPU(int(e.GID))
+		}
+	}
+}
+
+// StallGPU implements faults.Target: the backend freezes for d — calls hang
+// and then service resumes (a driver hiccup, not a crash).
+func (c *Cluster) StallGPU(gid int, d sim.Time) {
+	if gid < 0 || gid >= len(c.stallUntil) || d <= 0 {
+		return
+	}
+	until := c.K.Now() + d
+	if until > c.stallUntil[gid] {
+		c.stallUntil[gid] = until
+	}
+}
+
+// DegradeGPU implements faults.Target: every subsequent call on gid takes
+// factor times as long (thermal throttling, ECC scrubbing, a sick device).
+func (c *Cluster) DegradeGPU(gid int, factor float64) {
+	if gid < 0 || gid >= len(c.degrade) || factor <= 1 {
+		return
+	}
+	c.degrade[gid] = factor
+}
+
+// GPUDown reports whether gid's backend has been killed.
+func (c *Cluster) GPUDown(gid int) bool {
+	return gid >= 0 && gid < len(c.gpuDown) && c.gpuDown[gid]
+}
+
+// faultGate applies the injected fault state to one received call on gid:
+// a killed backend swallows it (true = discard, no reply will ever come), a
+// stalled backend freezes the serving process until the stall lifts. All
+// checks are nil-cost in fault-free runs.
+func (c *Cluster) faultGate(p *sim.Proc, gid int) bool {
+	if c.gpuDown[gid] {
+		return true
+	}
+	if until := c.stallUntil[gid]; until > p.Now() {
+		p.Sleep(until - p.Now())
+		if c.gpuDown[gid] {
+			return true
+		}
+	}
+	return false
+}
+
+// degradePenalty charges the injected service-time multiplier for a call
+// that took dt to execute.
+func (c *Cluster) degradePenalty(p *sim.Proc, gid int, dt sim.Time) {
+	if f := c.degrade[gid]; f > 1 && dt > 0 {
+		p.Sleep(sim.Time(float64(dt) * (f - 1)))
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"slices"
@@ -38,6 +39,16 @@ type RunResult struct {
 
 	Launched int
 	Finished int
+
+	// Lost counts applications terminated by cuda.ErrBackendLost: their
+	// backend died mid-flight and the pending work was not provably safe
+	// to replay. Lost requests are reported separately from Errors —
+	// losing work to an injected fault is an outcome, not a bug.
+	Lost int
+
+	// Recovered counts applications that completed despite being touched
+	// by a backend failure (a call timeout or a failover to another GPU).
+	Recovered int
 }
 
 func newRunResult() *RunResult {
@@ -70,6 +81,8 @@ func (r *RunResult) Merge(o *RunResult) {
 	r.Requests = append(r.Requests, o.Requests...)
 	r.Launched += o.Launched
 	r.Finished += o.Finished
+	r.Lost += o.Lost
+	r.Recovered += o.Recovered
 	if o.EndTime > r.EndTime {
 		r.EndTime = o.EndTime
 	}
@@ -234,6 +247,7 @@ func (c *Cluster) runApp(p *sim.Proc, app *workload.App, s workload.StreamSpec) 
 	default:
 		ipose = interpose.New(c, p, app.ID, s.Tenant, s.Weight,
 			s.Kind.String(), s.Node, c.cfg.Mode == ModeStrings)
+		ipose.SetRecovery(c.cfg.Recovery)
 		client = ipose
 		sess := interpose.NewMTSession(c.K, ipose)
 		factory = sess.Thread
@@ -251,11 +265,18 @@ func (c *Cluster) runApp(p *sim.Proc, app *workload.App, s workload.StreamSpec) 
 		gid = devs[app.PreferredDev%len(devs)].ID()
 	}
 	if err != nil {
-		c.results.Errors = append(c.results.Errors, err.Error())
+		if errors.Is(err, cuda.ErrBackendLost) {
+			c.results.Lost++
+		} else {
+			c.results.Errors = append(c.results.Errors, err.Error())
+		}
 		c.recordRequest(app, s, gid, err.Error())
 		return
 	}
 	c.results.Finished++
+	if ipose != nil && ipose.Disrupted() {
+		c.results.Recovered++
+	}
 	c.results.Completions[s.Kind] = append(c.results.Completions[s.Kind], app.CompletionTime())
 	c.recordRequest(app, s, gid, "")
 

@@ -76,6 +76,9 @@ var (
 	ErrThreadExited       = errors.New("cuda: thread already exited")
 	ErrNotImplemented     = errors.New("cuda: call not implemented")
 	ErrBackendUnreachable = errors.New("cuda: backend unreachable")
+	// ErrBackendLost reports that the backend serving the application died
+	// mid-flight and the call could not be retried or failed over safely.
+	ErrBackendLost = errors.New("cuda: backend lost")
 )
 
 // Client is the per-application-thread view of a CUDA runtime. The bare

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// faultSuite bounds the degradation experiment's runtime to two pairs.
+func faultSuite(seed int64) *Suite {
+	ps := workload.Pairs()
+	return NewSuite(Options{
+		Seed:     seed,
+		Requests: 5,
+		Pairs:    []workload.Pair{ps[0], ps[16]}, // A (compute-heavy), Q (light)
+	})
+}
+
+func TestFaultsExperimentShape(t *testing.T) {
+	tab := faultSuite(1).Faults()
+	for _, series := range []string{
+		"no-fault req/s", "pre-kill req/s", "post-kill req/s", "recovered", "lost",
+	} {
+		row := tab.Row(series)
+		if row == nil {
+			t.Fatalf("series %q missing from %s", series, tab.Title)
+		}
+		for i, v := range row {
+			if v < 0 {
+				t.Fatalf("%s[%d] = %v, negative", series, i, v)
+			}
+		}
+	}
+	// The degradation run must actually degrade: with half the pool gone,
+	// post-kill throughput averages below the no-fault rate.
+	if post, no := avgRow(t, tab, "post-kill req/s"), avgRow(t, tab, "no-fault req/s"); post >= no {
+		t.Fatalf("post-kill %.3f >= no-fault %.3f: the kill had no effect", post, no)
+	}
+	// Every launched request is either recovered/finished or lost; the two
+	// accounting series stay small but non-negative (checked above). With
+	// recovery enabled, at least one pair should report recovered work.
+	if rec := avgRow(t, tab, "recovered"); rec <= 0 {
+		t.Fatalf("recovered average = %v: failover never engaged", rec)
+	}
+}
+
+// TestFaultsExperimentDeterministic regenerates the table from scratch with
+// the same seed: both the values and the rendered output must be identical.
+func TestFaultsExperimentDeterministic(t *testing.T) {
+	a := faultSuite(3).Faults()
+	b := faultSuite(3).Faults()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same-seed fault tables diverged:\n%s\nvs\n%s", a.Format(), b.Format())
+	}
+	if a.Format() != b.Format() {
+		t.Fatal("rendered fault tables diverged")
+	}
+}

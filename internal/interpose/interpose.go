@@ -32,6 +32,13 @@ type Fabric interface {
 	// cudaThreadExit reply) to the affinity mapper and releases the
 	// binding.
 	ReportFeedback(gid balancer.GID, kind string, fb *rpcproto.Feedback)
+	// ReportFailure feeds one failed call against gid into the mapper's
+	// failure detector and returns the row's resulting health; it blocks
+	// the calling process for the control round trip.
+	ReportFailure(p *sim.Proc, gid balancer.GID) balancer.Health
+	// ReportRecovered records a successful call against a previously
+	// suspect device (fire and forget).
+	ReportRecovered(gid balancer.GID)
 	// PoolSize returns the number of GPUs in the gPool.
 	PoolSize() int
 }
@@ -64,6 +71,10 @@ type Interposer struct {
 	// LastFeedback is the report returned on ThreadExit (also relayed to
 	// the mapper); experiments read it for per-tenant accounting.
 	LastFeedback *rpcproto.Feedback
+
+	// rec is the failure-handling state (see recovery.go); disabled by
+	// default, armed via SetRecovery.
+	rec recState
 
 	calls int
 }
@@ -119,6 +130,9 @@ func (ip *Interposer) send(c *rpcproto.Call, blocking bool) (*rpcproto.Reply, er
 		blocking = true
 	}
 	c.NonBlocking = !blocking
+	if ip.rec.cfg.Enabled() {
+		return ip.sendReliable(c, blocking)
+	}
 	ip.ep.Send(ip.p, c, c.PayloadBytes())
 	if !blocking {
 		return nil, nil
@@ -185,7 +199,7 @@ func (ip *Interposer) Malloc(bytes int64) (cuda.Ptr, error) {
 	if err != nil {
 		return cuda.Ptr{}, err
 	}
-	return cuda.Ptr{Dev: int(r.PtrDev), ID: r.PtrID, Size: r.PtrSize}, nil
+	return ip.internPtr(r), nil
 }
 
 // Free implements cuda.Client. Free has no output parameters, so it rides
@@ -197,6 +211,7 @@ func (ip *Interposer) Free(ptr cuda.Ptr) error {
 	c := ip.newCall(cuda.CallFree)
 	c.PtrID, c.PtrSize, c.PtrDev = ptr.ID, ptr.Size, int32(ptr.Dev)
 	_, err := ip.send(c, false)
+	ip.forgetPtr(ptr.ID)
 	return err
 }
 
@@ -253,7 +268,7 @@ func (ip *Interposer) StreamCreate() (cuda.StreamID, error) {
 	if err != nil {
 		return 0, err
 	}
-	return cuda.StreamID(r.Stream), nil
+	return ip.internStream(r.Stream), nil
 }
 
 // StreamSynchronize implements cuda.Client.
@@ -275,6 +290,7 @@ func (ip *Interposer) StreamDestroy(s cuda.StreamID) error {
 	c := ip.newCall(cuda.CallStreamDestroy)
 	c.Stream = int32(s)
 	_, err := ip.send(c, true)
+	ip.forgetStream(s)
 	return err
 }
 
@@ -297,7 +313,7 @@ func (ip *Interposer) EventCreate() (cuda.EventID, error) {
 	if err != nil {
 		return 0, err
 	}
-	return cuda.EventID(r.Event), nil
+	return ip.internEvent(r.Event), nil
 }
 
 // EventRecord implements cuda.Client; records ride the non-blocking path
@@ -347,6 +363,7 @@ func (ip *Interposer) EventDestroy(e cuda.EventID) error {
 	c := ip.newCall(cuda.CallEventDestroy)
 	c.Event = int32(e)
 	_, err := ip.send(c, false)
+	ip.forgetEvent(e)
 	return err
 }
 

@@ -20,6 +20,11 @@ type fakeFabric struct {
 	received []*rpcproto.Call
 	feedback []*rpcproto.Feedback
 	released []string
+
+	// Failure-detector scripting for the recovery tests.
+	health    func(gid balancer.GID) balancer.Health // nil → always Suspect
+	failures  int
+	recovered int
 }
 
 func newFakeFabric(k *sim.Kernel) *fakeFabric {
@@ -63,7 +68,15 @@ func (f *fakeFabric) ReportFeedback(gid balancer.GID, kind string, fb *rpcproto.
 	f.released = append(f.released, kind)
 	f.feedback = append(f.feedback, fb)
 }
-func (f *fakeFabric) PoolSize() int { return 4 }
+func (f *fakeFabric) ReportFailure(p *sim.Proc, gid balancer.GID) balancer.Health {
+	f.failures++
+	if f.health == nil {
+		return balancer.Suspect
+	}
+	return f.health(gid)
+}
+func (f *fakeFabric) ReportRecovered(gid balancer.GID) { f.recovered++ }
+func (f *fakeFabric) PoolSize() int                    { return 4 }
 
 func drive(t *testing.T, fn func(f *fakeFabric, ip *Interposer)) *fakeFabric {
 	t.Helper()

@@ -136,8 +136,14 @@ type Table struct {
 	Series []Series
 }
 
-// Add appends a series; the value count must match the label count.
+// Add appends a series; the value count must match the label count (a
+// short or long series would silently render misaligned cells, so the
+// mismatch is a programming error and panics).
 func (t *Table) Add(name string, values []float64) {
+	if len(values) != len(t.Labels) {
+		panic(fmt.Sprintf("metrics: series %q has %d values for %d labels in table %q",
+			name, len(values), len(t.Labels), t.Title))
+	}
 	t.Series = append(t.Series, Series{Name: name, Values: values})
 }
 

@@ -188,9 +188,22 @@ func TestTableFormatting(t *testing.T) {
 }
 
 func TestTableFormatShortSeries(t *testing.T) {
-	tab := &Table{Title: "t", Labels: []string{"a", "b"}}
-	tab.Add("s", []float64{1})
+	// The renderer itself stays defensive about short series (they can
+	// only arise from hand-built Series values now that Add enforces the
+	// label count).
+	tab := &Table{Title: "t", Labels: []string{"a", "b"},
+		Series: []Series{{Name: "s", Values: []float64{1}}}}
 	if s := tab.Format(); !strings.Contains(s, "-") {
 		t.Fatal("missing value placeholder absent")
 	}
+}
+
+func TestTableAddLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add with a short series should panic")
+		}
+	}()
+	tab := &Table{Title: "t", Labels: []string{"a", "b"}}
+	tab.Add("s", []float64{1})
 }

@@ -1,0 +1,79 @@
+// Package netguard hardens the demo's real-network path: per-operation
+// read/write deadlines on accepted connections, and a dial loop that
+// retries with exponential backoff while a backend daemon restarts. The
+// package deliberately imports neither the simulator nor any facade — it
+// lives entirely at the system boundary, where wall-clock time is the only
+// clock there is, so the determinism lint does not apply to it.
+package netguard
+
+import (
+	"fmt"
+	"net"
+	"time"
+)
+
+// Conn wraps a net.Conn so every Read and Write re-arms the corresponding
+// deadline. A zero timeout leaves that direction unguarded.
+type Conn struct {
+	net.Conn
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+}
+
+// WithDeadlines wraps c; with both timeouts zero it returns c unchanged.
+func WithDeadlines(c net.Conn, read, write time.Duration) net.Conn {
+	if read <= 0 && write <= 0 {
+		return c
+	}
+	return &Conn{Conn: c, ReadTimeout: read, WriteTimeout: write}
+}
+
+// Read arms the read deadline, then reads.
+func (c *Conn) Read(b []byte) (int, error) {
+	if c.ReadTimeout > 0 {
+		if err := c.Conn.SetReadDeadline(time.Now().Add(c.ReadTimeout)); err != nil {
+			return 0, err
+		}
+	}
+	return c.Conn.Read(b)
+}
+
+// Write arms the write deadline, then writes.
+func (c *Conn) Write(b []byte) (int, error) {
+	if c.WriteTimeout > 0 {
+		if err := c.Conn.SetWriteDeadline(time.Now().Add(c.WriteTimeout)); err != nil {
+			return 0, err
+		}
+	}
+	return c.Conn.Write(b)
+}
+
+// DialRetry dials addr up to attempts times, sleeping backoff and doubling
+// it (capped at 32× the base) between tries — the frontend's
+// connection-retry loop for riding out a backend restart.
+func DialRetry(network, addr string, attempts int, backoff time.Duration) (net.Conn, error) {
+	if attempts < 1 {
+		attempts = 1
+	}
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
+	}
+	cap := 32 * backoff
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		conn, err := net.Dial(network, addr)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+		if i < attempts-1 {
+			time.Sleep(backoff)
+			backoff *= 2
+			if backoff > cap {
+				backoff = cap
+			}
+		}
+	}
+	return nil, fmt.Errorf("netguard: dial %s %s: giving up after %d attempts: %w",
+		network, addr, attempts, lastErr)
+}

@@ -20,11 +20,20 @@ type Entry struct {
 	Addr     string // node address (used by the TCP remoting demo)
 	LocalDev int
 	Spec     gpu.Spec
+
+	// Dead marks a device whose backend has failed or whose node was
+	// removed. Rows are never deleted — GIDs are stable indices — so a
+	// dead row stays resolvable while the alive view excludes it.
+	Dead bool
 }
 
 // GMap is the gPool's global device map, broadcast to every node.
 type GMap struct {
 	entries []Entry
+
+	// alive caches the GIDs of live rows in sorted order; it is rebuilt
+	// deterministically on every reconfiguration.
+	alive []balancer.GID
 }
 
 // NodeInfo is what a node's backend daemon reports to the gPool Creator.
@@ -47,8 +56,51 @@ func BuildGMap(nodes []NodeInfo) *GMap {
 			gid++
 		}
 	}
+	g.rebuild()
 	return g
 }
+
+// rebuild recomputes the alive view: live GIDs in ascending order. Keeping
+// the rebuild a sorted scan (rather than an incremental splice) makes every
+// reconfiguration deterministic regardless of the failure order.
+func (g *GMap) rebuild() {
+	g.alive = g.alive[:0]
+	for _, e := range g.entries {
+		if !e.Dead {
+			g.alive = append(g.alive, e.GID)
+		}
+	}
+}
+
+// MarkDead marks one device's row dead and rebuilds the alive view.
+func (g *GMap) MarkDead(gid balancer.GID) {
+	if int(gid) < 0 || int(gid) >= len(g.entries) {
+		return
+	}
+	g.entries[gid].Dead = true
+	g.rebuild()
+}
+
+// RemoveNode marks every device on the node dead and returns their GIDs in
+// ascending order (the node-crash reconfiguration).
+func (g *GMap) RemoveNode(node int) []balancer.GID {
+	var removed []balancer.GID
+	for i := range g.entries {
+		if g.entries[i].Node == node && !g.entries[i].Dead {
+			g.entries[i].Dead = true
+			removed = append(removed, g.entries[i].GID)
+		}
+	}
+	g.rebuild()
+	return removed
+}
+
+// Alive returns the live GIDs in ascending order. The slice is the gMap's
+// cache; callers must not mutate it.
+func (g *GMap) Alive() []balancer.GID { return g.alive }
+
+// AliveLen returns the number of live devices.
+func (g *GMap) AliveLen() int { return len(g.alive) }
 
 // Len returns the pool size.
 func (g *GMap) Len() int { return len(g.entries) }
@@ -69,7 +121,7 @@ func (g *GMap) Entries() []Entry { return g.entries }
 func (g *GMap) DST() *balancer.DST {
 	rows := make([]*balancer.DSTEntry, 0, len(g.entries))
 	for _, e := range g.entries {
-		rows = append(rows, &balancer.DSTEntry{
+		row := &balancer.DSTEntry{
 			GID:          e.GID,
 			Node:         e.Node,
 			LocalDev:     e.LocalDev,
@@ -77,7 +129,11 @@ func (g *GMap) DST() *balancer.DST {
 			Weight:       e.Spec.Weight,
 			ComputeRate:  e.Spec.ComputeRate,
 			MemBandwidth: e.Spec.MemBandwidth,
-		})
+		}
+		if e.Dead {
+			row.Health = balancer.Dead
+		}
+		rows = append(rows, row)
 	}
 	return balancer.NewDST(rows)
 }

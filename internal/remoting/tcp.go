@@ -5,9 +5,11 @@ import (
 	"io"
 	"net"
 	"slices"
+	"time"
 
 	"repro/internal/cuda"
 	"repro/internal/gpu"
+	"repro/internal/netguard"
 	"repro/internal/rpcproto"
 	"repro/internal/sim"
 )
@@ -20,6 +22,13 @@ import (
 // GPU.
 type TCPBackend struct {
 	Spec gpu.Spec
+
+	// ReadTimeout and WriteTimeout, when nonzero, arm per-operation
+	// deadlines on every accepted connection so a wedged or vanished
+	// client cannot pin a session goroutine forever. These guard the
+	// real socket, not the simulated device behind it.
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
 }
 
 // Serve accepts connections until the listener closes.
@@ -31,7 +40,7 @@ func (b *TCPBackend) Serve(lis net.Listener) error {
 		}
 		go func() { //lint:allow rawgo -- real network concurrency at the system boundary: each connection owns a private kernel and shares no simulator state
 			defer conn.Close()
-			_ = b.ServeConn(conn)
+			_ = b.ServeConn(netguard.WithDeadlines(conn, b.ReadTimeout, b.WriteTimeout))
 		}()
 	}
 }
@@ -173,7 +182,12 @@ func (s *tcpSession) execute(call *rpcproto.Call) *rpcproto.Reply {
 		s.streams[id] = s.ctx.NewStream()
 		reply.Stream = int32(id)
 	case cuda.CallStreamSync:
-		if ev, ok := s.lastOp[cuda.StreamID(call.Stream)]; ok {
+		id := cuda.StreamID(call.Stream)
+		if _, ok := s.streams[id]; !ok {
+			reply.SetError(cuda.ErrInvalidStream)
+			break
+		}
+		if ev, ok := s.lastOp[id]; ok {
 			s.runUntil(ev)
 		}
 	case cuda.CallStreamDestroy:
@@ -185,6 +199,15 @@ func (s *tcpSession) execute(call *rpcproto.Call) *rpcproto.Reply {
 		if _, ok := s.streams[id]; !ok {
 			reply.SetError(cuda.ErrInvalidStream)
 			break
+		}
+		// cudaStreamDestroy drains the stream's pending work, then the
+		// handle — including its lastOp row — must go away, or a later
+		// DeviceSync/ThreadExit would re-drain a destroyed stream.
+		if ev, ok := s.lastOp[id]; ok {
+			if !ev.Fired() {
+				s.runUntil(ev)
+			}
+			delete(s.lastOp, id)
 		}
 		delete(s.streams, id)
 	case cuda.CallEventCreate:
@@ -219,7 +242,14 @@ func (s *tcpSession) execute(call *rpcproto.Call) *rpcproto.Reply {
 			reply.SetError(cuda.ErrInvalidEvent)
 			break
 		}
-		reply.Elapsed = int64(b.Finished - a.Finished)
+		elapsed := int64(b.Finished - a.Finished)
+		if elapsed < 0 {
+			// The events were recorded in the opposite order; CUDA reports
+			// cudaErrorInvalidValue rather than a negative duration.
+			reply.SetError(cuda.ErrInvalidValue)
+			break
+		}
+		reply.Elapsed = elapsed
 	case cuda.CallEventDestroy:
 		if _, ok := s.events[cuda.EventID(call.Event)]; !ok {
 			reply.SetError(cuda.ErrInvalidEvent)

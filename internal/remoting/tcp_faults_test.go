@@ -1,0 +1,175 @@
+package remoting
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"testing"
+
+	"repro/internal/cuda"
+	"repro/internal/gpu"
+	"repro/internal/rpcproto"
+)
+
+// TestStreamDestroyThenSync covers the destroyed-handle path: once a stream
+// is destroyed, synchronizing or re-destroying it must report
+// ErrInvalidStream, and the session must keep serving.
+func TestStreamDestroyThenSync(t *testing.T) {
+	conn := dialSession(t)
+	defer conn.Close()
+
+	r := roundTrip(t, conn, &rpcproto.Call{ID: cuda.CallStreamCreate, Seq: 1})
+	if r.Err != "" || r.Stream == 0 {
+		t.Fatalf("stream create: %+v", r)
+	}
+	st := r.Stream
+	// Queue async work so destroy has something to drain.
+	roundTrip(t, conn, &rpcproto.Call{
+		ID: cuda.CallMemcpyAsync, Seq: 2, Dir: cuda.H2D, Bytes: 1 << 16,
+		Stream: st, NonBlocking: true,
+	})
+	r = roundTrip(t, conn, &rpcproto.Call{ID: cuda.CallStreamDestroy, Seq: 3, Stream: st})
+	if r.Err != "" {
+		t.Fatalf("destroy: %s", r.Err)
+	}
+	r = roundTrip(t, conn, &rpcproto.Call{ID: cuda.CallStreamSync, Seq: 4, Stream: st})
+	if r.Err != cuda.ErrInvalidStream.Error() {
+		t.Fatalf("sync of destroyed stream = %q, want ErrInvalidStream", r.Err)
+	}
+	r = roundTrip(t, conn, &rpcproto.Call{ID: cuda.CallStreamDestroy, Seq: 5, Stream: st})
+	if r.Err != cuda.ErrInvalidStream.Error() {
+		t.Fatalf("double destroy = %q, want ErrInvalidStream", r.Err)
+	}
+	// The drained lastOp row must not resurface: a full device sync still
+	// works with the stream gone.
+	r = roundTrip(t, conn, &rpcproto.Call{ID: cuda.CallDeviceSync, Seq: 6})
+	if r.Err != "" {
+		t.Fatalf("device sync after destroy: %s", r.Err)
+	}
+}
+
+// TestEventElapsedReversedPair records two events separated by real work and
+// asks for the elapsed time both ways: forward must be positive, reversed
+// must fail with ErrInvalidValue instead of returning a negative duration.
+func TestEventElapsedReversedPair(t *testing.T) {
+	conn := dialSession(t)
+	defer conn.Close()
+
+	mkEvent := func(seq uint64) int32 {
+		r := roundTrip(t, conn, &rpcproto.Call{ID: cuda.CallEventCreate, Seq: seq})
+		if r.Err != "" {
+			t.Fatalf("event create: %s", r.Err)
+		}
+		return r.Event
+	}
+	evA, evB := mkEvent(1), mkEvent(2)
+	roundTrip(t, conn, &rpcproto.Call{ID: cuda.CallEventRecord, Seq: 3, Event: evA, NonBlocking: true})
+	// A blocking copy advances the virtual clock between the two records.
+	r := roundTrip(t, conn, &rpcproto.Call{ID: cuda.CallMemcpy, Seq: 4, Dir: cuda.H2D, Bytes: 8 << 20})
+	if r.Err != "" {
+		t.Fatalf("memcpy: %s", r.Err)
+	}
+	roundTrip(t, conn, &rpcproto.Call{ID: cuda.CallEventRecord, Seq: 5, Event: evB, NonBlocking: true})
+	r = roundTrip(t, conn, &rpcproto.Call{ID: cuda.CallEventSync, Seq: 6, Event: evB})
+	if r.Err != "" {
+		t.Fatalf("event sync: %s", r.Err)
+	}
+	r = roundTrip(t, conn, &rpcproto.Call{ID: cuda.CallEventElapsed, Seq: 7, Event: evA, Event2: evB})
+	if r.Err != "" || r.Elapsed <= 0 {
+		t.Fatalf("forward elapsed = %+v, want positive duration", r)
+	}
+	r = roundTrip(t, conn, &rpcproto.Call{ID: cuda.CallEventElapsed, Seq: 8, Event: evB, Event2: evA})
+	if r.Err != cuda.ErrInvalidValue.Error() {
+		t.Fatalf("reversed elapsed = %q, want ErrInvalidValue", r.Err)
+	}
+}
+
+// serveFaulty runs ServeConn over a faulty transport wrapped around the
+// server side of a pipe and reports its exit error.
+func serveFaulty(t *testing.T, f func(rw io.ReadWriter) io.ReadWriter) (net.Conn, chan error) {
+	t.Helper()
+	client, server := net.Pipe()
+	b := &TCPBackend{Spec: gpu.TeslaC2050}
+	done := make(chan error, 1)
+	go func() {
+		defer server.Close()
+		done <- b.ServeConn(f(server))
+	}()
+	return client, done
+}
+
+// TestServeConnSurvivesMidFrameDisconnect injects a truncated reply write:
+// the session must exit with a transport error — no panic, no hang.
+func TestServeConnSurvivesMidFrameDisconnect(t *testing.T) {
+	client, done := serveFaulty(t, func(rw io.ReadWriter) io.ReadWriter {
+		return &rpcproto.FaultyRW{RW: rw, Rng: rand.New(rand.NewSource(1)), TruncateProb: 1}
+	})
+	defer client.Close()
+	frame, err := rpcproto.EncodeCall(&rpcproto.Call{ID: cuda.CallDeviceCount, Seq: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rpcproto.WriteFrame(client, frame); err != nil {
+		t.Fatal(err)
+	}
+	// The reply frame is cut mid-write; the client sees a short read and the
+	// server loop exits with the injected error.
+	if _, err := rpcproto.ReadFrame(client); err == nil {
+		t.Fatal("read of truncated reply succeeded")
+	}
+	if err := <-done; !errors.Is(err, io.ErrClosedPipe) {
+		t.Fatalf("ServeConn exit = %v, want ErrClosedPipe", err)
+	}
+}
+
+// TestServeConnSurvivesDroppedReplies injects silent reply loss: the server
+// believes it replied and finishes the session cleanly.
+func TestServeConnSurvivesDroppedReplies(t *testing.T) {
+	var faulty *rpcproto.FaultyRW
+	client, done := serveFaulty(t, func(rw io.ReadWriter) io.ReadWriter {
+		faulty = &rpcproto.FaultyRW{RW: rw, Rng: rand.New(rand.NewSource(1)), DropProb: 1}
+		return faulty
+	})
+	defer client.Close()
+	frame, err := rpcproto.EncodeCall(&rpcproto.Call{ID: cuda.CallThreadExit, Seq: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rpcproto.WriteFrame(client, frame); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("ServeConn exit = %v, want clean shutdown", err)
+	}
+	if faulty.Drops() != 1 {
+		t.Fatalf("dropped %d replies, want 1", faulty.Drops())
+	}
+}
+
+// TestServeConnSurvivesHardClose cuts the transport after a fixed operation
+// budget: the session exits with the injected error.
+func TestServeConnSurvivesHardClose(t *testing.T) {
+	client, done := serveFaulty(t, func(rw io.ReadWriter) io.ReadWriter {
+		return &rpcproto.FaultyRW{RW: rw, Rng: rand.New(rand.NewSource(1)), CloseAfter: 3}
+	})
+	defer client.Close()
+	for seq := uint64(1); ; seq++ {
+		frame, err := rpcproto.EncodeCall(&rpcproto.Call{ID: cuda.CallDeviceCount, Seq: seq})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rpcproto.WriteFrame(client, frame); err != nil {
+			break // transport cut under the client
+		}
+		if _, err := rpcproto.ReadFrame(client); err != nil {
+			break
+		}
+		if seq > 16 {
+			t.Fatal("transport never closed")
+		}
+	}
+	if err := <-done; !errors.Is(err, io.ErrClosedPipe) {
+		t.Fatalf("ServeConn exit = %v, want ErrClosedPipe", err)
+	}
+}

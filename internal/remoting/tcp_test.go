@@ -100,8 +100,8 @@ func TestTCPBackendErrors(t *testing.T) {
 		t.Fatal("oversized malloc succeeded")
 	}
 	r = roundTrip(t, conn, &rpcproto.Call{ID: cuda.CallStreamSync, Seq: 3, Stream: 42})
-	if r.Err != "" {
-		t.Fatalf("sync of unknown stream should be a no-op, got %s", r.Err)
+	if r.Err != cuda.ErrInvalidStream.Error() {
+		t.Fatalf("sync of unknown stream should fail with ErrInvalidStream, got %q", r.Err)
 	}
 	r = roundTrip(t, conn, &rpcproto.Call{ID: cuda.CallID(77), Seq: 4})
 	if r.Err == "" {

@@ -49,8 +49,8 @@ func TestBarChartEmptyAndNegative(t *testing.T) {
 }
 
 func TestBarChartShortSeriesPadded(t *testing.T) {
-	tb := &metrics.Table{Title: "t", Labels: []string{"a", "b"}}
-	tb.Add("s", []float64{1}) // shorter than labels
+	tb := &metrics.Table{Title: "t", Labels: []string{"a", "b"},
+		Series: []metrics.Series{{Name: "s", Values: []float64{1}}}} // shorter than labels
 	svg := BarChart(tb, ChartOptions{})
 	if err := xml.Unmarshal([]byte(svg), new(interface{})); err != nil {
 		t.Fatalf("padded chart invalid: %v", err)

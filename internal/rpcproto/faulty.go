@@ -1,0 +1,92 @@
+// Faulty transport: an io.ReadWriter wrapper that injects the failure modes
+// a real remoting socket exhibits — dropped writes, mid-frame disconnects
+// and hard connection loss — so the framing layer and the TCP backend can
+// be tested against them deterministically. All randomness flows through a
+// caller-threaded *rand.Rand.
+package rpcproto
+
+import (
+	"io"
+	"math/rand"
+)
+
+// FaultyRW wraps an io.ReadWriter and misbehaves on a seeded schedule.
+// A zero probability disables the corresponding fault, so the zero value
+// (plus RW and Rng) is a transparent pass-through.
+type FaultyRW struct {
+	RW  io.ReadWriter
+	Rng *rand.Rand
+
+	// DropProb silently swallows a Write with this probability: the caller
+	// sees success, the peer sees nothing — a lost frame.
+	DropProb float64
+
+	// TruncateProb cuts a Write in half and then reports the connection
+	// closed — a mid-frame disconnect. Subsequent operations fail.
+	TruncateProb float64
+
+	// CloseAfter, when positive, hard-closes the transport after that many
+	// successful operations (reads + writes): every later call returns
+	// io.ErrClosedPipe.
+	CloseAfter int
+
+	ops    int
+	drops  int
+	closed bool
+}
+
+// Drops counts frames swallowed so far.
+func (f *FaultyRW) Drops() int { return f.drops }
+
+var _ io.ReadWriter = (*FaultyRW)(nil)
+
+// broken reports (and advances) the transport's hard-failure state.
+func (f *FaultyRW) broken() bool {
+	if f.closed {
+		return true
+	}
+	if f.CloseAfter > 0 && f.ops >= f.CloseAfter {
+		f.closed = true
+		return true
+	}
+	return false
+}
+
+// Read passes through until the transport is closed.
+func (f *FaultyRW) Read(p []byte) (int, error) {
+	if f.broken() {
+		return 0, io.ErrClosedPipe
+	}
+	n, err := f.RW.Read(p)
+	if err == nil {
+		f.ops++
+	}
+	return n, err
+}
+
+// Write applies the drop and truncate schedules, then passes through.
+func (f *FaultyRW) Write(p []byte) (int, error) {
+	if f.broken() {
+		return 0, io.ErrClosedPipe
+	}
+	if f.DropProb > 0 && f.Rng.Float64() < f.DropProb {
+		f.drops++
+		f.ops++
+		return len(p), nil // swallowed: caller believes the frame went out
+	}
+	if f.TruncateProb > 0 && f.Rng.Float64() < f.TruncateProb {
+		f.closed = true
+		n := len(p) / 2
+		if n > 0 {
+			if wn, err := f.RW.Write(p[:n]); err != nil {
+				return wn, err
+			}
+		}
+		return n, io.ErrClosedPipe
+	}
+	n, err := f.RW.Write(p)
+	if err == nil {
+		f.ops++
+	}
+	return n, err
+}

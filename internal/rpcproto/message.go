@@ -98,7 +98,8 @@ func (r *Reply) AsError() error {
 	for _, e := range []error{
 		cuda.ErrInvalidDevice, cuda.ErrMemoryAllocation, cuda.ErrInvalidValue,
 		cuda.ErrInvalidPtr, cuda.ErrInvalidStream, cuda.ErrThreadExited,
-		cuda.ErrNotImplemented, cuda.ErrBackendUnreachable,
+		cuda.ErrNotImplemented, cuda.ErrBackendUnreachable, cuda.ErrBackendLost,
+		cuda.ErrInvalidEvent, cuda.ErrNotReady,
 	} {
 		if r.Err == e.Error() {
 			return e

@@ -90,6 +90,14 @@ func (e Endpoint) Send(p *sim.Proc, msg Msg, payload int64) {
 // Recv blocks until the next message arrives.
 func (e Endpoint) Recv(p *sim.Proc) Msg { return e.in.Get(p) }
 
+// RecvTimeout blocks until the next message arrives or d elapses; ok is
+// false on timeout. This is the interposer's per-call failure detector: a
+// backend that died mid-call never replies, and the timeout is the only
+// signal the frontend gets.
+func (e Endpoint) RecvTimeout(p *sim.Proc, d sim.Time) (Msg, bool) {
+	return e.in.GetTimeout(p, d)
+}
+
 // TryRecv returns the next message if one is waiting.
 func (e Endpoint) TryRecv() (Msg, bool) { return e.in.TryGet() }
 

@@ -24,9 +24,12 @@ package stringsched
 import (
 	"repro/internal/balancer"
 	"repro/internal/core"
+	"repro/internal/cuda"
 	"repro/internal/devsched"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/gpu"
+	"repro/internal/interpose"
 	"repro/internal/metrics"
 	"repro/internal/report"
 	"repro/internal/sim"
@@ -179,3 +182,51 @@ func BarChartSVG(t *Table) string { return report.BarChart(t, report.ChartOption
 
 // RequestEvent is one row of a run's request log.
 type RequestEvent = core.RequestEvent
+
+// Fault tolerance.
+
+// Fault-injection types, usable through Config.Faults: a FaultPlan lists
+// virtual-time faults (kill a node or GPU, stall or degrade a device) that
+// the cluster applies during the run.
+type (
+	// FaultPlan schedules deterministic faults on the virtual clock.
+	FaultPlan = faults.Plan
+	// Fault is one scheduled fault.
+	Fault = faults.Fault
+	// FaultKind selects what a fault does.
+	FaultKind = faults.Kind
+)
+
+// Fault kinds.
+const (
+	// KillNode permanently kills every GPU backend on one node.
+	KillNode = faults.KillNode
+	// KillGPU permanently kills one GPU backend.
+	KillGPU = faults.KillGPU
+	// StallGPU freezes one backend for a duration, then resumes it.
+	StallGPU = faults.StallGPU
+	// DegradeGPU multiplies one backend's service times from then on.
+	DegradeGPU = faults.DegradeGPU
+)
+
+// Recovery configures the interposer's failure detector and retry/failover
+// machinery, usable through Config.Recovery. The zero value disables it.
+type Recovery = interpose.Recovery
+
+// Health is a gPool device's failure-detector state (Healthy, Suspect or
+// Dead), as reported in device status tables.
+type Health = balancer.Health
+
+// Health states.
+const (
+	// Healthy devices receive new work.
+	Healthy = balancer.Healthy
+	// Suspect devices have missed calls but are not yet declared dead.
+	Suspect = balancer.Suspect
+	// Dead devices are skipped by placement and never return.
+	Dead = balancer.Dead
+)
+
+// ErrBackendLost is returned by CUDA calls whose backend failed and could
+// not be recovered; affected requests count as Lost, not as errors.
+var ErrBackendLost = cuda.ErrBackendLost
