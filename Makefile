@@ -1,7 +1,7 @@
 GO ?= go
 BIN ?= bin
 
-.PHONY: build test race vet lint stringscheck bench-smoke bench bench-json
+.PHONY: build test race vet lint stringscheck bench-smoke bench bench-json bench-sweep
 
 build:
 	$(GO) build ./...
@@ -11,8 +11,9 @@ test:
 
 # Full-tree race pass. -short skips the heavyweight experiment sweeps
 # (guarded with testing.Short) so the whole pass stays under ~2 minutes
-# while still racing every kernel handoff path, including the
-# parallel-workers suite.
+# while still racing every kernel handoff path, the sweep engine
+# (internal/parallel, internal/sweep) and the parallel-vs-sequential
+# figure-grid comparison.
 race:
 	$(GO) test -race -short ./...
 
@@ -35,6 +36,13 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkKernelDispatch|BenchmarkQueuePingPong|BenchmarkCodecRoundTrip' -benchtime=1x .
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./internal/rpcproto/
 	$(GO) run ./cmd/strings-bench -exp faults -pairs 1 -requests 4
+	@# Sweep-engine determinism: the same small grid at -parallel 1 and 4
+	@# must emit byte-identical tables (the wall-clock footer is stripped —
+	@# it is the only line allowed to differ).
+	@mkdir -p $(BIN)
+	$(GO) run ./cmd/strings-bench -exp fig9 -requests 4 -parallel 1 -csv | grep -v '^(' > $(BIN)/sweep-smoke-seq.csv
+	$(GO) run ./cmd/strings-bench -exp fig9 -requests 4 -parallel 4 -csv | grep -v '^(' > $(BIN)/sweep-smoke-par.csv
+	diff $(BIN)/sweep-smoke-seq.csv $(BIN)/sweep-smoke-par.csv
 
 # Full micro-benchmark pass with allocation counts.
 bench:
@@ -43,3 +51,10 @@ bench:
 # Regenerate BENCH_simcore.json (simulator throughput snapshot).
 bench-json:
 	$(GO) run ./cmd/strings-bench -bench-json BENCH_simcore.json
+
+# Regenerate BENCH_sweep.json: the figure grid (fig9+fig10+fig12) timed
+# sequentially and at GOMAXPROCS workers, with the tables verified deeply
+# equal. The speedup is only meaningful on a multi-core machine; the file
+# records cores/gomaxprocs so single-core numbers read as what they are.
+bench-sweep:
+	$(GO) run ./cmd/strings-bench -bench-sweep BENCH_sweep.json

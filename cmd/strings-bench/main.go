@@ -2,22 +2,31 @@
 //
 // Usage:
 //
-//	strings-bench [-exp all|table1|fig1|fig2|fig9|fig10|fig11|fig12|fig13|fig14|fig15|ablations|faults]
+//	strings-bench [-exp all|table1|fig1|fig2|fig9|fig10|fig11|fig12|fig13|fig14|fig15|headline|ablations|faults]
 //	              [-requests N] [-lambda F] [-seed S] [-pairs N] [-width W]
+//	              [-parallel N] [-seeds N]
 //	              [-cpuprofile out.pprof] [-memprofile out.pprof]
-//	              [-bench-json BENCH_simcore.json]
+//	              [-bench-json BENCH_simcore.json] [-bench-sweep BENCH_sweep.json]
 //
 // Each experiment prints the same rows/series as the corresponding table or
 // figure in "Scheduling Multi-tenant Cloud Workloads on Accelerator-based
 // Systems" (SC'14). Absolute numbers come from the simulated testbed; the
 // shapes — which policy wins, by roughly what factor — are the
-// reproduction targets.
+// reproduction targets. The faults experiment is opt-in: it is excluded
+// from -exp all and runs only when named explicitly.
+//
+// -parallel bounds how many experiment cells run concurrently (0 =
+// GOMAXPROCS, 1 = sequential). Output is byte-identical at every setting:
+// cells are collected in grid order, not completion order.
 //
 // -bench-json switches the binary into benchmark mode: instead of the
 // figure sweeps it runs the standard simulator-throughput scenario (a busy
 // two-GPU Strings node, the same one BenchmarkSimulatorThroughput times),
 // and writes events/sec, ns/event and allocs/event to the given JSON file.
-// -cpuprofile and -memprofile capture pprof profiles of whatever ran.
+// -bench-sweep times the figure grid sequentially and at -parallel workers,
+// verifies the tables are identical, and writes the speedup to the given
+// JSON file. -cpuprofile and -memprofile capture pprof profiles of
+// whatever ran.
 package main
 
 import (
@@ -25,11 +34,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"reflect"
 	"runtime"
 	"runtime/pprof"
 	"strings"
-	"time"
 
+	"repro/internal/parallel"
 	"repro/stringsched"
 )
 
@@ -58,7 +68,7 @@ func runBenchJSON(path string, seed int64, iters int) error {
 	var virtual float64
 	runtime.GC()
 	runtime.ReadMemStats(&ms0)
-	start := time.Now() //lint:allow simclock -- bench harness: wall time measures the simulator itself, it never reaches simulated state
+	sw := parallel.StartStopwatch()
 	for i := 0; i < iters; i++ {
 		c, err := stringsched.NewCluster(stringsched.Config{
 			Seed: seed + int64(i),
@@ -84,16 +94,16 @@ func runBenchJSON(path string, seed int64, iters int) error {
 		events += c.K.Dispatched()
 		virtual += r.EndTime.Seconds()
 	}
-	wall := time.Since(start) //lint:allow simclock -- bench harness: wall time measures the simulator itself, it never reaches simulated state
+	wallSec, wallNs := sw.Seconds(), sw.Nanoseconds()
 	runtime.ReadMemStats(&ms1)
 	rep := benchReport{
 		Scenario:       "two-GPU Strings node, GMin, 6 MonteCarlo requests",
 		Iterations:     iters,
-		WallSeconds:    wall.Seconds(),
+		WallSeconds:    wallSec,
 		VirtualSeconds: virtual,
 		Events:         events,
-		EventsPerSec:   float64(events) / wall.Seconds(),
-		NsPerEvent:     float64(wall.Nanoseconds()) / float64(events),
+		EventsPerSec:   float64(events) / wallSec,
+		NsPerEvent:     float64(wallNs) / float64(events),
 		AllocsPerEvent: float64(ms1.Mallocs-ms0.Mallocs) / float64(events),
 		BytesPerEvent:  float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(events),
 	}
@@ -109,14 +119,78 @@ func runBenchJSON(path string, seed int64, iters int) error {
 	return nil
 }
 
+// sweepReport is the BENCH_sweep.json schema: the wall-clock of the same
+// experiment grid run sequentially and in parallel, plus the determinism
+// verdict. Cores/gomaxprocs make the numbers honest — a 1-core container
+// cannot show a speedup, and the file says so.
+type sweepReport struct {
+	Scenario        string  `json:"scenario"`
+	Cores           int     `json:"cores"`
+	Gomaxprocs      int     `json:"gomaxprocs"`
+	ParallelWorkers int     `json:"parallel_workers"`
+	SeqSeconds      float64 `json:"sequential_seconds"`
+	ParSeconds      float64 `json:"parallel_seconds"`
+	Speedup         float64 `json:"speedup"`
+	Identical       bool    `json:"identical_metrics"`
+	Simulations     int     `json:"simulations"`
+}
+
+// runBenchSweep times the figure grid (Figures 9, 10 and 12 — the bulk of
+// -exp all) at one worker and at workers workers, checks the two passes
+// produced deeply equal tables, and writes the comparison to path. A
+// metrics mismatch is a hard error: the speedup is worthless if the answers
+// changed.
+func runBenchSweep(path string, seed int64, requests, pairs, workers int) error {
+	if workers <= 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	grid := func(w int) ([]*stringsched.Table, float64, int) {
+		opt := stringsched.SuiteOptions{Seed: seed, Requests: requests, Workers: w}
+		if pairs < 24 {
+			opt.Pairs = stringsched.Pairs()[:pairs]
+		}
+		s := stringsched.NewSuite(opt)
+		sw := parallel.StartStopwatch()
+		tabs := []*stringsched.Table{s.Fig9(), s.Fig10(), s.Fig12()}
+		return tabs, sw.Seconds(), s.Runs
+	}
+	seqTabs, seqSec, runs := grid(1)
+	parTabs, parSec, _ := grid(workers)
+	rep := sweepReport{
+		Scenario:        fmt.Sprintf("fig9+fig10+fig12, %d requests, %d pairs", requests, pairs),
+		Cores:           runtime.NumCPU(),
+		Gomaxprocs:      runtime.GOMAXPROCS(0),
+		ParallelWorkers: workers,
+		SeqSeconds:      seqSec,
+		ParSeconds:      parSec,
+		Speedup:         seqSec / parSec,
+		Identical:       reflect.DeepEqual(seqTabs, parTabs),
+		Simulations:     runs,
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %.2fs sequential, %.2fs at %d workers (%.2fx, %d cores, identical=%v)\n",
+		path, rep.SeqSeconds, rep.ParSeconds, workers, rep.Speedup, rep.Cores, rep.Identical)
+	if !rep.Identical {
+		return fmt.Errorf("parallel sweep diverged from sequential sweep — determinism bug")
+	}
+	return nil
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, table1, fig1, fig2, fig9..fig15, headline, ablations, faults; faults is opt-in and not part of all)")
+	exp := flag.String("exp", "all", "experiment to run (all, table1, fig1, fig2, fig9..fig15, headline, ablations, faults; faults is opt-in and excluded from all)")
 	requests := flag.Int("requests", 12, "requests per short-job stream")
 	lambda := flag.Float64("lambda", 0.6, "mean inter-arrival as a fraction of solo runtime")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	pairs := flag.Int("pairs", 24, "number of workload pairs (prefix of A..X)")
 	width := flag.Int("width", 72, "width of utilization strips")
-	workers := flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+	parallelN := flag.Int("parallel", 0, "experiment cells run concurrently (0 = GOMAXPROCS, 1 = sequential; results are identical at any setting)")
+	workers := flag.Int("workers", 0, "deprecated alias for -parallel")
 	seeds := flag.Int("seeds", 1, "replications per scenario (pooled)")
 	csv := flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
 	htmlOut := flag.String("html", "", "also write an HTML report with SVG charts to this path")
@@ -124,7 +198,12 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a heap profile to this path on exit")
 	benchJSON := flag.String("bench-json", "", "benchmark mode: write simulator throughput metrics to this JSON file instead of running experiments")
 	benchIters := flag.Int("bench-iters", 20, "iterations of the throughput scenario in -bench-json mode")
+	benchSweep := flag.String("bench-sweep", "", "sweep-benchmark mode: run the figure grid sequentially and in parallel, verify identical tables, and write the speedup to this JSON file")
 	flag.Parse()
+
+	if *parallelN == 0 {
+		*parallelN = *workers
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -164,12 +243,20 @@ func main() {
 		writeMemProfile()
 		return
 	}
+	if *benchSweep != "" {
+		if err := runBenchSweep(*benchSweep, *seed, *requests, *pairs, *parallelN); err != nil {
+			fmt.Fprintf(os.Stderr, "bench-sweep: %v\n", err)
+			os.Exit(1)
+		}
+		writeMemProfile()
+		return
+	}
 
 	opt := stringsched.SuiteOptions{
 		Seed:         *seed,
 		Requests:     *requests,
 		LambdaFactor: *lambda,
-		Workers:      *workers,
+		Workers:      *parallelN,
 		Seeds:        *seeds,
 	}
 	if *pairs < 24 {
@@ -228,19 +315,29 @@ func main() {
 		{name: "faults", extra: true, fn: func() { render(suite.Faults()) }},
 	}
 
+	// Validate -exp before running anything: an unknown name must fail
+	// fast, non-zero, and tell the user what would have been accepted.
 	want := strings.ToLower(*exp)
-	matched := false
-	start := time.Now() //lint:allow simclock -- bench harness: wall time measures the simulator itself, it never reaches simulated state
+	known := want == "all"
+	names := make([]string, 0, len(runners)+1)
+	names = append(names, "all")
 	for _, r := range runners {
-		if (want == "all" && !r.extra) || want == r.name {
-			matched = true
-			r.fn()
+		names = append(names, r.name)
+		if want == r.name {
+			known = true
 		}
 	}
-	if !matched {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
-		flag.Usage()
-		os.Exit(2)
+	if !known {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\nvalid experiments: %s\n(faults is opt-in: it is excluded from -exp all and must be named explicitly)\n",
+			*exp, strings.Join(names, ", "))
+		os.Exit(1)
+	}
+
+	sw := parallel.StartStopwatch()
+	for _, r := range runners {
+		if (want == "all" && !r.extra) || want == r.name {
+			r.fn()
+		}
 	}
 	if page != nil {
 		if err := page.WriteFile(*htmlOut); err != nil {
@@ -249,6 +346,6 @@ func main() {
 		}
 		fmt.Printf("HTML report written to %s\n", *htmlOut)
 	}
-	fmt.Printf("(%d simulations, %.1fs wall)\n", suite.Runs, time.Since(start).Seconds()) //lint:allow simclock -- bench harness: wall time measures the simulator itself, it never reaches simulated state
+	fmt.Printf("(%d simulations, %.1fs wall)\n", suite.Runs, sw.Seconds())
 	writeMemProfile()
 }

@@ -19,6 +19,7 @@ import (
 	"repro/internal/remoting"
 	"repro/internal/rpcproto"
 	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 // Mode selects which runtime serves applications' GPU work.
@@ -102,6 +103,20 @@ type Config struct {
 	// value disables it, leaving the frontend bit-identical to the
 	// pre-fault-tolerance behaviour.
 	Recovery interpose.Recovery
+
+	// Kernel, when non-nil, is Reset(Seed) and reused instead of building a
+	// fresh kernel — the sweep workers recycle kernels through a
+	// parallel.KernelArena so back-to-back cells reuse the heap and ring
+	// backing arrays. A reset kernel reproduces a fresh kernel's event
+	// sequence exactly (see internal/sim reset tests), so this is purely an
+	// allocation optimization.
+	Kernel *sim.Kernel
+
+	// Traces, when non-nil, memoizes materialized arrival traces so cells
+	// that replay the same workload stream share one immutable slice
+	// instead of regenerating it per run. Derivation is bit-identical to
+	// the inline path (workload.StreamSeed).
+	Traces *workload.TraceBook
 }
 
 // Cluster is a fully wired simulated deployment.
@@ -177,8 +192,14 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.RemoteLink == (rpcproto.LinkSpec{}) {
 		cfg.RemoteLink = rpcproto.RemoteLink
 	}
+	k := cfg.Kernel
+	if k != nil {
+		k.Reset(cfg.Seed)
+	} else {
+		k = sim.NewKernel(cfg.Seed)
+	}
 	c := &Cluster{
-		K: sim.NewKernel(cfg.Seed), cfg: cfg,
+		K: k, cfg: cfg,
 		appTenant: make(map[int]int64), results: newRunResult(),
 	}
 

@@ -200,8 +200,15 @@ func (c *Cluster) RunUntil(streams []workload.StreamSpec, horizon sim.Time) (*Ru
 
 // launchStream spawns the per-stream arrival process.
 func (c *Cluster) launchStream(si int, s workload.StreamSpec) {
-	rng := rand.New(rand.NewSource(c.cfg.Seed*7919 + int64(si)*104729 + 13))
-	arrivals := s.Arrivals(rng)
+	var arrivals []sim.Time
+	if c.cfg.Traces != nil {
+		// Shared immutable trace; the book derives it with the same seed
+		// formula, so the two paths are bit-identical.
+		arrivals = c.cfg.Traces.Arrivals(c.cfg.Seed, si, s)
+	} else {
+		rng := rand.New(rand.NewSource(workload.StreamSeed(c.cfg.Seed, si)))
+		arrivals = s.Arrivals(rng)
+	}
 	prof := workload.ProfileFor(s.Kind)
 	c.K.Go(fmt.Sprintf("stream-%d-%s", si, s.Kind), func(p *sim.Proc) {
 		for i, at := range arrivals {

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -304,6 +305,33 @@ func TestParallelWorkersDeterministic(t *testing.T) {
 	for i := range a {
 		if a[i] != b[i] {
 			t.Fatalf("worker count changed results: %v vs %v", a, b)
+		}
+	}
+}
+
+// TestSweepParallelEqualsSequential is the engine's end-to-end golden
+// property on real experiment grids: whole figure tables — including a
+// multi-replication run exercising the FoldSeed replication seeds — are
+// deeply equal at Workers=1 (the sequential reference) and Workers=8 (an
+// oversubscribed pool on any core count).
+func TestSweepParallelEqualsSequential(t *testing.T) {
+	ps := workload.Pairs()
+	build := func(workers int) []*metrics.Table {
+		s := NewSuite(Options{
+			Seed:     1,
+			Requests: 4,
+			Seeds:    2,
+			Workers:  workers,
+			Pairs:    []workload.Pair{ps[1], ps[16]},
+			Apps:     []workload.Kind{workload.MonteCarlo, workload.Gaussian},
+		})
+		return []*metrics.Table{s.Fig9(), s.Fig11(), s.Fig13(), s.Fig15()}
+	}
+	seq := build(1)
+	par := build(8)
+	for i := range seq {
+		if !reflect.DeepEqual(seq[i], par[i]) {
+			t.Errorf("%s: parallel table diverged from sequential", seq[i].Title)
 		}
 	}
 }

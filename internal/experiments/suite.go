@@ -13,7 +13,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/gpu"
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -51,6 +53,12 @@ type Options struct {
 	// perfectly). 0 selects GOMAXPROCS; 1 forces sequential execution.
 	// Results are identical at any worker count.
 	Workers int
+
+	// FreshKernels disables kernel recycling: every scenario builds its
+	// kernel from scratch instead of resetting one borrowed from the
+	// suite's arena. Results are identical either way (TestFig9Golden pins
+	// both paths); the flag exists to compare them.
+	FreshKernels bool
 }
 
 func (o Options) withDefaults() Options {
@@ -115,6 +123,15 @@ type Suite struct {
 	mu    sync.Mutex
 	cache map[string]*cacheEntry
 
+	// arena recycles kernels across scenarios so back-to-back runs on one
+	// worker reuse the event heap and ring backing arrays.
+	arena parallel.KernelArena
+
+	// traces shares materialized arrival traces across scenarios — every
+	// policy of a figure replays the identical workload, so the streams
+	// are derived once and aliased read-only everywhere.
+	traces *workload.TraceBook
+
 	// Runs counts distinct simulations executed (cache misses).
 	Runs int
 }
@@ -128,7 +145,11 @@ type cacheEntry struct {
 
 // NewSuite creates a suite with the given options.
 func NewSuite(opt Options) *Suite {
-	return &Suite{opt: opt.withDefaults(), cache: make(map[string]*cacheEntry)}
+	return &Suite{
+		opt:    opt.withDefaults(),
+		cache:  make(map[string]*cacheEntry),
+		traces: workload.NewTraceBook(),
+	}
 }
 
 // Options returns the resolved options.
@@ -153,8 +174,14 @@ func (s *Suite) run(sc scenario) *core.RunResult {
 	s.mu.Unlock()
 	e.once.Do(func() {
 		pooled := core.NewRunResultForPooling()
+		if !s.opt.FreshKernels {
+			k := s.arena.Get()
+			defer s.arena.Put(k)
+			sc.cfg.Kernel = k
+		}
+		sc.cfg.Traces = s.traces
 		for rep := 0; rep < s.opt.Seeds; rep++ {
-			sc.cfg.Seed = s.opt.Seed + int64(rep)*1000003
+			sc.cfg.Seed = s.repSeed(rep)
 			c, err := core.New(sc.cfg)
 			if err != nil {
 				panic(fmt.Sprintf("experiments: %v", err))
@@ -184,52 +211,51 @@ func (s *Suite) run(sc scenario) *core.RunResult {
 	return e.res
 }
 
-// forEach runs fn(i) for every index, fanning out across the configured
-// worker count. Panics in workers propagate to the caller. Output written
-// by index keeps results deterministic regardless of scheduling.
+// repSeed derives replication rep's run seed. Replication 0 runs the base
+// seed itself (the golden figures pin exactly that), later replications
+// fold the replication index through sweep.FoldSeed so replication streams
+// are decorrelated and order-independent.
+func (s *Suite) repSeed(rep int) int64 {
+	if rep == 0 {
+		return s.opt.Seed
+	}
+	return sweep.FoldSeed(s.opt.Seed, uint64(rep))
+}
+
+// engine returns the sweep engine configured with the suite's worker bound.
+func (s *Suite) engine() sweep.Engine {
+	return sweep.Engine{Parallel: s.opt.Workers}
+}
+
+// forEach runs fn(i) for every index over the blessed worker pool
+// (internal/parallel). Panics in workers propagate to the caller. Output
+// written by index keeps results deterministic regardless of scheduling.
 func (s *Suite) forEach(n int, fn func(i int)) {
-	workers := s.opt.Workers
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
+	parallel.Do(n, s.opt.Workers, fn)
+}
+
+// grid flattens a rows×cols experiment matrix (policy × pair, system × app)
+// into one sweep cell grid and runs it on the suite's engine, so the whole
+// figure parallelizes across both axes instead of fanning out one policy
+// row at a time. fn must be independent per cell (memoized scenario runs
+// are fine: the singleflight cache dedupes shared baselines); results come
+// back grouped by row, each row in column order.
+func (s *Suite) grid(rows, cols int, key func(r, c int) string, fn func(r, c int) float64) [][]float64 {
+	g := sweep.NewGrid(rows, cols)
+	cells := make([]sweep.Cell[float64], g.Size())
+	for i := range cells {
+		r, c := g.Coord(i, 0), g.Coord(i, 1)
+		cells[i] = sweep.Cell[float64]{
+			Key: key(r, c),
+			Run: func() float64 { return fn(r, c) },
 		}
-		return
 	}
-	var wg sync.WaitGroup
-	idx := make(chan int)
-	var mu sync.Mutex
-	var firstPanic interface{}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() { //lint:allow rawgo -- experiment worker pool: each worker builds a private cluster + kernel per index and shares nothing with the simulated world
-			defer wg.Done()
-			for i := range idx {
-				func() {
-					defer func() {
-						if r := recover(); r != nil {
-							mu.Lock()
-							if firstPanic == nil {
-								firstPanic = r
-							}
-							mu.Unlock()
-						}
-					}()
-					fn(i)
-				}()
-			}
-		}()
+	flat := sweep.Run(s.engine(), cells)
+	out := make([][]float64, rows)
+	for r := range out {
+		out[r] = flat[r*cols : (r+1)*cols : (r+1)*cols]
 	}
-	for i := 0; i < n; i++ {
-		idx <- i
-	}
-	close(idx)
-	wg.Wait()
-	if firstPanic != nil {
-		panic(firstPanic)
-	}
+	return out
 }
 
 // stream builds one request stream.

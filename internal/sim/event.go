@@ -15,6 +15,16 @@ func (k *Kernel) NewEvent() *Event { return &Event{k: k} }
 // Fired reports whether the event has fired.
 func (e *Event) Fired() bool { return e.fired }
 
+// Reset unlatches the event for reuse, keeping the waiter ring's backing
+// array. It panics if processes are still parked on the event: resetting
+// under a waiter would strand it without the activation Fire promised.
+func (e *Event) Reset() {
+	if e.waiters.Len() > 0 {
+		panic("sim: Event.Reset with parked waiters")
+	}
+	e.fired = false
+}
+
 // Fire latches the event and wakes every waiter at the current virtual
 // instant (in wait order). Firing an already fired event is a no-op.
 func (e *Event) Fire() {
@@ -58,6 +68,11 @@ func (s *Signal) NotifyOne() bool {
 
 // Waiting returns the number of processes parked on s.
 func (s *Signal) Waiting() int { return s.waiters.Len() }
+
+// Reset abandons any parked waiters and keeps the ring's backing array for
+// reuse. Like Kernel.Reset it must only run between simulations — dropped
+// waiters are never woken.
+func (s *Signal) Reset() { s.waiters.Reset() }
 
 // drop removes p from the waiter list (used when a timed wait times out).
 func (s *Signal) drop(p *Proc) {

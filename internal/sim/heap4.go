@@ -15,6 +15,13 @@ type heap4[T heapItem[T]] struct{ a []T }
 
 func (h *heap4[T]) len() int { return len(h.a) }
 
+// reset empties the heap, zeroing entries (for the GC) but keeping the
+// backing array so a reused heap does not re-grow from scratch.
+func (h *heap4[T]) reset() {
+	clear(h.a)
+	h.a = h.a[:0]
+}
+
 // peek returns the minimum without removing it. Caller checks len.
 func (h *heap4[T]) peek() T { return h.a[0] }
 

@@ -82,6 +82,41 @@ func NewKernel(seed int64) *Kernel {
 	}
 }
 
+// Reset returns the kernel to the state NewKernel(seed) would produce while
+// keeping the event heap's and now-queue's backing arrays, so a worker that
+// runs many simulations back to back stops paying the ramp-up allocations of
+// each run. A reset kernel is indistinguishable from a fresh one: the clock,
+// sequence counter, dispatch count, random stream and process table all start
+// over, and the (time, sequence) dispatch order of the next run is bit-exact
+// with what a new kernel would produce (regression-tested).
+//
+// Reset must only be called between runs — after Run/RunUntil has returned
+// and before any new process is created. Processes left parked by a previous
+// run (for example by a RunUntil horizon) are abandoned: their activations
+// are discarded with the heap and they are never woken again, exactly as if
+// the old kernel had been dropped. Any installed tracer is removed, and the
+// timer facility restarts lazily on the next After call.
+func (k *Kernel) Reset(seed int64) {
+	if k.running != nil {
+		panic("sim: Reset during an active run")
+	}
+	k.now = 0
+	k.seq = 0
+	k.limit = maxTime
+	k.future.reset()
+	k.nowQ.Reset()
+	k.dispatched = 0
+	clear(k.procs)
+	k.nextID = 0
+	k.rng = rand.New(rand.NewSource(seed))
+	k.tracer = nil
+	k.stopped = false
+	// Dropping the timer state (rather than clearing it) detaches the old
+	// timer process, which may still be parked on the old kick signal; a
+	// reused kernel lazily starts a new one.
+	k.timers = nil
+}
+
 // Now returns the current virtual time.
 func (k *Kernel) Now() Time { return k.now }
 

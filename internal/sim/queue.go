@@ -24,6 +24,14 @@ func (q *Queue[T]) Len() int { return q.items.Len() }
 // depth and is the bound regression tests assert on).
 func (q *Queue[T]) Cap() int { return q.items.Cap() }
 
+// Reset discards all buffered items and waiting receivers, keeping the ring
+// backing arrays for reuse. Like Kernel.Reset it must only be used between
+// runs: parked receivers are abandoned, not woken.
+func (q *Queue[T]) Reset() {
+	q.items.Reset()
+	q.ready.Reset()
+}
+
 // Put appends v and wakes one waiting receiver, if any.
 func (q *Queue[T]) Put(v T) {
 	q.items.Push(v)

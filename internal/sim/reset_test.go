@@ -1,0 +1,196 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// resetWorkload is a small but structurally busy scenario: staggered
+// sleepers, a queue-fed consumer, an event rendezvous, a timer callback and
+// kernel randomness, so a reset kernel has to reproduce heap ordering, ring
+// FIFO behaviour, timer delivery and the seeded random stream.
+func resetWorkload(k *Kernel) []string {
+	var log []string
+	k.SetTracer(func(t Time, proc, msg string) {
+		log = append(log, fmt.Sprintf("%v %s %s", t, proc, msg))
+	})
+	q := NewQueue[int](k)
+	done := k.NewEvent()
+	k.Go("producer", func(p *Proc) {
+		for i := 0; i < 4; i++ {
+			p.Sleep(Time(1 + k.Rand().Intn(5)))
+			q.Put(i)
+			p.Tracef("put %d", i)
+		}
+	})
+	k.Go("consumer", func(p *Proc) {
+		for i := 0; i < 4; i++ {
+			v := q.Get(p)
+			p.Tracef("got %d", v)
+		}
+		done.Fire()
+	})
+	k.Go("waiter", func(p *Proc) {
+		p.Wait(done)
+		p.Tracef("done at %v", p.Now())
+	})
+	k.After(3, func() { log = append(log, "timer@3") })
+	k.Run()
+	log = append(log, fmt.Sprintf("end now=%v dispatched=%d", k.Now(), k.Dispatched()))
+	return log
+}
+
+// TestKernelResetReproducesFreshRun is the reuse contract: running the same
+// scenario on a reset kernel — even one polluted by a different prior run —
+// yields exactly the event sequence a brand-new kernel produces.
+func TestKernelResetReproducesFreshRun(t *testing.T) {
+	fresh := resetWorkload(NewKernel(42))
+
+	reused := NewKernel(7)
+	// Pollute: a different workload, different seed, left unfinished by a
+	// horizon so parked processes and pending activations survive the run.
+	reused.Go("polluter", func(p *Proc) {
+		for i := 0; i < 50; i++ {
+			p.Sleep(Time(10 + reused.Rand().Intn(100)))
+		}
+	})
+	reused.RunUntil(200)
+	if reused.Dispatched() == 0 {
+		t.Fatal("polluter run dispatched nothing")
+	}
+
+	reused.Reset(42)
+	if got := resetWorkload(reused); !reflect.DeepEqual(got, fresh) {
+		t.Errorf("reset kernel diverged from fresh kernel:\nfresh: %v\nreused: %v", fresh, got)
+	}
+
+	// A second reuse of the same kernel must reproduce it again.
+	reused.Reset(42)
+	if got := resetWorkload(reused); !reflect.DeepEqual(got, fresh) {
+		t.Errorf("second reuse diverged from fresh kernel:\nfresh: %v\nreused: %v", fresh, got)
+	}
+}
+
+// TestKernelResetState pins the observable state a reset must restore.
+func TestKernelResetState(t *testing.T) {
+	k := NewKernel(1)
+	k.Go("a", func(p *Proc) { p.Sleep(10) })
+	k.Go("stuck", func(p *Proc) { p.Wait(k.NewEvent()) })
+	k.Run()
+	if k.Now() == 0 || k.Dispatched() == 0 {
+		t.Fatal("setup run did not execute")
+	}
+	k.Reset(99)
+	if k.Now() != 0 {
+		t.Errorf("Now after Reset = %v, want 0", k.Now())
+	}
+	if k.Dispatched() != 0 {
+		t.Errorf("Dispatched after Reset = %d, want 0", k.Dispatched())
+	}
+	if k.ProcCount() != 0 {
+		t.Errorf("ProcCount after Reset = %d, want 0", k.ProcCount())
+	}
+	if got, want := k.Rand().Int63(), NewKernel(99).Rand().Int63(); got != want {
+		t.Errorf("random stream after Reset = %d, want fresh seed-99 stream %d", got, want)
+	}
+}
+
+// TestRingResetKeepsCapacity verifies Reset releases contents but not the
+// grown backing array — the property that makes pooled reuse worthwhile.
+func TestRingResetKeepsCapacity(t *testing.T) {
+	var r Ring[*int]
+	for i := 0; i < 100; i++ {
+		v := i
+		r.Push(&v)
+	}
+	capBefore := r.Cap()
+	r.Reset()
+	if r.Len() != 0 {
+		t.Errorf("Len after Reset = %d, want 0", r.Len())
+	}
+	if r.Cap() != capBefore {
+		t.Errorf("Cap after Reset = %d, want %d (backing array retained)", r.Cap(), capBefore)
+	}
+	// The ring must still be fully usable.
+	for i := 0; i < 3; i++ {
+		v := i
+		r.Push(&v)
+	}
+	for i := 0; i < 3; i++ {
+		if got := *r.Pop(); got != i {
+			t.Fatalf("Pop after Reset = %d, want %d", got, i)
+		}
+	}
+}
+
+// TestQueueSignalEventReset covers the reusable-primitive resets.
+func TestQueueSignalEventReset(t *testing.T) {
+	k := NewKernel(1)
+	q := NewQueue[int](k)
+	for i := 0; i < 20; i++ {
+		q.Put(i)
+	}
+	capBefore := q.Cap()
+	q.Reset()
+	if q.Len() != 0 || q.Cap() != capBefore {
+		t.Errorf("queue after Reset: len=%d cap=%d, want len=0 cap=%d", q.Len(), q.Cap(), capBefore)
+	}
+	q.Put(7)
+	k.Go("get", func(p *Proc) {
+		if v := q.Get(p); v != 7 {
+			t.Errorf("Get after Reset = %d, want 7", v)
+		}
+	})
+	k.Run()
+
+	e := k.NewEvent()
+	e.Fire()
+	if !e.Fired() {
+		t.Fatal("event did not fire")
+	}
+	e.Reset()
+	if e.Fired() {
+		t.Error("event still fired after Reset")
+	}
+
+	s := k.NewSignal()
+	k.Go("waiter", func(p *Proc) { p.WaitSignal(s) })
+	k.Run() // parks the waiter
+	if s.Waiting() != 1 {
+		t.Fatalf("Waiting = %d, want 1", s.Waiting())
+	}
+	s.Reset()
+	if s.Waiting() != 0 {
+		t.Errorf("Waiting after Reset = %d, want 0", s.Waiting())
+	}
+}
+
+// TestEventResetWithWaitersPanics pins the guard against stranding a parked
+// process.
+func TestEventResetWithWaitersPanics(t *testing.T) {
+	k := NewKernel(1)
+	e := k.NewEvent()
+	k.Go("waiter", func(p *Proc) { p.Wait(e) })
+	k.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("Reset with parked waiters did not panic")
+		}
+	}()
+	e.Reset()
+}
+
+// TestResetDuringRunPanics pins the misuse guard.
+func TestResetDuringRunPanics(t *testing.T) {
+	k := NewKernel(1)
+	k.Go("p", func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("Reset during an active run did not panic")
+			}
+		}()
+		k.Reset(2)
+	})
+	k.Run()
+}

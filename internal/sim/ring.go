@@ -78,6 +78,15 @@ func (r *Ring[T]) RemoveFirst(match func(T) bool) bool {
 	return false
 }
 
+// Reset empties the ring, keeping the backing buffer for reuse. Buffered
+// items are zeroed so the GC can reclaim anything they referenced; the
+// capacity acquired at peak occupancy is retained, which is what makes a
+// pooled ring cheap to run again.
+func (r *Ring[T]) Reset() {
+	clear(r.buf)
+	r.head, r.n = 0, 0
+}
+
 // grow doubles the buffer, unwrapping the occupied region to the front.
 func (r *Ring[T]) grow() {
 	newCap := 8

@@ -1,0 +1,61 @@
+package sweep
+
+import "fmt"
+
+// Grid enumerates the cartesian product of experiment axes (policy ×
+// workload × seed × fault plan) in row-major order, mapping between flat
+// cell indices and per-axis coordinates. Row-major flattening fixes the
+// cell order once, which is what the engine's ordered collection (and thus
+// byte-identical output) keys off.
+type Grid struct {
+	dims []int
+	size int
+}
+
+// NewGrid builds a grid with the given axis lengths. Every length must be
+// positive.
+func NewGrid(dims ...int) Grid {
+	if len(dims) == 0 {
+		panic("sweep: NewGrid with no axes")
+	}
+	size := 1
+	for _, d := range dims {
+		if d <= 0 {
+			panic(fmt.Sprintf("sweep: NewGrid axis length %d", d))
+		}
+		size *= d
+	}
+	return Grid{dims: append([]int(nil), dims...), size: size}
+}
+
+// Size returns the number of cells in the grid.
+func (g Grid) Size() int { return g.size }
+
+// Dims returns the number of axes.
+func (g Grid) Dims() int { return len(g.dims) }
+
+// Coord returns the coordinate of flat cell index on the given axis.
+func (g Grid) Coord(flat, axis int) int {
+	if flat < 0 || flat >= g.size {
+		panic(fmt.Sprintf("sweep: flat index %d out of range [0,%d)", flat, g.size))
+	}
+	for a := len(g.dims) - 1; a > axis; a-- {
+		flat /= g.dims[a]
+	}
+	return flat % g.dims[axis]
+}
+
+// Flat returns the flat cell index of the given coordinates (one per axis).
+func (g Grid) Flat(coords ...int) int {
+	if len(coords) != len(g.dims) {
+		panic(fmt.Sprintf("sweep: Flat got %d coordinates for %d axes", len(coords), len(g.dims)))
+	}
+	flat := 0
+	for a, c := range coords {
+		if c < 0 || c >= g.dims[a] {
+			panic(fmt.Sprintf("sweep: coordinate %d out of range [0,%d) on axis %d", c, g.dims[a], a))
+		}
+		flat = flat*g.dims[a] + c
+	}
+	return flat
+}

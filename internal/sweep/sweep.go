@@ -1,0 +1,72 @@
+// Package sweep is the deterministic parallel experiment engine: it
+// decomposes experiment grids into independent cells, fans the cells out
+// over internal/parallel's bounded worker pool, and collects the results in
+// cell-index order, so every table, metric and report is byte-identical
+// regardless of worker count.
+//
+// The cell model. A cell is one self-contained run of the simulator — one
+// (policy, workload, seed, fault plan) point of a grid. Cells own their
+// whole world: each builds (or borrows from a parallel.KernelArena and
+// resets) a private kernel and cluster, derives its random streams from the
+// base seed and its own identity via FoldSeed/KeySeed, and returns a value.
+// Nothing flows between cells during execution; merging happens after, in
+// index order, with conflicts (two cells producing the same row) surfaced
+// as errors by metrics.Table.Merge rather than silently overwritten.
+package sweep
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/parallel"
+)
+
+// Cell is one independent unit of an experiment grid.
+type Cell[T any] struct {
+	// Key names the cell (policy/workload/seed labels, "fig10/GMin/B").
+	// Keys exist for logs, seed derivation and conflict reporting; the
+	// engine itself orders by index, not key.
+	Key string
+
+	// Run executes the cell and returns its result. It must be
+	// self-contained: no shared mutable state with other cells, no
+	// dependence on execution order.
+	Run func() T
+}
+
+// Engine executes cell grids.
+type Engine struct {
+	// Parallel bounds how many cells run concurrently: 0 selects
+	// GOMAXPROCS, 1 forces the sequential reference execution. Results are
+	// identical at any setting.
+	Parallel int
+}
+
+// Run executes the cells and returns their results in cell-index order.
+// A panic inside any cell propagates to the caller after all cells ran.
+func Run[T any](e Engine, cells []Cell[T]) []T {
+	return parallel.Map(len(cells), e.Parallel, func(i int) T {
+		return cells[i].Run()
+	})
+}
+
+// Tables executes cells that each produce a labeled table and merges the
+// results in cell-index order into dst via metrics.Table.Merge, so a
+// duplicate row key (two cells emitting the same series) is an error
+// instead of a silent overwrite.
+func Tables(e Engine, dst *metrics.Table, cells []Cell[*metrics.Table]) error {
+	for i, part := range Run(e, cells) {
+		if err := dst.Merge(part); err != nil {
+			return &MergeError{Key: cells[i].Key, Err: err}
+		}
+	}
+	return nil
+}
+
+// MergeError reports which cell's table failed to merge.
+type MergeError struct {
+	Key string
+	Err error
+}
+
+func (e *MergeError) Error() string { return "sweep: cell " + e.Key + ": " + e.Err.Error() }
+
+func (e *MergeError) Unwrap() error { return e.Err }

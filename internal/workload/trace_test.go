@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestStreamSeedFormula(t *testing.T) {
+	// The formula is load-bearing: it must match the cluster's historical
+	// inline derivation or shared traces change every figure.
+	if got, want := StreamSeed(1, 0), int64(1*7919+13); got != want {
+		t.Fatalf("StreamSeed(1,0) = %d, want %d", got, want)
+	}
+	if got, want := StreamSeed(3, 2), int64(3*7919+2*104729+13); got != want {
+		t.Fatalf("StreamSeed(3,2) = %d, want %d", got, want)
+	}
+}
+
+func TestTraceBookMatchesDirectDerivation(t *testing.T) {
+	spec := StreamSpec{Kind: DXTC, Count: 20, Lambda: 5000}
+	b := NewTraceBook()
+	for si := 0; si < 3; si++ {
+		want := spec.Arrivals(rand.New(rand.NewSource(StreamSeed(7, si))))
+		got := b.Arrivals(7, si, spec)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("stream %d: cached trace diverged from direct derivation", si)
+		}
+	}
+}
+
+func TestTraceBookMemoizes(t *testing.T) {
+	spec := StreamSpec{Kind: Scan, Count: 10, Lambda: 2000}
+	b := NewTraceBook()
+	first := b.Arrivals(1, 0, spec)
+	second := b.Arrivals(1, 0, spec)
+	if len(first) > 0 && &first[0] != &second[0] {
+		t.Error("repeated lookup returned a distinct slice, not the shared one")
+	}
+	if b.Len() != 1 {
+		t.Fatalf("Len = %d after two identical lookups, want 1", b.Len())
+	}
+	// Different seed, stream index or spec are distinct entries.
+	b.Arrivals(2, 0, spec)
+	b.Arrivals(1, 1, spec)
+	other := spec
+	other.Count = 11
+	b.Arrivals(1, 0, other)
+	if b.Len() != 4 {
+		t.Fatalf("Len = %d, want 4 distinct traces", b.Len())
+	}
+}
+
+func TestTraceBookConcurrent(t *testing.T) {
+	spec := StreamSpec{Kind: Histogram, Count: 30, Lambda: 3000}
+	b := NewTraceBook()
+	want := spec.Arrivals(rand.New(rand.NewSource(StreamSeed(5, 1))))
+	var wg sync.WaitGroup
+	results := make([][]int64, 8)
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tr := b.Arrivals(5, 1, spec)
+			vals := make([]int64, len(tr))
+			for i, at := range tr {
+				vals[i] = int64(at)
+			}
+			results[w] = vals
+		}()
+	}
+	wg.Wait()
+	for w, vals := range results {
+		if len(vals) != len(want) {
+			t.Fatalf("worker %d: %d arrivals, want %d", w, len(vals), len(want))
+		}
+		for i := range vals {
+			if vals[i] != int64(want[i]) {
+				t.Fatalf("worker %d: arrival %d diverged", w, i)
+			}
+		}
+	}
+	if b.Len() != 1 {
+		t.Fatalf("Len = %d after concurrent lookups of one key, want 1", b.Len())
+	}
+}
