@@ -1,7 +1,7 @@
 GO ?= go
 BIN ?= bin
 
-.PHONY: build test race vet lint stringscheck bench-smoke bench bench-json bench-sweep
+.PHONY: build test race vet lint stringscheck bench-smoke bench bench-json bench-sweep cover fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -48,9 +48,32 @@ bench-smoke:
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput|BenchmarkKernelDispatch|BenchmarkQueuePingPong|BenchmarkCodecRoundTrip' -benchmem .
 
-# Regenerate BENCH_simcore.json (simulator throughput snapshot).
+# Coverage gate: run the internal packages with -coverprofile and fail if
+# any of the gated packages (the observability layer and the sweep engine)
+# drops below 85% statement coverage. The profile lands in $(BIN)/cover.out
+# for CI to upload.
+cover:
+	@mkdir -p $(BIN)
+	$(GO) test -coverprofile=$(BIN)/cover.out ./internal/...
+	$(GO) run ./cmd/covercheck -profile $(BIN)/cover.out -min 85 \
+		repro/internal/trace repro/internal/sweep repro/internal/parallel
+
+# Short fuzz pass over every native fuzz target: the wire codec, the framing
+# layer and the trace encoders each get 10s of coverage-guided input on top
+# of the committed corpus under testdata/fuzz/.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime 10s ./internal/rpcproto/
+	$(GO) test -run '^$$' -fuzz FuzzReadFrame -fuzztime 10s ./internal/rpcproto/
+	$(GO) test -run '^$$' -fuzz FuzzCallRoundTrip -fuzztime 10s ./internal/rpcproto/
+	$(GO) test -run '^$$' -fuzz FuzzReplyRoundTrip -fuzztime 10s ./internal/rpcproto/
+	$(GO) test -run '^$$' -fuzz FuzzParseJSONL -fuzztime 10s ./internal/trace/
+	$(GO) test -run '^$$' -fuzz FuzzSpanEncode -fuzztime 10s ./internal/trace/
+	$(GO) test -run '^$$' -fuzz FuzzEventEncode -fuzztime 10s ./internal/trace/
+
+# Regenerate BENCH_simcore.json (simulator throughput snapshot), including
+# the traced-run overhead columns and a Chrome trace of the scenario.
 bench-json:
-	$(GO) run ./cmd/strings-bench -bench-json BENCH_simcore.json
+	$(GO) run ./cmd/strings-bench -bench-json BENCH_simcore.json -trace $(BIN)/throughput-trace.json
 
 # Regenerate BENCH_sweep.json: the figure grid (fig9+fig10+fig12) timed
 # sequentially and at GOMAXPROCS workers, with the tables verified deeply

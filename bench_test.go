@@ -211,6 +211,40 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkTracedRun measures the same throughput scenario with the span
+// recorder enabled — the cost of full-path observability. Compare its
+// ns/op and allocs/op against BenchmarkSimulatorThroughput: the delta is
+// the tracing overhead, which the disabled path must not pay (see
+// BenchmarkRecorderDisabled in internal/trace for the 0-alloc proof).
+func BenchmarkTracedRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rec := stringsched.NewTraceRecorder()
+		c, err := stringsched.NewCluster(stringsched.Config{
+			Seed: int64(i + 1),
+			Nodes: []stringsched.NodeConfig{{Devices: []stringsched.DeviceSpec{
+				stringsched.Quadro2000, stringsched.TeslaC2050,
+			}}},
+			Mode:     stringsched.ModeStrings,
+			Balance:  "GMin",
+			Recorder: rec,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := c.Run([]stringsched.StreamSpec{{
+			Kind: stringsched.MonteCarlo, Count: 6, LambdaFactor: 0.5,
+			Node: 0, Tenant: 1, Weight: 1,
+		}})
+		if err != nil || len(r.Errors) > 0 {
+			b.Fatalf("%v %v", err, r.Errors)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(rec.Len()), "spans/op")
+		}
+	}
+}
+
 // BenchmarkKernelDispatch measures raw event-loop overhead: 64 processes on
 // staggered sleep cadences, so every dispatch goes through the future heap
 // and a real park/resume handoff. Reports ns/event.

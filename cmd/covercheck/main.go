@@ -1,0 +1,157 @@
+// covercheck enforces per-package statement-coverage floors on a Go
+// coverprofile.
+//
+// Usage:
+//
+//	covercheck -profile cover.out [-min 85] [pkg ...]
+//
+// Each pkg argument is an import-path prefix; a file belongs to the first
+// argument that prefixes it. With no arguments every package in the profile
+// is gated. Exit status is 1 when any gated package falls below the floor,
+// with a per-package report either way.
+//
+// The profile format is one block per line after the mode header:
+//
+//	import/path/file.go:startLine.startCol,endLine.endCol numStatements hitCount
+//
+// Statement coverage weights each block by its statement count, matching
+// `go tool cover -func` totals.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// pkgCover accumulates one package's statement totals.
+type pkgCover struct {
+	statements int
+	covered    int
+}
+
+func (p pkgCover) percent() float64 {
+	if p.statements == 0 {
+		return 0
+	}
+	return 100 * float64(p.covered) / float64(p.statements)
+}
+
+// parseProfile folds a coverprofile into per-group totals. groups are
+// import-path prefixes; files outside every group are ignored (gate only
+// what was asked for). With no groups, every package gets its own row.
+func parseProfile(path string, groups []string) (map[string]*pkgCover, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	out := make(map[string]*pkgCover)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "mode:") {
+			continue
+		}
+		// file.go:L.C,L.C numStatements hitCount
+		colon := strings.LastIndex(line, ":")
+		if colon < 0 {
+			return nil, fmt.Errorf("%s:%d: no file separator in %q", path, lineNo, line)
+		}
+		file := line[:colon]
+		fields := strings.Fields(line[colon+1:])
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("%s:%d: want 'range numstmt count', got %q", path, lineNo, line[colon+1:])
+		}
+		numStmt, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad statement count: %v", path, lineNo, err)
+		}
+		hits, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad hit count: %v", path, lineNo, err)
+		}
+
+		key := ""
+		if len(groups) == 0 {
+			if slash := strings.LastIndex(file, "/"); slash >= 0 {
+				key = file[:slash]
+			} else {
+				key = file
+			}
+		} else {
+			for _, g := range groups {
+				if strings.HasPrefix(file, g) {
+					key = g
+					break
+				}
+			}
+			if key == "" {
+				continue
+			}
+		}
+		pc := out[key]
+		if pc == nil {
+			pc = &pkgCover{}
+			out[key] = pc
+		}
+		pc.statements += numStmt
+		if hits > 0 {
+			pc.covered += numStmt
+		}
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	profile := flag.String("profile", "", "coverprofile to check (required)")
+	min := flag.Float64("min", 85, "minimum statement coverage percentage per package")
+	flag.Parse()
+	if *profile == "" {
+		fmt.Fprintln(os.Stderr, "covercheck: -profile is required")
+		os.Exit(2)
+	}
+	groups := flag.Args()
+	cover, err := parseProfile(*profile, groups)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "covercheck: %v\n", err)
+		os.Exit(2)
+	}
+
+	// Every requested package must appear: a gated package that vanished
+	// from the profile (deleted tests, build tags) must not pass silently.
+	for _, g := range groups {
+		if _, ok := cover[g]; !ok {
+			cover[g] = &pkgCover{}
+		}
+	}
+
+	keys := make([]string, 0, len(cover))
+	for k := range cover {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	failed := false
+	for _, k := range keys {
+		pc := cover[k]
+		status := "ok  "
+		if pc.percent() < *min {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s %-40s %6.1f%% (%d/%d statements, floor %.0f%%)\n",
+			status, k, pc.percent(), pc.covered, pc.statements, *min)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

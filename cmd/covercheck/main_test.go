@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeProfile(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "cover.out")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const sampleProfile = `mode: set
+repro/internal/trace/trace.go:10.2,12.3 3 1
+repro/internal/trace/trace.go:14.2,20.3 5 0
+repro/internal/trace/jsonl.go:8.2,9.3 2 1
+repro/internal/sweep/seed.go:5.2,6.3 4 1
+repro/cmd/other/main.go:1.2,2.3 10 0
+`
+
+func TestParseProfileGrouping(t *testing.T) {
+	path := writeProfile(t, sampleProfile)
+	cover, err := parseProfile(path, []string{"repro/internal/trace", "repro/internal/sweep"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := cover["repro/internal/trace"]
+	if tr == nil || tr.statements != 10 || tr.covered != 5 {
+		t.Errorf("trace cover = %+v, want 10 statements, 5 covered", tr)
+	}
+	sw := cover["repro/internal/sweep"]
+	if sw == nil || sw.statements != 4 || sw.covered != 4 {
+		t.Errorf("sweep cover = %+v, want 4/4", sw)
+	}
+	if _, ok := cover["repro/cmd/other"]; ok {
+		t.Error("ungated package leaked into the grouped report")
+	}
+	if got := tr.percent(); got != 50 {
+		t.Errorf("trace percent = %v, want 50", got)
+	}
+}
+
+func TestParseProfileNoGroups(t *testing.T) {
+	path := writeProfile(t, sampleProfile)
+	cover, err := parseProfile(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cover) != 3 {
+		t.Fatalf("got %d packages, want 3: %v", len(cover), cover)
+	}
+	if pc := cover["repro/cmd/other"]; pc == nil || pc.percent() != 0 {
+		t.Errorf("uncovered package percent = %+v, want 0", pc)
+	}
+}
+
+func TestParseProfileErrors(t *testing.T) {
+	for _, bad := range []string{
+		"mode: set\nnot-a-block\n",
+		"mode: set\nfile.go:1.2,3.4 x 1\n",
+		"mode: set\nfile.go:1.2,3.4 1 x\n",
+		"mode: set\nfile.go:1.2,3.4 1\n",
+	} {
+		path := writeProfile(t, bad)
+		if _, err := parseProfile(path, nil); err == nil {
+			t.Errorf("parseProfile accepted %q", bad)
+		}
+	}
+	if _, err := parseProfile(filepath.Join(t.TempDir(), "missing"), nil); err == nil {
+		t.Error("parseProfile accepted a missing file")
+	}
+}
+
+func TestPercentEmpty(t *testing.T) {
+	if p := (pkgCover{}).percent(); p != 0 {
+		t.Errorf("empty package percent = %v", p)
+	}
+}

@@ -7,6 +7,7 @@
 //	              [-parallel N] [-seeds N]
 //	              [-cpuprofile out.pprof] [-memprofile out.pprof]
 //	              [-bench-json BENCH_simcore.json] [-bench-sweep BENCH_sweep.json]
+//	              [-trace out.json]
 //
 // Each experiment prints the same rows/series as the corresponding table or
 // figure in "Scheduling Multi-tenant Cloud Workloads on Accelerator-based
@@ -25,8 +26,11 @@
 // and writes events/sec, ns/event and allocs/event to the given JSON file.
 // -bench-sweep times the figure grid sequentially and at -parallel workers,
 // verifies the tables are identical, and writes the speedup to the given
-// JSON file. -cpuprofile and -memprofile capture pprof profiles of
-// whatever ran.
+// JSON file. -trace runs the same throughput scenario with the span recorder
+// attached and writes the trace (Chrome trace-event JSON, or JSONL when the
+// path ends in .jsonl); combined with -bench-json it also reports the
+// recorder's per-event overhead. -cpuprofile and -memprofile capture pprof
+// profiles of whatever ran.
 package main
 
 import (
@@ -44,68 +48,145 @@ import (
 )
 
 // benchReport is the BENCH_simcore.json schema: raw totals plus the derived
-// per-event rates that track kernel fast-path regressions.
+// per-event rates that track kernel fast-path regressions. The traced_*
+// fields appear only when -trace also ran the scenario with the span
+// recorder enabled; they track the observability layer's overhead.
 type benchReport struct {
-	Scenario       string  `json:"scenario"`
-	Iterations     int     `json:"iterations"`
-	WallSeconds    float64 `json:"wall_seconds"`
-	VirtualSeconds float64 `json:"virtual_seconds"`
-	Events         uint64  `json:"events"`
-	EventsPerSec   float64 `json:"events_per_sec"`
-	NsPerEvent     float64 `json:"ns_per_event"`
-	AllocsPerEvent float64 `json:"allocs_per_event"`
-	BytesPerEvent  float64 `json:"bytes_per_event"`
+	Scenario             string  `json:"scenario"`
+	Iterations           int     `json:"iterations"`
+	WallSeconds          float64 `json:"wall_seconds"`
+	VirtualSeconds       float64 `json:"virtual_seconds"`
+	Events               uint64  `json:"events"`
+	EventsPerSec         float64 `json:"events_per_sec"`
+	NsPerEvent           float64 `json:"ns_per_event"`
+	AllocsPerEvent       float64 `json:"allocs_per_event"`
+	BytesPerEvent        float64 `json:"bytes_per_event"`
+	TracedNsPerEvent     float64 `json:"traced_ns_per_event,omitempty"`
+	TracedAllocsPerEvent float64 `json:"traced_allocs_per_event,omitempty"`
+	TraceOverheadPct     float64 `json:"trace_overhead_pct,omitempty"`
+	TraceSpans           int     `json:"trace_spans,omitempty"`
+}
+
+// throughputScenario runs one instance of the standard simulator-throughput
+// scenario (the busy two-GPU Strings node BenchmarkSimulatorThroughput
+// times), optionally with a trace recorder attached, and returns the kernel
+// event count and virtual seconds simulated.
+func throughputScenario(seed int64, rec *stringsched.TraceRecorder) (uint64, float64, error) {
+	c, err := stringsched.NewCluster(stringsched.Config{
+		Seed: seed,
+		Nodes: []stringsched.NodeConfig{{Devices: []stringsched.DeviceSpec{
+			stringsched.Quadro2000, stringsched.TeslaC2050,
+		}}},
+		Mode:     stringsched.ModeStrings,
+		Balance:  "GMin",
+		Recorder: rec,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	r, err := c.Run([]stringsched.StreamSpec{{
+		Kind: stringsched.MonteCarlo, Count: 6, LambdaFactor: 0.5,
+		Node: 0, Tenant: 1, Weight: 1,
+	}})
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(r.Errors) > 0 {
+		return 0, 0, fmt.Errorf("simulation errors: %v", r.Errors)
+	}
+	return c.K.Dispatched(), r.EndTime.Seconds(), nil
+}
+
+// writeTrace exports a trace set to path; the extension picks the format
+// (.jsonl for compact JSONL, anything else for Chrome trace-event JSON).
+func writeTrace(path string, set *stringsched.TraceSet) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".jsonl") {
+		err = set.WriteJSONL(f)
+	} else {
+		err = set.WriteChrome(f)
+	}
+	if err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // runBenchJSON runs the simulator-throughput scenario repeatedly and writes
-// the aggregate rates to path.
-func runBenchJSON(path string, seed int64, iters int) error {
+// the aggregate rates to path. When tracePath is non-empty it runs the
+// scenario a second time with the span recorder enabled, reports the traced
+// rates alongside the baseline, and writes the final iteration's span
+// stream to tracePath.
+func runBenchJSON(path string, seed int64, iters int, tracePath string) error {
 	if iters < 1 {
 		return fmt.Errorf("-bench-iters must be at least 1 (got %d)", iters)
 	}
-	var ms0, ms1 runtime.MemStats
-	var events uint64
-	var virtual float64
-	runtime.GC()
-	runtime.ReadMemStats(&ms0)
-	sw := parallel.StartStopwatch()
-	for i := 0; i < iters; i++ {
-		c, err := stringsched.NewCluster(stringsched.Config{
-			Seed: seed + int64(i),
-			Nodes: []stringsched.NodeConfig{{Devices: []stringsched.DeviceSpec{
-				stringsched.Quadro2000, stringsched.TeslaC2050,
-			}}},
-			Mode:    stringsched.ModeStrings,
-			Balance: "GMin",
-		})
-		if err != nil {
-			return err
+	measure := func(traced bool) (rate struct {
+		events  uint64
+		virtual float64
+		wallSec float64
+		wallNs  float64
+		allocs  uint64
+		bytes   uint64
+	}, set *stringsched.TraceSet, err error) {
+		var ms0, ms1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		sw := parallel.StartStopwatch()
+		for i := 0; i < iters; i++ {
+			var rec *stringsched.TraceRecorder
+			if traced {
+				rec = stringsched.NewTraceRecorder()
+			}
+			ev, vs, err := throughputScenario(seed+int64(i), rec)
+			if err != nil {
+				return rate, nil, err
+			}
+			rate.events += ev
+			rate.virtual += vs
+			if traced && i == iters-1 {
+				set = rec.Snapshot()
+			}
 		}
-		r, err := c.Run([]stringsched.StreamSpec{{
-			Kind: stringsched.MonteCarlo, Count: 6, LambdaFactor: 0.5,
-			Node: 0, Tenant: 1, Weight: 1,
-		}})
-		if err != nil {
-			return err
-		}
-		if len(r.Errors) > 0 {
-			return fmt.Errorf("simulation errors: %v", r.Errors)
-		}
-		events += c.K.Dispatched()
-		virtual += r.EndTime.Seconds()
+		rate.wallSec, rate.wallNs = sw.Seconds(), float64(sw.Nanoseconds())
+		runtime.ReadMemStats(&ms1)
+		rate.allocs = ms1.Mallocs - ms0.Mallocs
+		rate.bytes = ms1.TotalAlloc - ms0.TotalAlloc
+		return rate, set, nil
 	}
-	wallSec, wallNs := sw.Seconds(), sw.Nanoseconds()
-	runtime.ReadMemStats(&ms1)
+	base, _, err := measure(false)
+	if err != nil {
+		return err
+	}
 	rep := benchReport{
 		Scenario:       "two-GPU Strings node, GMin, 6 MonteCarlo requests",
 		Iterations:     iters,
-		WallSeconds:    wallSec,
-		VirtualSeconds: virtual,
-		Events:         events,
-		EventsPerSec:   float64(events) / wallSec,
-		NsPerEvent:     float64(wallNs) / float64(events),
-		AllocsPerEvent: float64(ms1.Mallocs-ms0.Mallocs) / float64(events),
-		BytesPerEvent:  float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(events),
+		WallSeconds:    base.wallSec,
+		VirtualSeconds: base.virtual,
+		Events:         base.events,
+		EventsPerSec:   float64(base.events) / base.wallSec,
+		NsPerEvent:     base.wallNs / float64(base.events),
+		AllocsPerEvent: float64(base.allocs) / float64(base.events),
+		BytesPerEvent:  float64(base.bytes) / float64(base.events),
+	}
+	if tracePath != "" {
+		traced, set, err := measure(true)
+		if err != nil {
+			return err
+		}
+		rep.TracedNsPerEvent = traced.wallNs / float64(traced.events)
+		rep.TracedAllocsPerEvent = float64(traced.allocs) / float64(traced.events)
+		rep.TraceOverheadPct = 100 * (rep.TracedNsPerEvent - rep.NsPerEvent) / rep.NsPerEvent
+		rep.TraceSpans = len(set.Spans)
+		if err := writeTrace(tracePath, set); err != nil {
+			return err
+		}
+		fmt.Printf("%s: %d spans, %d events, %d decisions (traced overhead %.1f%%)\n",
+			tracePath, len(set.Spans), len(set.Events), len(set.Decisions), rep.TraceOverheadPct)
 	}
 	out, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -116,6 +197,23 @@ func runBenchJSON(path string, seed int64, iters int) error {
 	}
 	fmt.Printf("%s: %.0f events/sec, %.0f ns/event, %.2f allocs/event (%d events, %.2fs wall)\n",
 		path, rep.EventsPerSec, rep.NsPerEvent, rep.AllocsPerEvent, rep.Events, rep.WallSeconds)
+	return nil
+}
+
+// runTraceOnly runs one traced instance of the throughput scenario and
+// writes its span stream to path — the quick way to get a chrome://tracing
+// file without benchmark timing.
+func runTraceOnly(path string, seed int64) error {
+	rec := stringsched.NewTraceRecorder()
+	if _, _, err := throughputScenario(seed, rec); err != nil {
+		return err
+	}
+	set := rec.Snapshot()
+	if err := writeTrace(path, set); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d spans, %d events, %d decisions\n",
+		path, len(set.Spans), len(set.Events), len(set.Decisions))
 	return nil
 }
 
@@ -198,6 +296,7 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a heap profile to this path on exit")
 	benchJSON := flag.String("bench-json", "", "benchmark mode: write simulator throughput metrics to this JSON file instead of running experiments")
 	benchIters := flag.Int("bench-iters", 20, "iterations of the throughput scenario in -bench-json mode")
+	traceOut := flag.String("trace", "", "run the throughput scenario with the span recorder and write the trace here (.jsonl for JSONL, otherwise Chrome trace JSON); with -bench-json, also reports traced overhead")
 	benchSweep := flag.String("bench-sweep", "", "sweep-benchmark mode: run the figure grid sequentially and in parallel, verify identical tables, and write the speedup to this JSON file")
 	flag.Parse()
 
@@ -236,8 +335,16 @@ func main() {
 	}
 
 	if *benchJSON != "" {
-		if err := runBenchJSON(*benchJSON, *seed, *benchIters); err != nil {
+		if err := runBenchJSON(*benchJSON, *seed, *benchIters, *traceOut); err != nil {
 			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		writeMemProfile()
+		return
+	}
+	if *traceOut != "" {
+		if err := runTraceOnly(*traceOut, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
 			os.Exit(1)
 		}
 		writeMemProfile()

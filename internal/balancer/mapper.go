@@ -1,6 +1,10 @@
 package balancer
 
-import "repro/internal/rpcproto"
+import (
+	"repro/internal/rpcproto"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
 
 // Mapper is the GPU Affinity Mapper: it owns the DST and SFT, answers
 // device-selection requests through the configured policy and absorbs the
@@ -9,6 +13,7 @@ type Mapper struct {
 	dst    *DST
 	sft    *SFT
 	policy Policy
+	rec    *trace.Recorder
 
 	selections int
 	feedbacks  int
@@ -30,27 +35,72 @@ func (m *Mapper) SFT() *SFT { return m.sft }
 // Policy returns the active selection policy.
 func (m *Mapper) Policy() Policy { return m.policy }
 
+// SetRecorder installs the observability recorder: every selection then
+// emits a structured decision-audit record (the DST rows the policy saw,
+// the SFT's history for the class, the raw and final picks). A nil
+// recorder disables auditing.
+func (m *Mapper) SetRecorder(rec *trace.Recorder) { m.rec = rec }
+
 // Select answers one device-selection request: the policy picks a GID and
-// the mapper records the binding in the DST. A policy may still name a
+// the mapper records the binding in the DST.
+func (m *Mapper) Select(req Request) GID {
+	gid, _, _ := m.pick(req)
+	return gid
+}
+
+// SelectAt is Select with the caller's clock, emitting a decision-audit
+// record when a recorder is installed. The DST snapshot is taken before
+// the winning bind mutates the table, so the record shows exactly what the
+// policy consulted.
+func (m *Mapper) SelectAt(now sim.Time, req Request) GID {
+	if !m.rec.Enabled() {
+		gid, _, _ := m.pick(req)
+		return gid
+	}
+	d := trace.Decision{
+		At: now, App: req.AppID, Class: req.Kind, Node: req.Node,
+		Tenant: req.Tenant, Policy: m.policy.Name(),
+		Rows: make([]trace.DecisionRow, 0, m.dst.Len()),
+	}
+	for _, e := range m.dst.Entries() {
+		d.Rows = append(d.Rows, trace.DecisionRow{
+			GID: int(e.GID), Node: e.Node, Health: e.Health.String(),
+			Load: e.Load, Weight: e.Weight,
+		})
+	}
+	if h, ok := m.sft.Lookup(req.Kind); ok {
+		d.SFTSamples = h.Samples
+		d.SFTExec = h.ExecTime
+	}
+	gid, raw, spilled := m.pick(req)
+	d.Raw, d.Picked, d.Spilled = int(raw), int(gid), spilled
+	m.rec.RecordDecision(d)
+	return gid
+}
+
+// pick runs the policy and the mapper's spill-over, binds the winner and
+// returns (final, policy's raw answer, spilled). A policy may still name a
 // non-Healthy device (stale round-robin state, or a pool with no healthy
 // rows); the mapper spills such picks over to the least-loaded healthy
 // survivor when one exists.
-func (m *Mapper) Select(req Request) GID {
-	gid := m.policy.Select(req, m.dst, m.sft)
+func (m *Mapper) pick(req Request) (gid, raw GID, spilled bool) {
+	gid = m.policy.Select(req, m.dst, m.sft)
 	if m.dst.Entry(gid) == nil && m.dst.Len() > 0 {
 		gid = 0
 	}
+	raw = gid
 	if e := m.dst.Entry(gid); e != nil && e.Health != Healthy {
 		if alt, ok := argminWhere(m.dst, req.Node, func(e *DSTEntry) float64 {
 			return float64(e.Load) / e.Weight
-		}, true); ok {
+		}, true); ok && alt != gid {
 			gid = alt
+			spilled = true
 			m.spills++
 		}
 	}
 	m.dst.Bind(gid, req.Kind)
 	m.selections++
-	return gid
+	return gid, raw, spilled
 }
 
 // ReportFailure folds one failed call against gid into the failure detector

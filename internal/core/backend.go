@@ -41,6 +41,7 @@ func newStringsBackend(c *Cluster, gid int) *stringsBackend {
 		sched: c.scheds[gid],
 		conns: sim.NewQueue[*rpcproto.Conn](c.K),
 	}
+	b.pk.SetRecorder(c.cfg.Recorder, gid)
 	c.K.Go(fmt.Sprintf("backend-%d", gid), b.acceptLoop)
 	return b
 }

@@ -19,6 +19,7 @@ import (
 	"repro/internal/remoting"
 	"repro/internal/rpcproto"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -85,6 +86,11 @@ type Config struct {
 
 	// Trace installs a utilization tracer on every device.
 	Trace bool
+
+	// Recorder, when non-nil, records virtual-time spans, events and
+	// decision-audit records across the whole request path (see
+	// internal/trace). Nil disables tracing with zero overhead.
+	Recorder *trace.Recorder
 
 	// MemoryGuard enables memory-pressure admission control in the Strings
 	// backends: an application whose allocation would exceed device memory
@@ -220,6 +226,18 @@ func New(cfg Config) (*Cluster, error) {
 			} else {
 				c.traces = append(c.traces, nil)
 			}
+			if cfg.Recorder.Enabled() {
+				// GPU-op spans: the completion callback sees the op's full
+				// timing, so each op records as an already-finished span.
+				g, rec := gid, cfg.Recorder
+				d.SetOnComplete(func(op *gpu.Op) {
+					if op.Kind == gpu.OpMarker {
+						return
+					}
+					rec.Complete(trace.KOp, op.Kind.String(),
+						op.AppID, g, op.Bytes, op.Started, op.Finished)
+				})
+			}
 			c.devices = append(c.devices, d)
 			devs = append(devs, d)
 			gid++
@@ -244,6 +262,7 @@ func New(cfg Config) (*Cluster, error) {
 		return nil, err
 	}
 	c.mapper = balancer.NewMapper(c.gmap.DST(), pol)
+	c.mapper.SetRecorder(cfg.Recorder)
 	c.mapQ = sim.NewQueue[mapperMsg](c.K)
 	c.K.Go("affinity-mapper", c.mapperLoop)
 
@@ -260,6 +279,7 @@ func New(cfg Config) (*Cluster, error) {
 			return nil, err
 		}
 		s := devsched.New(c.K, d, g, dp, schedCfg)
+		s.SetRecorder(cfg.Recorder)
 		c.scheds = append(c.scheds, s)
 		if cfg.Mode == ModeStrings {
 			c.backs = append(c.backs, newStringsBackend(c, g))
@@ -332,7 +352,7 @@ func (c *Cluster) mapperLoop(p *sim.Proc) {
 		case m.recovered:
 			c.mapper.ReportRecovered(m.hGID)
 		case m.done != nil:
-			m.out.gid = c.mapper.Select(m.req)
+			m.out.gid = c.mapper.SelectAt(p.Now(), m.req)
 			m.done.Fire()
 		case m.release:
 			if m.fb != nil {

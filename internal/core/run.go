@@ -11,6 +11,7 @@ import (
 	"repro/internal/interpose"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -240,6 +241,8 @@ func (c *Cluster) launchStream(si int, s workload.StreamSpec) {
 // outcome.
 func (c *Cluster) runApp(p *sim.Proc, app *workload.App, s workload.StreamSpec) {
 	app.Submitted = p.Now()
+	reqSpan := c.cfg.Recorder.Begin(trace.KRequest, 0, p.Now(),
+		s.Kind.String(), app.ID, -1, s.Tenant)
 	var client cuda.Client
 	var ipose *interpose.Interposer
 	var factory func(*sim.Proc) cuda.Client
@@ -255,6 +258,7 @@ func (c *Cluster) runApp(p *sim.Proc, app *workload.App, s workload.StreamSpec) 
 		ipose = interpose.New(c, p, app.ID, s.Tenant, s.Weight,
 			s.Kind.String(), s.Node, c.cfg.Mode == ModeStrings)
 		ipose.SetRecovery(c.cfg.Recovery)
+		ipose.SetTrace(c.cfg.Recorder, reqSpan)
 		client = ipose
 		sess := interpose.NewMTSession(c.K, ipose)
 		factory = sess.Thread
@@ -271,6 +275,8 @@ func (c *Cluster) runApp(p *sim.Proc, app *workload.App, s workload.StreamSpec) 
 	} else if devs := c.nodeDev[s.Node]; len(devs) > 0 {
 		gid = devs[app.PreferredDev%len(devs)].ID()
 	}
+	c.cfg.Recorder.SetGID(reqSpan, gid)
+	c.cfg.Recorder.End(reqSpan, p.Now())
 	if err != nil {
 		if errors.Is(err, cuda.ErrBackendLost) {
 			c.results.Lost++

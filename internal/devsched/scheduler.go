@@ -7,6 +7,7 @@ import (
 	"repro/internal/gpu"
 	"repro/internal/rpcproto"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Config tunes the scheduler.
@@ -55,8 +56,14 @@ type Scheduler struct {
 	kicked       bool
 	running      bool
 	closed       bool
+	rec          *trace.Recorder
 	OnUnregister func(fb *rpcproto.Feedback) // Feedback Engine sink
 }
+
+// SetRecorder installs the observability recorder: registrations,
+// unregistrations and dispatcher wake/sleep transitions then emit events,
+// and WaitTurn parks emit spans. A nil recorder disables all of it.
+func (s *Scheduler) SetRecorder(rec *trace.Recorder) { s.rec = rec }
 
 // New creates a scheduler for dev (identified cluster-wide by gid) with the
 // given policy; AllAwake (nil policy) disables dispatch gating.
@@ -119,6 +126,7 @@ func (s *Scheduler) Register(appID int, tenant int64, weight int, kind string, b
 	}
 	s.entries = append(s.entries, e)
 	s.byApp[appID] = e
+	s.rec.Event(trace.KRegister, s.k.Now(), kind, appID, s.gid, int64(e.SignalID))
 	s.ensureDispatcher()
 	s.Kick()
 	return e
@@ -141,6 +149,7 @@ func (s *Scheduler) Unregister(appID int) *rpcproto.Feedback {
 			break
 		}
 	}
+	s.rec.Event(trace.KUnregister, s.k.Now(), e.Kind, appID, s.gid, int64(fb.GPUTime))
 	if s.OnUnregister != nil {
 		s.OnUnregister(fb)
 	}
@@ -173,12 +182,15 @@ func (s *Scheduler) SetPhase(appID int, ph Phase) {
 // sleeping thread arriving with fresh work nudges the dispatcher so an idle
 // device never sits on a parked request until the next epoch.
 func (s *Scheduler) WaitTurn(p *sim.Proc, e *Entry) {
-	if !e.Awake {
-		s.Kick()
+	if e.Awake {
+		return
 	}
+	sp := s.rec.Begin(trace.KWait, 0, p.Now(), "wait-turn", e.AppID, s.gid, int64(e.SignalID))
+	s.Kick()
 	for !e.Awake {
 		p.WaitSignal(e.Wake)
 	}
+	s.rec.End(sp, p.Now())
 }
 
 // Kick forces a dispatcher re-evaluation at the current instant.
@@ -237,8 +249,10 @@ func (s *Scheduler) dispatch(p *sim.Proc) {
 			if want && !e.Awake {
 				e.Awake = true
 				e.Wake.Notify()
+				s.rec.Event(trace.KWake, p.Now(), "", e.AppID, s.gid, 0)
 			} else if !want && e.Awake {
 				e.Awake = false
+				s.rec.Event(trace.KSleep, p.Now(), "", e.AppID, s.gid, 0)
 			}
 		}
 		s.kicked = false

@@ -16,6 +16,7 @@ import (
 	"repro/internal/cuda"
 	"repro/internal/rpcproto"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Fabric is what the interposer needs from the hosting Strings/Rain
@@ -76,7 +77,19 @@ type Interposer struct {
 	// default, armed via SetRecovery.
 	rec recState
 
+	// tr is the observability recorder (nil when tracing is off) and
+	// reqSpan the enclosing request span every call span parents to.
+	tr      *trace.Recorder
+	reqSpan trace.SpanID
+
 	calls int
+}
+
+// SetTrace installs the observability recorder and the enclosing request
+// span. Call before the first CUDA call; a nil recorder disables tracing.
+func (ip *Interposer) SetTrace(tr *trace.Recorder, reqSpan trace.SpanID) {
+	ip.tr = tr
+	ip.reqSpan = reqSpan
 }
 
 // New creates the interposer for an application thread running on process p
@@ -123,8 +136,22 @@ func (ip *Interposer) ensureBound() error {
 
 // send issues a call; blocking calls wait for and return the matching
 // reply, non-blocking calls return immediately (the paper's asynchronous
-// RPC optimization; errors surface at the next synchronizing call).
+// RPC optimization; errors surface at the next synchronizing call). With a
+// recorder installed, each call gets a span covering its frontend-visible
+// latency (non-blocking calls close at issue).
 func (ip *Interposer) send(c *rpcproto.Call, blocking bool) (*rpcproto.Reply, error) {
+	if !ip.tr.Enabled() {
+		return ip.sendRPC(c, blocking)
+	}
+	sp := ip.tr.Begin(trace.KCall, ip.reqSpan, ip.p.Now(), c.ID.String(),
+		ip.appID, int(ip.gid), int64(c.Seq))
+	r, err := ip.sendRPC(c, blocking)
+	ip.tr.End(sp, ip.p.Now())
+	return r, err
+}
+
+// sendRPC is send's wire path.
+func (ip *Interposer) sendRPC(c *rpcproto.Call, blocking bool) (*rpcproto.Reply, error) {
 	ip.p.Sleep(MarshalOverhead)
 	if !ip.async {
 		blocking = true
@@ -166,9 +193,13 @@ func (ip *Interposer) SetDevice(dev int) error {
 		return nil
 	}
 	ip.p.Sleep(MarshalOverhead)
+	sel := ip.tr.Begin(trace.KSelect, ip.reqSpan, ip.p.Now(), "select-gpu",
+		ip.appID, -1, 0)
 	gid := ip.fab.SelectGPU(ip.p, balancer.Request{
 		AppID: ip.appID, Kind: ip.kind, Node: ip.node, Tenant: ip.tenant,
 	})
+	ip.tr.SetGID(sel, int(gid))
+	ip.tr.End(sel, ip.p.Now())
 	ip.gid = gid
 	ip.ep = ip.fab.ConnectBackend(ip.p, gid, ip.node)
 	ip.bound = true

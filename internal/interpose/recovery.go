@@ -8,6 +8,7 @@ import (
 	"repro/internal/cuda"
 	"repro/internal/rpcproto"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Recovery configures the interposer's failure handling. The zero value
@@ -253,6 +254,7 @@ func (ip *Interposer) sendReliable(c *rpcproto.Call, blocking bool) (*rpcproto.R
 		// retransmit on the same connection and a failover.
 		ip.rec.timeouts++
 		ip.rec.disrupted = true
+		ip.tr.Event(trace.KRetry, ip.p.Now(), c.ID.String(), ip.appID, int(ip.gid), int64(sends))
 		health := ip.fab.ReportFailure(ip.p, ip.gid)
 		if health == balancer.Dead {
 			reg, err := ip.failover()
@@ -322,6 +324,8 @@ func (ip *Interposer) failover() (*rpcproto.Reply, error) {
 		if err == nil {
 			ip.rec.failovers++
 			ip.rec.disrupted = false
+			ip.tr.Event(trace.KFailover, ip.p.Now(), ip.kind, ip.appID, int(ip.gid), int64(attempt+1))
+			ip.tr.SetGID(ip.reqSpan, int(ip.gid))
 			return reg, nil
 		}
 		lastErr = err

@@ -1,0 +1,184 @@
+package metrics
+
+import (
+	"math/bits"
+	"sort"
+)
+
+// Counter is a monotonically increasing count of discrete occurrences.
+// Instruments are written by one simulation run at a time (the kernel is
+// single-threaded), so no synchronization is needed.
+type Counter struct {
+	name string
+	n    int64
+}
+
+// Name returns the counter's registered name.
+func (c *Counter) Name() string { return c.name }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n++ }
+
+// Add adds d (negative deltas are ignored: counters are monotonic).
+func (c *Counter) Add(d int64) {
+	if d > 0 {
+		c.n += d
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n }
+
+// histBuckets is the number of power-of-two histogram buckets. Bucket i
+// holds observations v with 2^(i-1) <= v < 2^i (bucket 0 holds v <= 0 and
+// v == 1 lands in bucket 1); the last bucket is a catch-all.
+const histBuckets = 40
+
+// Histogram aggregates a distribution of non-negative int64 observations
+// (virtual-time durations in microseconds, queue depths, byte counts) into
+// power-of-two buckets.
+type Histogram struct {
+	name    string
+	buckets [histBuckets]int64
+	count   int64
+	sum     int64
+	max     int64
+}
+
+// Name returns the histogram's registered name.
+func (h *Histogram) Name() string { return h.name }
+
+// Observe folds one observation into the histogram. Negative values clamp
+// to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	b := bits.Len64(uint64(v))
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	h.buckets[b]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Max returns the largest observation (0 when empty).
+func (h *Histogram) Max() int64 { return h.max }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Quantile returns an upper bound on the p-quantile (0..1): the upper edge
+// of the first bucket whose cumulative count reaches p·count. The bound is
+// within 2x of the true quantile by construction of the bucket widths.
+func (h *Histogram) Quantile(p float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	target := int64(p*float64(h.count) + 0.5)
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, n := range h.buckets {
+		cum += n
+		if cum >= target {
+			if i == 0 {
+				return 0
+			}
+			edge := int64(1) << uint(i)
+			if edge > h.max || edge < 0 {
+				return h.max
+			}
+			return edge - 1
+		}
+	}
+	return h.max
+}
+
+// Registry is a named collection of instruments. Lookups create on first
+// use; rendering is sorted by name so output is deterministic regardless of
+// registration order.
+type Registry struct {
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty instrument registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{name: name}
+	r.counters[name] = c
+	return c
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	h := &Histogram{name: name}
+	r.hists[name] = h
+	return h
+}
+
+// Table renders every instrument as one single-value series: counters under
+// their registered name, histograms expanded into .count/.sum/.mean/.p50/
+// .p99/.max series. Series are sorted by name.
+func (r *Registry) Table(title string) *Table {
+	t := &Table{Title: title, Labels: []string{"value"}}
+	names := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t.Add(name, []float64{float64(r.counters[name].n)})
+	}
+	hnames := make([]string, 0, len(r.hists))
+	for name := range r.hists {
+		hnames = append(hnames, name)
+	}
+	sort.Strings(hnames)
+	for _, name := range hnames {
+		h := r.hists[name]
+		t.Add(name+".count", []float64{float64(h.count)})
+		t.Add(name+".sum", []float64{float64(h.sum)})
+		t.Add(name+".mean", []float64{h.Mean()})
+		t.Add(name+".p50", []float64{float64(h.Quantile(0.5))})
+		t.Add(name+".p99", []float64{float64(h.Quantile(0.99))})
+		t.Add(name+".max", []float64{float64(h.max)})
+	}
+	return t
+}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/cuda"
 	"repro/internal/rpcproto"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Config tunes the packer.
@@ -40,11 +41,21 @@ type Packer struct {
 	cfg   Config
 	pmt   *PMT
 	ports map[int]*Port
+	rec   *trace.Recorder
+	gid   int // gPool device id, for span attribution (-1 when unset)
+}
+
+// SetRecorder installs the observability recorder and the packer's gPool
+// device id: every Execute then emits a backend-side exec span. A nil
+// recorder disables it.
+func (pk *Packer) SetRecorder(rec *trace.Recorder, gid int) {
+	pk.rec = rec
+	pk.gid = gid
 }
 
 // New creates a packer over the backend process's CUDA runtime.
 func New(rt *cuda.Runtime, cfg Config) *Packer {
-	return &Packer{rt: rt, cfg: cfg, pmt: NewPMT(), ports: make(map[int]*Port)}
+	return &Packer{rt: rt, cfg: cfg, pmt: NewPMT(), ports: make(map[int]*Port), gid: -1}
 }
 
 // PMT exposes the device's pinned-memory table (for monitoring and tests).
@@ -103,6 +114,18 @@ func (port *Port) translateStream(s cuda.StreamID) cuda.StreamID {
 // and returns the reply (nil for calls whose reply is suppressed because the
 // frontend issued them as non-blocking RPCs).
 func (port *Port) Execute(call *rpcproto.Call) *rpcproto.Reply {
+	if rec := port.pk.rec; rec.Enabled() {
+		sp := rec.Begin(trace.KExec, 0, port.proc.Now(), call.ID.String(),
+			port.AppID, port.pk.gid, int64(call.Seq))
+		reply := port.execute(call)
+		rec.End(sp, port.proc.Now())
+		return reply
+	}
+	return port.execute(call)
+}
+
+// execute is Execute's body: the AST/SST/MOT translation switch.
+func (port *Port) execute(call *rpcproto.Call) *rpcproto.Reply {
 	reply := &rpcproto.Reply{Seq: call.Seq}
 	if port.closed {
 		reply.SetError(cuda.ErrThreadExited)

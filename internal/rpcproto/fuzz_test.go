@@ -2,7 +2,11 @@ package rpcproto
 
 import (
 	"bytes"
+	"math"
 	"testing"
+
+	"repro/internal/cuda"
+	"repro/internal/sim"
 )
 
 // FuzzDecode hammers the frame decoder with arbitrary bytes: it must never
@@ -47,6 +51,126 @@ func FuzzDecode(f *testing.F) {
 		}
 		if !bytes.Equal(reenc, reenc2) {
 			t.Fatal("encode/decode is not a fixed point")
+		}
+	})
+}
+
+// FuzzCallRoundTrip builds a Call from arbitrary field values and checks
+// that AppendCall → DecodeCallInto is the identity on every field, and that
+// re-encoding the decoded call reproduces the wire bytes exactly. Floats are
+// compared by their IEEE bit patterns so NaN payloads must survive the trip
+// too (the wire format stores raw Float64bits).
+func FuzzCallRoundTrip(f *testing.F) {
+	s := sampleCall()
+	f.Add(uint32(s.ID), s.Seq, s.AppID, s.TenantID, s.Weight, s.Dev, s.Stream,
+		uint8(s.Dir), s.Bytes, s.PtrID, s.PtrSize, s.PtrDev, s.KernelName,
+		s.Compute, s.MemTraffic, s.Occupancy, s.NonBlocking, s.Event, s.Event2)
+	f.Add(uint32(0), uint64(0), int64(0), int64(0), int32(0), int32(0), int32(0),
+		uint8(0), int64(0), int64(0), int64(0), int32(0), "",
+		0.0, math.NaN(), math.Inf(-1), false, int32(-1), int32(-1))
+	f.Fuzz(func(t *testing.T, id uint32, seq uint64, appID, tenantID int64,
+		weight, dev, stream int32, dir uint8, nbytes, ptrID, ptrSize int64,
+		ptrDev int32, kernel string, compute, memTraffic, occupancy float64,
+		nonBlocking bool, event, event2 int32) {
+		in := &Call{
+			ID: cuda.CallID(id), Seq: seq, AppID: appID, TenantID: tenantID,
+			Weight: weight, Dev: dev, Stream: stream, Dir: cuda.Dir(dir),
+			Bytes: nbytes, PtrID: ptrID, PtrSize: ptrSize, PtrDev: ptrDev,
+			KernelName: kernel, Compute: compute, MemTraffic: memTraffic,
+			Occupancy: occupancy, NonBlocking: nonBlocking,
+			Event: event, Event2: event2,
+		}
+		wire, err := AppendCall(nil, in)
+		if err != nil {
+			if len(kernel) > math.MaxUint16 {
+				return // oversized strings refuse to encode, by design
+			}
+			t.Fatalf("AppendCall: %v", err)
+		}
+		var out Call
+		if err := DecodeCallInto(&out, wire[4:], nil); err != nil {
+			t.Fatalf("DecodeCallInto: %v", err)
+		}
+		// reflect.DeepEqual is false for NaN, so compare floats by bits and
+		// everything else by normal equality.
+		if out.ID != in.ID || out.Seq != in.Seq || out.AppID != in.AppID ||
+			out.TenantID != in.TenantID || out.Weight != in.Weight ||
+			out.Dev != in.Dev || out.Stream != in.Stream || out.Dir != in.Dir ||
+			out.Bytes != in.Bytes || out.PtrID != in.PtrID ||
+			out.PtrSize != in.PtrSize || out.PtrDev != in.PtrDev ||
+			out.KernelName != in.KernelName ||
+			out.NonBlocking != in.NonBlocking ||
+			out.Event != in.Event || out.Event2 != in.Event2 {
+			t.Fatalf("round trip changed a field:\n in %+v\nout %+v", in, out)
+		}
+		for _, p := range [][2]float64{
+			{in.Compute, out.Compute},
+			{in.MemTraffic, out.MemTraffic},
+			{in.Occupancy, out.Occupancy},
+		} {
+			if math.Float64bits(p[0]) != math.Float64bits(p[1]) {
+				t.Fatalf("float bits changed: %x -> %x",
+					math.Float64bits(p[0]), math.Float64bits(p[1]))
+			}
+		}
+		wire2, err := AppendCall(nil, &out)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(wire, wire2) {
+			t.Fatal("re-encode of decoded call is not byte-identical")
+		}
+	})
+}
+
+// FuzzReplyRoundTrip does the same for replies, including the optional
+// scheduling-feedback block.
+func FuzzReplyRoundTrip(f *testing.F) {
+	f.Add(uint64(9), "cuda: out of memory", int64(0), int64(0), int32(0),
+		int32(0), int32(0), int32(0), int64(0),
+		false, int64(0), "", int32(0), int64(0), int64(0), int64(0), 0.0, 0.0)
+	f.Add(uint64(1), "", int64(7), int64(4096), int32(1),
+		int32(5), int32(2), int32(3), int64(1234),
+		true, int64(7), "MC", int32(1), int64(10), int64(20), int64(30), 0.5, 0.9)
+	f.Fuzz(func(t *testing.T, seq uint64, errStr string,
+		ptrID, ptrSize int64, ptrDev, stream, count, event int32, elapsed int64,
+		hasFB bool, fbApp int64, fbKind string, fbGID int32,
+		fbExec, fbGPU, fbXfer int64, fbBW, fbUtil float64) {
+		in := &Reply{
+			Seq: seq, Err: errStr, PtrID: ptrID, PtrSize: ptrSize,
+			PtrDev: ptrDev, Stream: stream, Count: count, Event: event,
+			Elapsed: elapsed,
+		}
+		if hasFB {
+			in.Feedback = &Feedback{
+				AppID: fbApp, Kind: fbKind, GID: fbGID,
+				ExecTime: sim.Time(fbExec), GPUTime: sim.Time(fbGPU),
+				XferTime: sim.Time(fbXfer), MemBW: fbBW, GPUUtil: fbUtil,
+			}
+		}
+		wire, err := AppendReply(nil, in)
+		if err != nil {
+			if len(errStr) > math.MaxUint16 || len(fbKind) > math.MaxUint16 {
+				return
+			}
+			t.Fatalf("AppendReply: %v", err)
+		}
+		var out Reply
+		if err := DecodeReplyInto(&out, wire[4:], nil); err != nil {
+			t.Fatalf("DecodeReplyInto: %v", err)
+		}
+		wire2, err := AppendReply(nil, &out)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(wire, wire2) {
+			t.Fatal("re-encode of decoded reply is not byte-identical")
+		}
+		if (out.Feedback != nil) != hasFB {
+			t.Fatalf("feedback presence changed: want %v", hasFB)
+		}
+		if hasFB && math.Float64bits(out.Feedback.MemBW) != math.Float64bits(fbBW) {
+			t.Fatal("feedback float bits changed")
 		}
 	})
 }

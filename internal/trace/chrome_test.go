@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// chromeEvents decodes the Chrome export through the stock JSON decoder —
+// if chrome://tracing could not load it, neither can this.
+func chromeEvents(t *testing.T, set *Set) []map[string]any {
+	t.Helper()
+	raw := set.AppendChrome(nil)
+	if !json.Valid(raw) {
+		t.Fatalf("Chrome export is not valid JSON:\n%s", raw)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(raw, &events); err != nil {
+		t.Fatalf("Chrome export is not a JSON array: %v", err)
+	}
+	return events
+}
+
+func TestChromeExportStructure(t *testing.T) {
+	set := sampleSet()
+	events := chromeEvents(t, set)
+
+	var meta, complete, instant, decisions int
+	pids := make(map[float64]bool)
+	for _, e := range events {
+		switch e["ph"] {
+		case "M":
+			meta++
+			if e["name"] != "process_name" {
+				t.Errorf("metadata row name = %v", e["name"])
+			}
+		case "X":
+			complete++
+			pids[e["pid"].(float64)] = true
+		case "i":
+			instant++
+			if e["cat"] == "decision" {
+				decisions++
+				if e["pid"].(float64) != 0 {
+					t.Errorf("decision instant on pid %v, want 0 (cluster)", e["pid"])
+				}
+			}
+		default:
+			t.Errorf("unexpected phase %v", e["ph"])
+		}
+	}
+	if complete != len(set.Spans) {
+		t.Errorf("%d complete events, want %d", complete, len(set.Spans))
+	}
+	if instant != len(set.Events)+len(set.Decisions) {
+		t.Errorf("%d instants, want %d", instant, len(set.Events)+len(set.Decisions))
+	}
+	if decisions != len(set.Decisions) {
+		t.Errorf("%d decision instants, want %d", decisions, len(set.Decisions))
+	}
+	// sampleSet spans sit on GID 0 and GID -1: pids 1 and 0.
+	if !pids[0] || !pids[1] {
+		t.Errorf("span pids = %v, want {0, 1}", pids)
+	}
+	// One metadata row per pid the spans/events touch (0, 1, 2).
+	if meta != 3 {
+		t.Errorf("%d metadata rows, want 3", meta)
+	}
+}
+
+func TestChromePidMapping(t *testing.T) {
+	cases := []struct {
+		gid  int
+		want int64
+	}{{-1, 0}, {0, 1}, {7, 8}}
+	for _, tc := range cases {
+		if got := chromePid(tc.gid); got != tc.want {
+			t.Errorf("chromePid(%d) = %d, want %d", tc.gid, got, tc.want)
+		}
+	}
+}
+
+// TestChromeSpanFields pins the ts/dur mapping: virtual microseconds map 1:1
+// onto the viewer's timestamps.
+func TestChromeSpanFields(t *testing.T) {
+	set := &Set{Spans: []Span{
+		{ID: 1, Kind: KOp, Name: "kernel", App: 3, GID: 2, Arg: 11, Start: 100, End: 250},
+	}}
+	events := chromeEvents(t, set)
+	var x map[string]any
+	for _, e := range events {
+		if e["ph"] == "X" {
+			x = e
+		}
+	}
+	if x == nil {
+		t.Fatal("no complete event emitted")
+	}
+	if x["ts"].(float64) != 100 || x["dur"].(float64) != 150 {
+		t.Errorf("ts/dur = %v/%v, want 100/150", x["ts"], x["dur"])
+	}
+	if x["pid"].(float64) != 3 || x["tid"].(float64) != 3 {
+		t.Errorf("pid/tid = %v/%v, want 3/3", x["pid"], x["tid"])
+	}
+	args := x["args"].(map[string]any)
+	if args["arg"].(float64) != 11 {
+		t.Errorf("args.arg = %v, want 11", args["arg"])
+	}
+}
+
+// TestChromeDeterministic pins byte-level determinism of the export.
+func TestChromeDeterministic(t *testing.T) {
+	a := sampleSet().AppendChrome(nil)
+	b := sampleSet().AppendChrome(nil)
+	if !bytes.Equal(a, b) {
+		t.Error("two Chrome exports of the same set differ")
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/report"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -230,3 +231,26 @@ const (
 // ErrBackendLost is returned by CUDA calls whose backend failed and could
 // not be recovered; affected requests count as Lost, not as errors.
 var ErrBackendLost = cuda.ErrBackendLost
+
+// Observability.
+
+// Tracing types, usable through Config.Recorder: a TraceRecorder collects
+// virtual-time spans, events and decision-audit records across the request
+// path; a TraceSet is its exportable snapshot (Chrome trace JSON, JSONL,
+// text timelines).
+type (
+	// TraceRecorder records spans/events/decisions for one run.
+	TraceRecorder = trace.Recorder
+	// TraceSet is a recorder snapshot ready for export.
+	TraceSet = trace.Set
+	// TraceSpan is one virtual-time interval.
+	TraceSpan = trace.Span
+	// TraceDecision is one decision-audit record.
+	TraceDecision = trace.Decision
+)
+
+// NewTraceRecorder returns an enabled trace recorder for Config.Recorder.
+func NewTraceRecorder() *TraceRecorder { return trace.New() }
+
+// InstrumentRegistry is a named collection of counters and histograms.
+type InstrumentRegistry = metrics.Registry
