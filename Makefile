@@ -1,7 +1,7 @@
 GO ?= go
 BIN ?= bin
 
-.PHONY: build test race vet lint stringscheck bench-smoke bench bench-json bench-sweep cover fuzz-smoke
+.PHONY: build test race vet lint stringscheck bench-smoke bench bench-json bench-sweep bench-mega cover fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -56,7 +56,8 @@ cover:
 	@mkdir -p $(BIN)
 	$(GO) test -coverprofile=$(BIN)/cover.out ./internal/...
 	$(GO) run ./cmd/covercheck -profile $(BIN)/cover.out -min 85 \
-		repro/internal/trace repro/internal/sweep repro/internal/parallel
+		repro/internal/trace repro/internal/sweep repro/internal/parallel \
+		repro/internal/sim
 
 # Short fuzz pass over every native fuzz target: the wire codec, the framing
 # layer and the trace encoders each get 10s of coverage-guided input on top
@@ -74,6 +75,20 @@ fuzz-smoke:
 # the traced-run overhead columns and a Chrome trace of the scenario.
 bench-json:
 	$(GO) run ./cmd/strings-bench -bench-json BENCH_simcore.json -trace $(BIN)/throughput-trace.json
+
+# Mega macro-benchmark smoke: the million-request scenario at CI scale
+# (20k requests, a couple of seconds). Runs against a copy so the committed
+# BENCH_simcore.json keeps its full-scale numbers; the merge must preserve
+# the standard scenario's keys, which the grep asserts. CI uploads the
+# resulting file as an artifact.
+bench-mega:
+	@mkdir -p $(BIN)
+	cp BENCH_simcore.json $(BIN)/BENCH_simcore.json
+	$(GO) run ./cmd/strings-bench -exp mega -mega-requests 20000 -bench-json $(BIN)/BENCH_simcore.json
+	@grep -q '"ns_per_event"' $(BIN)/BENCH_simcore.json || \
+		{ echo "bench-mega: merge dropped the standard scenario's keys"; exit 1; }
+	@grep -q '"mega_ns_per_event"' $(BIN)/BENCH_simcore.json || \
+		{ echo "bench-mega: mega keys missing from merged output"; exit 1; }
 
 # Regenerate BENCH_sweep.json: the figure grid (fig9+fig10+fig12) timed
 # sequentially and at GOMAXPROCS workers, with the tables verified deeply

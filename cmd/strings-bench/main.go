@@ -2,9 +2,9 @@
 //
 // Usage:
 //
-//	strings-bench [-exp all|table1|fig1|fig2|fig9|fig10|fig11|fig12|fig13|fig14|fig15|headline|ablations|faults]
+//	strings-bench [-exp all|table1|fig1|fig2|fig9|fig10|fig11|fig12|fig13|fig14|fig15|headline|ablations|faults|mega]
 //	              [-requests N] [-lambda F] [-seed S] [-pairs N] [-width W]
-//	              [-parallel N] [-seeds N]
+//	              [-parallel N] [-seeds N] [-mega-requests N]
 //	              [-cpuprofile out.pprof] [-memprofile out.pprof]
 //	              [-bench-json BENCH_simcore.json] [-bench-sweep BENCH_sweep.json]
 //	              [-trace out.json]
@@ -24,6 +24,10 @@
 // figure sweeps it runs the standard simulator-throughput scenario (a busy
 // two-GPU Strings node, the same one BenchmarkSimulatorThroughput times),
 // and writes events/sec, ns/event and allocs/event to the given JSON file.
+// -exp mega is the macro-benchmark: one -mega-requests-long stream of
+// light-profile requests through a two-GPU Strings node, reporting events/sec,
+// ns/event, allocs/event and the fast-forward skip ratio; its mega_* keys are
+// merged into the bench JSON without disturbing the standard scenario's keys.
 // -bench-sweep times the figure grid sequentially and at -parallel workers,
 // verifies the tables are identical, and writes the speedup to the given
 // JSON file. -trace runs the same throughput scenario with the span recorder
@@ -133,14 +137,19 @@ func runBenchJSON(path string, seed int64, iters int, tracePath string) error {
 		allocs  uint64
 		bytes   uint64
 	}, set *stringsched.TraceSet, err error) {
+		// One recorder serves every traced iteration (reset in between), so
+		// the traced pass measures recording cost, not buffer re-growth.
+		var rec *stringsched.TraceRecorder
+		if traced {
+			rec = stringsched.NewTraceRecorder()
+		}
 		var ms0, ms1 runtime.MemStats
 		runtime.GC()
 		runtime.ReadMemStats(&ms0)
 		sw := parallel.StartStopwatch()
 		for i := 0; i < iters; i++ {
-			var rec *stringsched.TraceRecorder
-			if traced {
-				rec = stringsched.NewTraceRecorder()
+			if traced && i > 0 {
+				rec.Reset()
 			}
 			ev, vs, err := throughputScenario(seed+int64(i), rec)
 			if err != nil {
@@ -188,15 +197,102 @@ func runBenchJSON(path string, seed int64, iters int, tracePath string) error {
 		fmt.Printf("%s: %d spans, %d events, %d decisions (traced overhead %.1f%%)\n",
 			tracePath, len(set.Spans), len(set.Events), len(set.Decisions), rep.TraceOverheadPct)
 	}
-	out, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		return err
-	}
-	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+	if err := mergeBenchJSON(path, rep); err != nil {
 		return err
 	}
 	fmt.Printf("%s: %.0f events/sec, %.0f ns/event, %.2f allocs/event (%d events, %.2fs wall)\n",
 		path, rep.EventsPerSec, rep.NsPerEvent, rep.AllocsPerEvent, rep.Events, rep.WallSeconds)
+	return nil
+}
+
+// mergeBenchJSON overlays rep's fields onto whatever JSON object already
+// lives at path and writes the union back. The bench file accumulates keys
+// from independent passes (the standard throughput pass, the traced pass, the
+// mega macro-run); a pass must refresh its own keys without dropping the
+// others'. MarshalIndent sorts object keys, so the output is deterministic
+// regardless of merge order.
+func mergeBenchJSON(path string, rep any) error {
+	merged := map[string]any{}
+	if old, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(old, &merged); err != nil {
+			return fmt.Errorf("%s: existing contents are not a JSON object (refusing to clobber): %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		return err
+	}
+	var fresh map[string]any
+	if err := json.Unmarshal(raw, &fresh); err != nil {
+		return err
+	}
+	for k, v := range fresh {
+		merged[k] = v
+	}
+	out, err := json.MarshalIndent(merged, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// megaReport is the mega macro-run's slice of the BENCH_simcore.json schema.
+// All keys are mega_-prefixed so mergeBenchJSON can refresh them without
+// touching the standard scenario's numbers (and vice versa).
+type megaReport struct {
+	Scenario       string  `json:"mega_scenario"`
+	Requests       int     `json:"mega_requests"`
+	Finished       int     `json:"mega_finished"`
+	Events         uint64  `json:"mega_events"`
+	WallSeconds    float64 `json:"mega_wall_seconds"`
+	VirtualSeconds float64 `json:"mega_virtual_seconds"`
+	EventsPerSec   float64 `json:"mega_events_per_sec"`
+	NsPerEvent     float64 `json:"mega_ns_per_event"`
+	AllocsPerEvent float64 `json:"mega_allocs_per_event"`
+	FFJumps        uint64  `json:"mega_ff_jumps"`
+	FFSkipRatio    float64 `json:"mega_ff_skip_ratio"`
+}
+
+// runBenchMega runs the mega macro-scenario (stringsched.RunMega: a single
+// stream of `requests` Gaussian-elimination requests through a two-GPU
+// Strings node) once, and merges the mega_* metrics into the bench JSON at
+// path.
+func runBenchMega(path string, seed int64, requests int) error {
+	if requests < 1 {
+		return fmt.Errorf("-mega-requests must be at least 1 (got %d)", requests)
+	}
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	sw := parallel.StartStopwatch()
+	res, err := stringsched.RunMega(seed, requests)
+	if err != nil {
+		return err
+	}
+	wallSec, wallNs := sw.Seconds(), float64(sw.Nanoseconds())
+	runtime.ReadMemStats(&ms1)
+	allocs := ms1.Mallocs - ms0.Mallocs
+	rep := megaReport{
+		Scenario:       fmt.Sprintf("two-GPU Strings node, GMin, %d Gaussian requests", requests),
+		Requests:       requests,
+		Finished:       res.Finished,
+		Events:         res.Events,
+		WallSeconds:    wallSec,
+		VirtualSeconds: res.EndTime.Seconds(),
+		EventsPerSec:   float64(res.Events) / wallSec,
+		NsPerEvent:     wallNs / float64(res.Events),
+		AllocsPerEvent: float64(allocs) / float64(res.Events),
+		FFJumps:        res.FFJumps,
+		FFSkipRatio:    res.SkipRatio(),
+	}
+	if err := mergeBenchJSON(path, rep); err != nil {
+		return err
+	}
+	fmt.Printf("%s: mega %d requests, %d events, %.0f events/sec, %.0f ns/event, %.2f allocs/event, %d ff jumps (%.1f%% of timeline skipped), %.2fs wall\n",
+		path, rep.Requests, rep.Events, rep.EventsPerSec, rep.NsPerEvent, rep.AllocsPerEvent,
+		rep.FFJumps, 100*rep.FFSkipRatio, rep.WallSeconds)
 	return nil
 }
 
@@ -281,7 +377,7 @@ func runBenchSweep(path string, seed int64, requests, pairs, workers int) error 
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, table1, fig1, fig2, fig9..fig15, headline, ablations, faults; faults is opt-in and excluded from all)")
+	exp := flag.String("exp", "all", "experiment to run (all, table1, fig1, fig2, fig9..fig15, headline, ablations, faults, mega; faults and mega are opt-in and excluded from all)")
 	requests := flag.Int("requests", 12, "requests per short-job stream")
 	lambda := flag.Float64("lambda", 0.6, "mean inter-arrival as a fraction of solo runtime")
 	seed := flag.Int64("seed", 1, "simulation seed")
@@ -298,6 +394,7 @@ func main() {
 	benchIters := flag.Int("bench-iters", 20, "iterations of the throughput scenario in -bench-json mode")
 	traceOut := flag.String("trace", "", "run the throughput scenario with the span recorder and write the trace here (.jsonl for JSONL, otherwise Chrome trace JSON); with -bench-json, also reports traced overhead")
 	benchSweep := flag.String("bench-sweep", "", "sweep-benchmark mode: run the figure grid sequentially and in parallel, verify identical tables, and write the speedup to this JSON file")
+	megaRequests := flag.Int("mega-requests", 1_000_000, "requests in the -exp mega macro-run")
 	flag.Parse()
 
 	if *parallelN == 0 {
@@ -334,6 +431,21 @@ func main() {
 		}
 	}
 
+	if strings.EqualFold(*exp, "mega") {
+		// The mega macro-run is a benchmark, not a figure: it merges its
+		// mega_* metrics into the bench JSON (BENCH_simcore.json unless
+		// -bench-json points elsewhere) and leaves other keys alone.
+		path := *benchJSON
+		if path == "" {
+			path = "BENCH_simcore.json"
+		}
+		if err := runBenchMega(path, *seed, *megaRequests); err != nil {
+			fmt.Fprintf(os.Stderr, "mega: %v\n", err)
+			os.Exit(1)
+		}
+		writeMemProfile()
+		return
+	}
 	if *benchJSON != "" {
 		if err := runBenchJSON(*benchJSON, *seed, *benchIters, *traceOut); err != nil {
 			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
@@ -426,7 +538,7 @@ func main() {
 	// fast, non-zero, and tell the user what would have been accepted.
 	want := strings.ToLower(*exp)
 	known := want == "all"
-	names := make([]string, 0, len(runners)+1)
+	names := make([]string, 0, len(runners)+2)
 	names = append(names, "all")
 	for _, r := range runners {
 		names = append(names, r.name)
@@ -434,6 +546,7 @@ func main() {
 			known = true
 		}
 	}
+	names = append(names, "mega") // handled above, before benchmark modes
 	if !known {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\nvalid experiments: %s\n(faults is opt-in: it is excluded from -exp all and must be named explicitly)\n",
 			*exp, strings.Join(names, ", "))

@@ -85,3 +85,57 @@ func TestSimulatorBracketedByMMc(t *testing.T) {
 		t.Fatalf("simulated %.1fs outside [%.1f, %.1f]", got, lower, upper)
 	}
 }
+
+// TestFastForwardMatchesAnalyticIdle validates the analytic fast-forward
+// against closed form on a sparse stream. With mean inter-arrival at 4x the
+// solo runtime the queue is nearly empty (ρ ≈ 0.07 of GPU demand), so
+// M/G/1-PS predicts sojourn ≈ solo runtime; meanwhile nearly the whole
+// virtual timeline is idle, so the kernel must cover it with clock jumps —
+// the skip ratio approaches 1. Both properties have to hold at once: the
+// jumps may not distort the latencies they skip past, and the latencies may
+// not be obtained by grinding through the idle time the jumps exist to avoid.
+func TestFastForwardMatchesAnalyticIdle(t *testing.T) {
+	prof := workload.ProfileFor(workload.DXTC)
+	soloGPU := prof.SoloGPUTime().Seconds()
+	soloCPU := prof.SoloRuntime.Seconds() - soloGPU
+	lambda := sim.Time(4.0 * float64(prof.SoloRuntime))
+	want, err := analytic.MG1PS(soloGPU, 1.0/lambda.Seconds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want += soloCPU
+
+	run := func(horizon sim.Time) (sojourn, skipRatio float64, jumps uint64) {
+		cfg := Config{Seed: 23, Nodes: []NodeConfig{{Devices: []gpu.Spec{gpu.TeslaC2050}}}, Mode: ModeCUDA}
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if horizon != 0 {
+			c.K.SetFFHorizon(horizon)
+		}
+		r, err := c.Run([]workload.StreamSpec{{
+			Kind: workload.DXTC, Count: 40, Lambda: lambda,
+			Node: 0, Tenant: 1, Weight: 1,
+		}})
+		if err != nil || len(r.Errors) > 0 {
+			t.Fatalf("run: %v %v", err, r.Errors)
+		}
+		j, skipped := c.K.FastForwards()
+		return r.AvgCompletion(workload.DXTC).Seconds(), float64(skipped) / float64(r.EndTime), j
+	}
+
+	got, ratio, jumps := run(0)
+	if r := got / want; r < 0.9 || r > 1.2 {
+		t.Errorf("sparse-stream sojourn %.2fs vs analytic %.2fs (ratio %.2f)", got, want, r)
+	}
+	if jumps == 0 || ratio < 0.8 {
+		t.Errorf("idle timeline not fast-forwarded: %d jumps, skip ratio %.3f", jumps, ratio)
+	}
+	// The horizon is instrumentation only: an absurdly large one must leave
+	// the simulated latencies untouched (only the counters move).
+	gotHuge, _, _ := run(1000 * sim.Second)
+	if gotHuge != got {
+		t.Errorf("FF horizon changed results: %.6fs vs %.6fs", gotHuge, got)
+	}
+}

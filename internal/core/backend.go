@@ -54,9 +54,10 @@ func (b *stringsBackend) acceptLoop(p *sim.Proc) {
 	for {
 		conn := b.conns.Get(p)
 		b.nexts++
-		name := fmt.Sprintf("bt-%d-%d", b.gid, b.nexts)
+		gid, n := b.gid, b.nexts
 		ep := conn.B()
-		b.c.K.Go(name, func(tp *sim.Proc) { b.serve(tp, ep) })
+		b.c.K.GoNamed(func() string { return fmt.Sprintf("bt-%d-%d", gid, n) },
+			func(tp *sim.Proc) { b.serve(tp, ep) })
 	}
 }
 
@@ -77,17 +78,20 @@ func (b *stringsBackend) serve(p *sim.Proc, ep rpcproto.Endpoint) {
 		return
 	}
 	appID := int(first.AppID)
+	pool := ep.Pool()
 	held := 0
 	entry := b.sched.Register(appID, first.TenantID, int(first.Weight),
 		first.KernelName, func() int { return held + ep.InboxLen() })
 	port, err := b.pk.Open(p, appID, first.TenantID)
-	reply := &rpcproto.Reply{Seq: first.Seq}
+	reply := pool.GetReply()
+	reply.Seq = first.Seq
 	reply.SetError(err)
 	ep.Send(p, reply, 0)
 	if err != nil {
 		b.sched.Unregister(appID)
 		return
 	}
+	port.SetPool(pool)
 	for {
 		call, ok := ep.Recv(p).(*rpcproto.Call)
 		if !ok {
@@ -99,7 +103,7 @@ func (b *stringsBackend) serve(p *sim.Proc, ep rpcproto.Endpoint) {
 			continue
 		}
 		held = 1
-		b.sched.SetPhase(appID, devsched.CallPhase(call))
+		b.sched.SetPhaseEntry(entry, devsched.CallPhase(call))
 		if devsched.GatesOnDispatch(call.ID) {
 			b.sched.WaitTurn(p, entry)
 		}
@@ -107,7 +111,7 @@ func (b *stringsBackend) serve(p *sim.Proc, ep rpcproto.Endpoint) {
 		reply := port.Execute(call)
 		b.c.degradePenalty(p, b.gid, p.Now()-t0)
 		held = 0
-		b.sched.SetPhase(appID, devsched.PhaseDFL)
+		b.sched.SetPhaseEntry(entry, devsched.PhaseDFL)
 		if b.c.gpuDown[b.gid] {
 			// The kill landed while the call executed: the reply is lost
 			// with the daemon.
@@ -115,6 +119,7 @@ func (b *stringsBackend) serve(p *sim.Proc, ep rpcproto.Endpoint) {
 				b.sched.Unregister(appID)
 				return
 			}
+			pool.FreeReply(reply)
 			continue
 		}
 		if call.ID == cuda.CallThreadExit {
@@ -123,8 +128,15 @@ func (b *stringsBackend) serve(p *sim.Proc, ep rpcproto.Endpoint) {
 			return
 		}
 		if !call.NonBlocking {
+			// Blocking round trip: the frontend owns both frames now and
+			// recycles them when it issues its next call.
 			ep.Send(p, reply, call.ReplyPayloadBytes())
+			continue
 		}
+		// Non-blocking: the frontend forgot the call at issue and the reply
+		// is suppressed, so this side recycles both.
+		pool.FreeReply(reply)
+		pool.FreeCall(call)
 	}
 }
 
@@ -136,9 +148,10 @@ func (b *stringsBackend) serve(p *sim.Proc, ep rpcproto.Endpoint) {
 // submission, which is how TFS-Rain and LAS-Rain are realized.
 func (c *Cluster) serveRainConn(gid int, conn *rpcproto.Conn) {
 	c.appSeq++
-	name := fmt.Sprintf("rain-%d-%d", gid, c.appSeq)
+	seq := c.appSeq
 	ep := conn.B()
-	c.K.Go(name, func(p *sim.Proc) { c.rainServe(p, gid, ep) })
+	c.K.GoNamed(func() string { return fmt.Sprintf("rain-%d-%d", gid, seq) },
+		func(p *sim.Proc) { c.rainServe(p, gid, ep) })
 }
 
 func (c *Cluster) rainServe(p *sim.Proc, gid int, ep rpcproto.Endpoint) {
@@ -153,6 +166,7 @@ func (c *Cluster) rainServe(p *sim.Proc, gid int, ep rpcproto.Endpoint) {
 		return
 	}
 	appID := int(first.AppID)
+	pool := ep.Pool()
 	sched := c.scheds[gid]
 	held := 0
 	entry := sched.Register(appID, first.TenantID, int(first.Weight),
@@ -162,7 +176,8 @@ func (c *Cluster) rainServe(p *sim.Proc, gid int, ep rpcproto.Endpoint) {
 	rt := cuda.NewRuntime(c.K, []*gpu.Device{c.devices[gid]}, c.cfg.CUDA)
 	rt.SetOwner(appID)
 	t := rt.NewThread(p, appID)
-	reply := &rpcproto.Reply{Seq: first.Seq}
+	reply := pool.GetReply()
+	reply.Seq = first.Seq
 	reply.SetError(t.SetDevice(0))
 	ep.Send(p, reply, 0)
 
@@ -175,20 +190,21 @@ func (c *Cluster) rainServe(p *sim.Proc, gid int, ep rpcproto.Endpoint) {
 			continue
 		}
 		held = 1
-		sched.SetPhase(appID, devsched.CallPhase(call))
+		sched.SetPhaseEntry(entry, devsched.CallPhase(call))
 		if devsched.GatesOnDispatch(call.ID) {
 			sched.WaitTurn(p, entry)
 		}
 		t0 := p.Now()
-		reply := c.rainExecute(t, call)
+		reply := c.rainExecute(t, call, pool)
 		c.degradePenalty(p, gid, p.Now()-t0)
 		held = 0
-		sched.SetPhase(appID, devsched.PhaseDFL)
+		sched.SetPhaseEntry(entry, devsched.PhaseDFL)
 		if c.gpuDown[gid] {
 			if call.ID == cuda.CallThreadExit {
 				sched.Unregister(appID)
 				return
 			}
+			pool.FreeReply(reply)
 			continue
 		}
 		if call.ID == cuda.CallThreadExit {
@@ -198,14 +214,19 @@ func (c *Cluster) rainServe(p *sim.Proc, gid int, ep rpcproto.Endpoint) {
 		}
 		if !call.NonBlocking {
 			ep.Send(p, reply, call.ReplyPayloadBytes())
+			continue
 		}
+		// Non-blocking round trips are recycled on this side (see serve).
+		pool.FreeReply(reply)
+		pool.FreeCall(call)
 	}
 }
 
 // rainExecute runs one call directly against the per-app runtime — no
 // stream translation, no sync conversion, no pinned staging.
-func (c *Cluster) rainExecute(t *cuda.Thread, call *rpcproto.Call) *rpcproto.Reply {
-	reply := &rpcproto.Reply{Seq: call.Seq}
+func (c *Cluster) rainExecute(t *cuda.Thread, call *rpcproto.Call, pool *rpcproto.Pool) *rpcproto.Reply {
+	reply := pool.GetReply()
+	reply.Seq = call.Seq
 	ptr := cuda.Ptr{Dev: int(call.PtrDev), ID: call.PtrID, Size: call.PtrSize}
 	switch call.ID {
 	case cuda.CallDeviceCount:

@@ -15,8 +15,8 @@ type Runtime struct {
 	k       *sim.Kernel
 	cfg     Config
 	devices []*gpu.Device
-	ctxs    map[int]*procCtx
-	owner   int // owning application for single-app processes (0 = shared)
+	ctxs    []*procCtx // indexed by device ordinal; nil until first touch
+	owner   int        // owning application for single-app processes (0 = shared)
 }
 
 // SetOwner marks the process as belonging to a single application; its GPU
@@ -25,15 +25,27 @@ type Runtime struct {
 // coarse accounting of per-process-context runtimes (bare CUDA and Rain).
 func (rt *Runtime) SetOwner(appID int) { rt.owner = appID }
 
-// procCtx is the process's context state on one device.
+// procCtx is the process's context state on one device. Streams and their
+// newest-op events live in dense slices indexed by StreamID — stream ids are
+// small sequential integers, and the per-call map lookups they replace were a
+// measurable slice of the event hot path.
 type procCtx struct {
 	ctx     *gpu.Context
-	streams map[StreamID]*gpu.Stream
-	lastOp  map[StreamID]*sim.Event // completion of the newest op per stream
+	streams []*gpu.Stream // indexed by StreamID; nil = not created/destroyed
+	lastOp  []*sim.Event  // completion of the newest op per stream
 	next    StreamID
-	events  map[EventID]*eventRec
-	nextEv  EventID
-	created bool
+
+	// live lists the ids of existing streams in ascending order (ids are
+	// handed out monotonically and appended on creation). Device-wide
+	// operations walk this instead of the full dense tables: a packed
+	// context serving a long request stream accumulates destroyed-stream
+	// slots forever, and scanning them per sync would be quadratic.
+	live []StreamID
+
+	events    map[EventID]*eventRec // lazily allocated on first EventCreate
+	nextEv    EventID
+	created   bool
+	evScratch []*sim.Event // DeviceSynchronize snapshot buffer
 }
 
 // eventRec is one CUDA event's state: the marker op of its latest record.
@@ -44,7 +56,7 @@ type eventRec struct {
 // NewRuntime creates the runtime of a fresh host process seeing the given
 // devices (device ordinals are indices into the slice).
 func NewRuntime(k *sim.Kernel, devices []*gpu.Device, cfg Config) *Runtime {
-	return &Runtime{k: k, cfg: cfg, devices: devices, ctxs: make(map[int]*procCtx)}
+	return &Runtime{k: k, cfg: cfg, devices: devices, ctxs: make([]*procCtx, len(devices))}
 }
 
 // Devices returns the devices visible to the process.
@@ -53,8 +65,8 @@ func (rt *Runtime) Devices() []*gpu.Device { return rt.devices }
 // Context returns the process's GPU context on dev, or nil if none exists
 // yet. Used by schedulers that need to inspect context identity.
 func (rt *Runtime) Context(dev int) *gpu.Context {
-	if pc, ok := rt.ctxs[dev]; ok {
-		return pc.ctx
+	if dev >= 0 && dev < len(rt.ctxs) && rt.ctxs[dev] != nil {
+		return rt.ctxs[dev].ctx
 	}
 	return nil
 }
@@ -62,15 +74,12 @@ func (rt *Runtime) Context(dev int) *gpu.Context {
 // ensureCtx returns the process's context state on dev, creating it (and
 // charging the context-creation cost to p) on first touch.
 func (rt *Runtime) ensureCtx(p *sim.Proc, dev int) *procCtx {
-	pc, ok := rt.ctxs[dev]
-	if !ok {
+	pc := rt.ctxs[dev]
+	if pc == nil {
 		pc = &procCtx{
-			ctx:     rt.devices[dev].NewContext(),
-			streams: make(map[StreamID]*gpu.Stream),
-			lastOp:  make(map[StreamID]*sim.Event),
-			events:  make(map[EventID]*eventRec),
-			next:    1,
-			nextEv:  1,
+			ctx:    rt.devices[dev].NewContext(),
+			next:   1,
+			nextEv: 1,
 		}
 		if rt.owner != 0 {
 			pc.ctx.Owner = rt.owner
@@ -84,16 +93,59 @@ func (rt *Runtime) ensureCtx(p *sim.Proc, dev int) *procCtx {
 	return pc
 }
 
+// hasStream reports whether id names a live stream.
+func (pc *procCtx) hasStream(id StreamID) bool {
+	return id >= 0 && int(id) < len(pc.streams) && pc.streams[id] != nil
+}
+
+// last returns the completion event of the newest op on the stream, nil when
+// the stream is idle or unknown.
+func (pc *procCtx) last(id StreamID) *sim.Event {
+	if id >= 0 && int(id) < len(pc.lastOp) {
+		return pc.lastOp[id]
+	}
+	return nil
+}
+
+// setStream grows the dense stream table to cover id and installs s.
+func (pc *procCtx) setStream(id StreamID, s *gpu.Stream) {
+	for int(id) >= len(pc.streams) {
+		pc.streams = append(pc.streams, nil)
+		pc.lastOp = append(pc.lastOp, nil)
+	}
+	pc.streams[id] = s
+	// Ids are monotonic except for the default stream (id 0, materialized
+	// lazily), so an append keeps live ascending in every case but that one.
+	if n := len(pc.live); n == 0 || pc.live[n-1] < id {
+		pc.live = append(pc.live, id)
+	} else {
+		pc.live = append(pc.live, 0)
+		copy(pc.live[1:], pc.live[:n])
+		pc.live[0] = id
+	}
+}
+
+// dropStream clears a destroyed stream's slots and removes it from live.
+func (pc *procCtx) dropStream(id StreamID) {
+	pc.streams[id] = nil
+	for i, x := range pc.live {
+		if x == id {
+			pc.live = append(pc.live[:i], pc.live[i+1:]...)
+			break
+		}
+	}
+}
+
 // stream resolves a StreamID, lazily materializing the default stream.
 func (pc *procCtx) stream(id StreamID) (*gpu.Stream, error) {
-	s, ok := pc.streams[id]
-	if !ok {
-		if id != DefaultStream {
-			return nil, ErrInvalidStream
-		}
-		s = pc.ctx.NewStream()
-		pc.streams[DefaultStream] = s
+	if pc.hasStream(id) {
+		return pc.streams[id], nil
 	}
+	if id != DefaultStream {
+		return nil, ErrInvalidStream
+	}
+	s := pc.ctx.NewStream()
+	pc.setStream(DefaultStream, s)
 	return s, nil
 }
 
@@ -104,7 +156,7 @@ type Thread struct {
 	p      *sim.Proc
 	appID  int
 	dev    int
-	allocs map[Ptr]struct{}
+	allocs []Ptr
 	nextID int64
 	exited bool
 	calls  int
@@ -113,7 +165,7 @@ type Thread struct {
 // NewThread binds a host thread executing on sim process p with application
 // id appID (used for device-side service attribution).
 func (rt *Runtime) NewThread(p *sim.Proc, appID int) *Thread {
-	return &Thread{rt: rt, p: p, appID: appID, allocs: make(map[Ptr]struct{})}
+	return &Thread{rt: rt, p: p, appID: appID}
 }
 
 // Proc returns the sim process executing this thread.
@@ -174,17 +226,21 @@ func (t *Thread) Malloc(bytes int64) (Ptr, error) {
 	}
 	t.nextID++
 	p := Ptr{Dev: t.dev, ID: int64(t.appID)<<32 | t.nextID, Size: bytes}
-	t.allocs[p] = struct{}{}
+	t.allocs = append(t.allocs, p)
 	return p, nil
 }
 
 // Free implements Client.
 func (t *Thread) Free(p Ptr) error {
 	t.overhead()
-	if _, ok := t.allocs[p]; !ok {
+	i := slices.Index(t.allocs, p)
+	if i < 0 {
 		return ErrInvalidPtr
 	}
-	delete(t.allocs, p)
+	// Order within allocs carries no meaning (ThreadExit sorts), so the
+	// removal is a swap with the tail.
+	t.allocs[i] = t.allocs[len(t.allocs)-1]
+	t.allocs = t.allocs[:len(t.allocs)-1]
 	if t.rt.cfg.MallocLatency > 0 {
 		t.p.Sleep(t.rt.cfg.MallocLatency)
 	}
@@ -193,15 +249,25 @@ func (t *Thread) Free(p Ptr) error {
 }
 
 // submit queues an op on the thread's current device and returns its
-// completion event.
+// completion event. Ops arriving here come from the device's free list; their
+// completion events are drawn from the kernel's. The reference on a pooled
+// completion event is owned by the stream's lastOp slot: it is released when
+// a newer op replaces it, or when the stream is destroyed.
 func (t *Thread) submit(op *gpu.Op, s StreamID) (*sim.Event, error) {
 	pc := t.rt.ensureCtx(t.p, t.dev)
 	st, err := pc.stream(s)
 	if err != nil {
+		t.rt.devices[t.dev].PutOp(op)
 		return nil, err
 	}
 	op.AppID = t.appID
+	if op.Done == nil {
+		op.Done = t.rt.k.NewPooledEvent()
+	}
 	ev := st.Submit(op)
+	if old := pc.lastOp[s]; old != nil {
+		old.Unref()
+	}
 	pc.lastOp[s] = ev
 	return ev, nil
 }
@@ -219,11 +285,17 @@ func (t *Thread) Memcpy(dir Dir, p Ptr, bytes int64) error {
 	if dir == D2H {
 		kind = gpu.OpD2H
 	}
-	ev, err := t.submit(&gpu.Op{Kind: kind, Bytes: bytes}, DefaultStream)
+	op := t.rt.devices[t.dev].GetOp(kind)
+	op.Bytes = bytes
+	ev, err := t.submit(op, DefaultStream)
 	if err != nil {
 		return err
 	}
+	// Hold a reference across the wait so a concurrent submit on the same
+	// stream cannot release the event's last reference while we are parked.
+	ev.Ref()
 	t.p.Wait(ev)
+	ev.Unref()
 	return nil
 }
 
@@ -240,7 +312,9 @@ func (t *Thread) MemcpyAsync(dir Dir, p Ptr, bytes int64, s StreamID) error {
 	if dir == D2H {
 		kind = gpu.OpD2H
 	}
-	_, err := t.submit(&gpu.Op{Kind: kind, Bytes: bytes}, s)
+	op := t.rt.devices[t.dev].GetOp(kind)
+	op.Bytes = bytes
+	_, err := t.submit(op, s)
 	return err
 }
 
@@ -253,12 +327,11 @@ func (t *Thread) Launch(k Kernel, s StreamID) error {
 	if k.Compute < 0 || k.MemTraffic < 0 {
 		return ErrInvalidValue
 	}
-	_, err := t.submit(&gpu.Op{
-		Kind:       gpu.OpKernel,
-		Compute:    k.Compute,
-		MemTraffic: k.MemTraffic,
-		Occupancy:  k.Occupancy,
-	}, s)
+	op := t.rt.devices[t.dev].GetOp(gpu.OpKernel)
+	op.Compute = k.Compute
+	op.MemTraffic = k.MemTraffic
+	op.Occupancy = k.Occupancy
+	_, err := t.submit(op, s)
 	return err
 }
 
@@ -271,7 +344,7 @@ func (t *Thread) StreamCreate() (StreamID, error) {
 	pc := t.rt.ensureCtx(t.p, t.dev)
 	id := pc.next
 	pc.next++
-	pc.streams[id] = pc.ctx.NewStream()
+	pc.setStream(id, pc.ctx.NewStream())
 	return id, nil
 }
 
@@ -279,11 +352,13 @@ func (t *Thread) StreamCreate() (StreamID, error) {
 func (t *Thread) StreamSynchronize(s StreamID) error {
 	t.overhead()
 	pc := t.rt.ensureCtx(t.p, t.dev)
-	if _, ok := pc.streams[s]; !ok && s != DefaultStream {
+	if !pc.hasStream(s) && s != DefaultStream {
 		return ErrInvalidStream
 	}
-	if ev, ok := pc.lastOp[s]; ok {
+	if ev := pc.last(s); ev != nil {
+		ev.Ref()
 		t.p.Wait(ev)
+		ev.Unref()
 	}
 	return nil
 }
@@ -295,15 +370,21 @@ func (t *Thread) StreamDestroy(s StreamID) error {
 	if s == DefaultStream {
 		return ErrInvalidValue
 	}
-	if _, ok := pc.streams[s]; !ok {
+	if !pc.hasStream(s) {
 		return ErrInvalidStream
 	}
 	// CUDA's cudaStreamDestroy waits for the stream's outstanding work.
-	if ev, ok := pc.lastOp[s]; ok {
+	if ev := pc.last(s); ev != nil {
+		ev.Ref()
 		t.p.Wait(ev)
+		ev.Unref()
+		ev.Unref() // release the lastOp slot's own reference
+		pc.lastOp[s] = nil
 	}
-	delete(pc.streams, s)
-	delete(pc.lastOp, s)
+	// The stream is drained: remove it from the device's dispatch scan too,
+	// or a packed context accretes one dead stream per application served.
+	pc.ctx.DestroyStream(pc.streams[s])
+	pc.dropStream(s)
 	return nil
 }
 
@@ -312,15 +393,26 @@ func (t *Thread) StreamDestroy(s StreamID) error {
 func (t *Thread) DeviceSynchronize() error {
 	t.overhead()
 	pc := t.rt.ensureCtx(t.p, t.dev)
-	// Collect first: waiting can add new lastOps from other threads; device
-	// sync covers work queued as of the call.
-	evs := make([]*sim.Event, 0, len(pc.lastOp))
-	for _, id := range sortedStreamIDs(pc.lastOp) {
-		evs = append(evs, pc.lastOp[id])
+	// Collect first (holding references): waiting can replace lastOps from
+	// other threads; device sync covers work queued as of the call. The dense
+	// table iterates in ascending StreamID order, keeping the wait order of
+	// the sorted-map-keys code this replaces. The scratch buffer is claimed
+	// for the duration — a concurrent sync on another thread falls back to a
+	// fresh allocation.
+	evs := pc.evScratch[:0]
+	pc.evScratch = nil
+	for _, id := range pc.live {
+		if ev := pc.lastOp[id]; ev != nil {
+			ev.Ref()
+			evs = append(evs, ev)
+		}
 	}
 	for _, ev := range evs {
 		t.p.Wait(ev)
+		ev.Unref()
 	}
+	clear(evs)
+	pc.evScratch = evs[:0]
 	return nil
 }
 
@@ -331,6 +423,9 @@ func (t *Thread) EventCreate() (EventID, error) {
 		return 0, ErrThreadExited
 	}
 	pc := t.rt.ensureCtx(t.p, t.dev)
+	if pc.events == nil {
+		pc.events = make(map[EventID]*eventRec)
+	}
 	id := pc.nextEv
 	pc.nextEv++
 	pc.events[id] = &eventRec{}
@@ -349,7 +444,10 @@ func (t *Thread) EventRecord(e EventID, s StreamID) error {
 	if !ok {
 		return ErrInvalidEvent
 	}
-	op := &gpu.Op{Kind: gpu.OpMarker}
+	// Markers are retained past completion (EventElapsed reads their timing
+	// long after they finish), so neither the op nor its Done event may come
+	// from a free list.
+	op := &gpu.Op{Kind: gpu.OpMarker, Done: t.rt.k.NewEvent()}
 	if _, err := t.submit(op, s); err != nil {
 		return err
 	}
@@ -409,32 +507,18 @@ func (t *Thread) ThreadExit() error {
 		return err
 	}
 	// Free in (device, allocation-id) order: Free itself is additive, but
-	// releasing in map order would make any future accounting hook on the
-	// free path order-dependent.
-	ptrs := make([]Ptr, 0, len(t.allocs))
-	for p := range t.allocs {
-		ptrs = append(ptrs, p)
-	}
-	slices.SortFunc(ptrs, func(a, b Ptr) int {
+	// releasing in arrival order would make any future accounting hook on the
+	// free path depend on the swap-removals Free performed.
+	slices.SortFunc(t.allocs, func(a, b Ptr) int {
 		if a.Dev != b.Dev {
 			return a.Dev - b.Dev
 		}
 		return int(a.ID - b.ID)
 	})
-	for _, p := range ptrs {
+	for _, p := range t.allocs {
 		t.rt.devices[p.Dev].Free(p.Size)
 	}
-	t.allocs = make(map[Ptr]struct{})
+	t.allocs = nil
 	t.exited = true
 	return nil
-}
-
-// sortedStreamIDs returns map keys in ascending order for determinism.
-func sortedStreamIDs(m map[StreamID]*sim.Event) []StreamID {
-	ids := make([]StreamID, 0, len(m))
-	for id := range m {
-		ids = append(ids, id)
-	}
-	slices.Sort(ids)
-	return ids
 }

@@ -87,7 +87,8 @@ type Entry struct {
 
 	// TFS bookkeeping lives in the policy, keyed by tenant.
 
-	exited bool
+	exited  bool
+	pickGen uint64 // dispatcher generation that last picked this entry awake
 }
 
 // HasWork reports whether the thread has a pending request to run.

@@ -49,8 +49,9 @@ type Scheduler struct {
 	cfg    Config
 	policy Policy
 
-	entries      []*Entry
+	entries      []*Entry // maintained in ascending AppID order
 	byApp        map[int]*Entry
+	gen          uint64 // dispatcher pick generation (see dispatch)
 	nextSig      int
 	kick         *sim.Signal
 	kicked       bool
@@ -124,7 +125,12 @@ func (s *Scheduler) Register(appID int, tenant int64, weight int, kind string, b
 	if _, ok := s.policy.(AllAwake); ok {
 		e.Awake = true
 	}
-	s.entries = append(s.entries, e)
+	// Insert in AppID order: the dispatcher hands s.entries to the policy
+	// directly, and the Policy contract promises app-id order.
+	i := sort.Search(len(s.entries), func(i int) bool { return s.entries[i].AppID >= appID })
+	s.entries = append(s.entries, nil)
+	copy(s.entries[i+1:], s.entries[i:])
+	s.entries[i] = e
 	s.byApp[appID] = e
 	s.rec.Event(trace.KRegister, s.k.Now(), kind, appID, s.gid, int64(e.SignalID))
 	s.ensureDispatcher()
@@ -160,17 +166,24 @@ func (s *Scheduler) Unregister(appID int) *rpcproto.Feedback {
 // Entry returns the RCB entry for an app, or nil.
 func (s *Scheduler) Entry(appID int) *Entry { return s.byApp[appID] }
 
-// Entries returns the live RCB entries (sorted by app id for determinism).
+// Entries returns a copy of the live RCB entries, sorted by app id (the
+// order the scheduler maintains internally).
 func (s *Scheduler) Entries() []*Entry {
-	out := append([]*Entry(nil), s.entries...)
-	sort.Slice(out, func(i, j int) bool { return out[i].AppID < out[j].AppID })
-	return out
+	return append([]*Entry(nil), s.entries...)
 }
 
 // SetPhase records the thread's current GPU phase and nudges the dispatcher
 // (PS reacts to phase changes).
 func (s *Scheduler) SetPhase(appID int, ph Phase) {
-	if e, ok := s.byApp[appID]; ok && e.Phase != ph {
+	if e, ok := s.byApp[appID]; ok {
+		s.SetPhaseEntry(e, ph)
+	}
+}
+
+// SetPhaseEntry is SetPhase for callers that hold the RCB entry (backend
+// threads get it from Register), skipping the per-call app-id lookup.
+func (s *Scheduler) SetPhaseEntry(e *Entry, ph Phase) {
+	if e.Phase != ph {
 		e.Phase = ph
 		if _, isPS := s.policy.(*PS); isPS {
 			s.Kick()
@@ -235,17 +248,20 @@ func (s *Scheduler) dispatch(p *sim.Proc) {
 			continue
 		}
 		s.refresh()
-		awake := s.policy.Pick(p.Now(), s.Entries(), &s.cfg)
-		set := make(map[int]bool, len(awake))
+		// The policy sees the live slice (already app-id ordered; policies
+		// never reorder it). Picks are marked with a generation counter on
+		// the entry, replacing a per-epoch set allocation.
+		s.gen++
+		awake := s.policy.Pick(p.Now(), s.entries, &s.cfg)
 		for _, e := range awake {
-			set[e.AppID] = true
+			e.pickGen = s.gen
 		}
 		anyWork := false
 		for _, e := range s.entries {
 			if e.HasWork() {
 				anyWork = true
 			}
-			want := set[e.AppID]
+			want := e.pickGen == s.gen
 			if want && !e.Awake {
 				e.Awake = true
 				e.Wake.Notify()

@@ -43,6 +43,7 @@ type Device struct {
 
 	tracer     Tracer
 	onComplete func(*Op)
+	opFree     []*Op // recycled pool-managed ops (see GetOp)
 
 	// Accounting.
 	busyCompute float64 // integral of compute utilization (microseconds)
@@ -111,10 +112,11 @@ func (d *Device) Close() {
 // execute concurrently; switching the resident context costs
 // Spec.ContextSwitch.
 type Context struct {
-	dev     *Device
-	id      int
-	streams []*Stream
-	pending int // ops queued or running
+	dev        *Device
+	id         int
+	streams    []*Stream
+	nextStream int
+	pending    int // ops queued or running
 
 	// Owner attributes the context to an application (-1 when shared).
 	// When the driver switches to an owned context, the switch cost is
@@ -147,9 +149,33 @@ type Stream struct {
 
 // NewStream creates a stream in the context.
 func (c *Context) NewStream() *Stream {
-	s := &Stream{ctx: c, id: len(c.streams)}
+	s := &Stream{ctx: c, id: c.nextStream}
+	c.nextStream++
 	c.streams = append(c.streams, s)
 	return s
+}
+
+// DestroyStream removes a drained stream from the context. The driver's
+// dispatch loop scans every stream of the resident context on every
+// evaluation, so a long-lived packed context must shed dead streams or the
+// scan grows with every application ever served — quadratic over a
+// million-request run. Only idle streams are removed (the CUDA layer drains
+// a stream before destroying it); a stream with queued or in-flight work is
+// left in place.
+func (c *Context) DestroyStream(s *Stream) {
+	if s == nil || s.ctx != c || s.busy || s.queue.Len() > 0 {
+		return
+	}
+	for i, x := range c.streams {
+		if x == s {
+			// Splice, preserving creation order: dispatch iterates this
+			// slice, and the relative order of live streams is part of the
+			// deterministic schedule.
+			c.streams = append(c.streams[:i], c.streams[i+1:]...)
+			break
+		}
+	}
+	s.ctx = nil
 }
 
 // ID returns the stream's identifier within its context.
@@ -175,6 +201,36 @@ func (s *Stream) Submit(op *Op) *sim.Event {
 	s.ctx.pending++
 	d.wake()
 	return op.Done
+}
+
+// GetOp returns an op of the given kind drawn from the device's free list.
+// Pool-managed ops are recycled automatically when they finish, so the caller
+// must not retain the op past its Done event (retain the event instead, or
+// build on unpooled &Op{} literals — markers, tests — which are never
+// recycled).
+func (d *Device) GetOp(kind OpKind) *Op {
+	if n := len(d.opFree); n > 0 {
+		op := d.opFree[n-1]
+		d.opFree[n-1] = nil
+		d.opFree = d.opFree[:n-1]
+		op.Kind = kind
+		return op
+	}
+	return &Op{Kind: kind, pooled: true}
+}
+
+// PutOp returns a pool-managed op that was never submitted (an error path) to
+// the free list. A no-op for unpooled ops.
+func (d *Device) PutOp(op *Op) {
+	if op != nil && op.pooled {
+		d.recycleOp(op)
+	}
+}
+
+// recycleOp zeroes a pooled op and returns it to the free list.
+func (d *Device) recycleOp(op *Op) {
+	*op = Op{pooled: true}
+	d.opFree = append(d.opFree, op)
 }
 
 // Alloc reserves device memory, failing when capacity would be exceeded
@@ -361,6 +417,9 @@ func (d *Device) finish(op *Op, now sim.Time) {
 	op.Done.Fire()
 	if d.onComplete != nil {
 		d.onComplete(op)
+	}
+	if op.pooled {
+		d.recycleOp(op)
 	}
 }
 

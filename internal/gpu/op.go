@@ -73,6 +73,7 @@ type Op struct {
 	demandBW  float64 // bandwidth demand fraction while running
 	soloDur   float64 // solo duration in microseconds (float)
 	running   bool
+	pooled    bool // drawn from the device free list; recycled on completion
 }
 
 // WallTime returns the op's enqueue-to-completion latency.

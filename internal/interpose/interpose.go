@@ -83,6 +83,16 @@ type Interposer struct {
 	reqSpan trace.SpanID
 
 	calls int
+
+	// pool recycles Call/Reply frames over the backend connection (nil —
+	// allocate-and-drop — until bound, and always nil in recovery mode,
+	// whose retransmission state retains frames past the round trip).
+	// lastCall/lastReply are the previous blocking round trip's frames:
+	// by the time the frontend issues the next call the reply has been
+	// fully consumed, so newCall recycles them one call late.
+	pool      *rpcproto.Pool
+	lastCall  *rpcproto.Call
+	lastReply *rpcproto.Reply
 }
 
 // SetTrace installs the observability recorder and the enclosing request
@@ -112,17 +122,27 @@ func (ip *Interposer) Calls() int { return ip.calls }
 // GID returns the gPool device the application was bound to.
 func (ip *Interposer) GID() balancer.GID { return ip.gid }
 
-// newCall stamps a marshalled call with identity and sequence.
+// newCall stamps a marshalled call with identity and sequence. It also
+// recycles the previous blocking round trip's frames: issuing a new call
+// proves the application has consumed the old reply.
 func (ip *Interposer) newCall(id cuda.CallID) *rpcproto.Call {
+	if ip.lastCall != nil {
+		ip.pool.FreeCall(ip.lastCall)
+		ip.lastCall = nil
+	}
+	if ip.lastReply != nil {
+		ip.pool.FreeReply(ip.lastReply)
+		ip.lastReply = nil
+	}
 	ip.seq++
 	ip.calls++
-	return &rpcproto.Call{
-		ID:       id,
-		Seq:      ip.seq,
-		AppID:    int64(ip.appID),
-		TenantID: ip.tenant,
-		Weight:   int32(ip.weight),
-	}
+	c := ip.pool.GetCall()
+	c.ID = id
+	c.Seq = ip.seq
+	c.AppID = int64(ip.appID)
+	c.TenantID = ip.tenant
+	c.Weight = int32(ip.weight)
+	return c
 }
 
 // ensureBound lazily binds to a GPU: CUDA initializes on first use when the
@@ -173,6 +193,10 @@ func (ip *Interposer) sendRPC(c *rpcproto.Call, blocking bool) (*rpcproto.Reply,
 		// Replies arrive in order; skip any stale reply below our seq
 		// (there are none in the current protocol, but be defensive).
 		if r.Seq == c.Seq {
+			// Both frames are now owned by the frontend; the next newCall
+			// recycles them once this reply has been consumed.
+			ip.lastCall = c
+			ip.lastReply = r
 			return r, r.AsError()
 		}
 		if r.Seq > c.Seq {
@@ -203,6 +227,13 @@ func (ip *Interposer) SetDevice(dev int) error {
 	ip.gid = gid
 	ip.ep = ip.fab.ConnectBackend(ip.p, gid, ip.node)
 	ip.bound = true
+	if ip.rec.cfg.Enabled() {
+		// Retransmission retains frames past their round trip: both sides
+		// of the connection must stop recycling.
+		ip.ep.Pool().Disable()
+	} else {
+		ip.pool = ip.ep.Pool()
+	}
 	reg := ip.newCall(cuda.CallSetDevice)
 	reg.Dev = int32(gid)
 	reg.KernelName = ip.kind // carries the class for RCB/SFT keying

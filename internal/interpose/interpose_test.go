@@ -33,7 +33,10 @@ func newFakeFabric(k *sim.Kernel) *fakeFabric {
 		ep := f.conn.B()
 		for {
 			call := ep.Recv(p).(*rpcproto.Call)
-			f.received = append(f.received, call)
+			// The frontend recycles blocking-call frames after consuming the
+			// reply; a backend that retains calls must copy them.
+			cc := *call
+			f.received = append(f.received, &cc)
 			reply := &rpcproto.Reply{Seq: call.Seq}
 			switch call.ID {
 			case cuda.CallMalloc:

@@ -29,6 +29,9 @@ func (c *Counter) Add(d int64) {
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.n }
 
+// Reset returns the counter to zero (instrument reuse across runs).
+func (c *Counter) Reset() { c.n = 0 }
+
 // histBuckets is the number of power-of-two histogram buckets. Bucket i
 // holds observations v with 2^(i-1) <= v < 2^i (bucket 0 holds v <= 0 and
 // v == 1 lands in bucket 1); the last bucket is a catch-all.
@@ -64,6 +67,12 @@ func (h *Histogram) Observe(v int64) {
 	if v > h.max {
 		h.max = v
 	}
+}
+
+// Reset discards all observations (instrument reuse across runs).
+func (h *Histogram) Reset() {
+	h.buckets = [histBuckets]int64{}
+	h.count, h.sum, h.max = 0, 0, 0
 }
 
 // Count returns the number of observations.

@@ -75,7 +75,13 @@ type Port struct {
 	stream cuda.StreamID
 	proc   *sim.Proc
 	closed bool
+	pool   *rpcproto.Pool
 }
+
+// SetPool installs the RPC frame pool replies are drawn from (the serving
+// connection's pool, so the frontend can recycle them). A nil pool — the
+// default — allocates fresh replies.
+func (port *Port) SetPool(pool *rpcproto.Pool) { port.pool = pool }
 
 // Open registers an application with the packer (the Stream Creator's job):
 // it binds a backend CUDA thread for the app on the backend process's
@@ -126,7 +132,8 @@ func (port *Port) Execute(call *rpcproto.Call) *rpcproto.Reply {
 
 // execute is Execute's body: the AST/SST/MOT translation switch.
 func (port *Port) execute(call *rpcproto.Call) *rpcproto.Reply {
-	reply := &rpcproto.Reply{Seq: call.Seq}
+	reply := port.pool.GetReply()
+	reply.Seq = call.Seq
 	if port.closed {
 		reply.SetError(cuda.ErrThreadExited)
 		return reply

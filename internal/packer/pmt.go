@@ -23,6 +23,7 @@ type PinnedEntry struct {
 type PMT struct {
 	entries map[int64]PinnedEntry
 	nextID  int64
+	scratch []int64 // idsWhere buffer, reused across release sweeps
 
 	// Accounting.
 	Pinned      int64 // bytes currently pinned
@@ -92,12 +93,15 @@ func (t *PMT) AppEntries(appID int) []PinnedEntry {
 
 // idsWhere returns matching entry ids in ascending order (deterministic
 // iteration over the map). The predicate runs over already-sorted ids so
-// map order never reaches it.
+// map order never reaches it. The returned slice aliases the table's scratch
+// buffer: it is valid until the next idsWhere call (release sweeps consume it
+// before mutating the table, which never touches the scratch).
 func (t *PMT) idsWhere(pred func(PinnedEntry) bool) []int64 {
-	ids := make([]int64, 0, len(t.entries))
+	ids := t.scratch[:0]
 	for id := range t.entries {
 		ids = append(ids, id)
 	}
+	t.scratch = ids
 	slices.Sort(ids)
 	out := ids[:0]
 	for _, id := range ids {

@@ -1,0 +1,85 @@
+package rpcproto
+
+// Pool recycles Call and Reply frames across the requests flowing over one
+// connection. The simulated RPC path allocates one Call and one Reply per
+// intercepted CUDA call; on a million-request run those frames dominate the
+// allocation profile, so the frontend and backend return consumed frames
+// here instead of dropping them for the GC.
+//
+// Ownership discipline (enforced by the callers, not the pool):
+//
+//   - blocking calls: the frontend owns both frames and frees them once the
+//     reply has been fully consumed (in practice: when it issues the next
+//     call on the same connection);
+//   - non-blocking calls: the frontend forgets the frame at issue, so the
+//     backend frees the call — and the suppressed reply — at the end of the
+//     serve iteration;
+//   - recovery mode disables the pool entirely: retransmission keeps frames
+//     alive past any single round trip, and correctness beats allocation
+//     rate on that path.
+//
+// The zero Pool is valid and enabled. A nil *Pool is a valid disabled pool:
+// Get allocates fresh frames and Free drops them, so callers need not guard.
+type Pool struct {
+	calls    []*Call
+	replies  []*Reply
+	disabled bool
+}
+
+// Disable makes the pool hand out fresh frames and drop freed ones. Used by
+// the recovery layer, whose retransmission logic retains frames past the
+// round trip that issued them.
+func (p *Pool) Disable() {
+	if p != nil {
+		p.disabled = true
+		p.calls = nil
+		p.replies = nil
+	}
+}
+
+// GetCall returns a zeroed Call frame.
+func (p *Pool) GetCall() *Call {
+	if p == nil || p.disabled {
+		return &Call{}
+	}
+	if n := len(p.calls); n > 0 {
+		c := p.calls[n-1]
+		p.calls[n-1] = nil
+		p.calls = p.calls[:n-1]
+		return c
+	}
+	return &Call{}
+}
+
+// FreeCall returns a fully consumed Call frame to the pool. The frame is
+// zeroed here so a pooled frame is indistinguishable from a fresh one.
+func (p *Pool) FreeCall(c *Call) {
+	if p == nil || p.disabled || c == nil {
+		return
+	}
+	*c = Call{}
+	p.calls = append(p.calls, c)
+}
+
+// GetReply returns a zeroed Reply frame.
+func (p *Pool) GetReply() *Reply {
+	if p == nil || p.disabled {
+		return &Reply{}
+	}
+	if n := len(p.replies); n > 0 {
+		r := p.replies[n-1]
+		p.replies[n-1] = nil
+		p.replies = p.replies[:n-1]
+		return r
+	}
+	return &Reply{}
+}
+
+// FreeReply returns a fully consumed Reply frame to the pool.
+func (p *Pool) FreeReply(r *Reply) {
+	if p == nil || p.disabled || r == nil {
+		return
+	}
+	*r = Reply{}
+	p.replies = append(p.replies, r)
+}

@@ -42,8 +42,10 @@ func (l LinkSpec) TransferTime(size int64) sim.Time {
 	return sim.Time(float64(size)/l.Bandwidth + 0.5)
 }
 
-// Msg is a message crossing a Conn: a *Call or a *Reply.
-type Msg interface{}
+// Msg is a message crossing a Conn: a *Call or a *Reply. It is an alias (not
+// a defined type) so the transport's queues are sim.Queue[any] and deliveries
+// can ride the kernel's closure-free AfterPut path.
+type Msg = interface{}
 
 // Conn is a simulated bidirectional message connection between a frontend
 // (side A) and a backend (side B) crossing one link.
@@ -52,6 +54,7 @@ type Conn struct {
 	link LinkSpec
 	toB  *sim.Queue[Msg]
 	toA  *sim.Queue[Msg]
+	pool Pool
 }
 
 // NewConn creates a connection over the given link.
@@ -83,8 +86,18 @@ func (e Endpoint) Send(p *sim.Proc, msg Msg, payload int64) {
 	if cost := e.conn.link.TransferTime(size); cost > 0 {
 		p.Sleep(cost)
 	}
-	out := e.out
-	e.conn.k.After(e.conn.link.Latency, func() { out.Put(msg) })
+	e.conn.k.AfterPut(e.conn.link.Latency, e.out, msg)
+}
+
+// Pool returns the connection's shared frame pool (nil — the valid disabled
+// pool — for the zero Endpoint). Both endpoints hand out the same pool: the
+// simulation kernel runs one process at a time, so the two sides can share
+// free lists without locking.
+func (e Endpoint) Pool() *Pool {
+	if e.conn == nil {
+		return nil
+	}
+	return &e.conn.pool
 }
 
 // Recv blocks until the next message arrives.

@@ -6,11 +6,62 @@ package sim
 type Event struct {
 	k       *Kernel
 	fired   bool
+	pooled  bool  // drawn from the kernel free list; recycled via Ref/Unref
+	refs    int32 // outstanding references to a pooled event
 	waiters Ring[*Proc]
 }
 
 // NewEvent returns an unfired event bound to k.
 func (k *Kernel) NewEvent() *Event { return &Event{k: k} }
+
+// NewPooledEvent returns an unfired event drawn from the kernel's free list,
+// holding one reference for the caller. Holders of additional references take
+// them with Ref and release with Unref; the event returns to the free list
+// once it has fired, no process waits on it, and every reference is released.
+// Use pooled events only for completion tokens with a clear ownership
+// discipline (the GPU op path); retaining one past its last Unref aliases a
+// recycled event. NewEvent remains the safe default.
+func (k *Kernel) NewPooledEvent() *Event {
+	if n := len(k.evFree); n > 0 {
+		e := k.evFree[n-1]
+		k.evFree[n-1] = nil
+		k.evFree = k.evFree[:n-1]
+		e.fired = false
+		e.refs = 1
+		return e
+	}
+	return &Event{k: k, pooled: true, refs: 1}
+}
+
+// Ref takes an additional reference on a pooled event. It is a no-op on nil
+// and unpooled events, so callers need not distinguish.
+func (e *Event) Ref() {
+	if e != nil && e.pooled {
+		e.refs++
+	}
+}
+
+// Unref releases one reference on a pooled event, recycling it once it has
+// fired with no waiters and no references remain. A no-op on nil and unpooled
+// events.
+func (e *Event) Unref() {
+	if e == nil || !e.pooled {
+		return
+	}
+	e.refs--
+	e.maybeRecycle()
+}
+
+// maybeRecycle returns a pooled event to the free list when it is fully
+// released: fired (so no future Fire touches it), no parked waiters, and no
+// outstanding references. Unref and Fire both call it, covering the async
+// pipeline where the last reference drops before the op fires.
+func (e *Event) maybeRecycle() {
+	if e.pooled && e.refs <= 0 && e.fired && e.waiters.Len() == 0 {
+		e.refs = 0
+		e.k.evFree = append(e.k.evFree, e)
+	}
+}
 
 // Fired reports whether the event has fired.
 func (e *Event) Fired() bool { return e.fired }
@@ -35,6 +86,7 @@ func (e *Event) Fire() {
 	for e.waiters.Len() > 0 {
 		e.k.schedule(e.waiters.Pop(), e.k.now, wakeEvent)
 	}
+	e.maybeRecycle()
 }
 
 // Signal is a repeatable notification: each Notify wakes the processes

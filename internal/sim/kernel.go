@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"iter"
 	"math/rand"
 	"sort"
 )
@@ -10,30 +11,40 @@ import (
 // as the limit.
 const maxTime = Time(1<<62 - 1)
 
+// DefaultFFHorizon is the quiescence horizon used by a fresh kernel: a clock
+// jump of at least this size counts as an analytic fast-forward (see
+// FastForwards). The horizon only affects the fast-forward accounting, never
+// the schedule itself, so changing it cannot change simulation results.
+const DefaultFFHorizon = Millisecond
+
 // Kernel is a deterministic discrete-event executor. Processes created with
-// Go run as goroutines, but the kernel enforces that exactly one process
-// executes at any instant; every blocking operation hands control back to the
-// kernel, which advances the virtual clock to the next scheduled activation.
+// Go run as coroutines (iter.Pull); the kernel enforces that exactly one
+// process executes at any instant, and every blocking operation hands control
+// back to the kernel, which advances the virtual clock to the next scheduled
+// activation.
 //
 // Scheduling state is split in two for speed. Activations at a future instant
 // live in a 4-ary min-heap ordered by (time, sequence). Activations at the
 // *current* instant go to a plain FIFO ring instead: sequence numbers are
 // monotone, so arrival order is (time, sequence) order, and the common case —
 // a process yielding, a Put waking a Get, an event firing at now — costs O(1)
-// with no heap traffic. Because every same-instant entry in the heap predates
-// (has a smaller sequence number than) every entry in the ring, the merged
-// order of the two structures is exactly the old single-heap order, which
-// keeps runs bit-identical.
+// with no heap traffic. When the ring drains, the whole batch of heap entries
+// sharing the next timestamp is drained into the ring at once (same-instant
+// batch dispatch): schedule routes new same-instant work to the ring, so the
+// heap can never again hold entries at the drained instant and the merged
+// order stays exactly the old single-heap (time, sequence) order, which keeps
+// runs bit-identical.
 //
-// Control transfer is a baton chain rather than a central loop: the goroutine
-// that gives up control (a parking or exiting process) selects the next
-// activation itself and resumes its process directly. Handing off therefore
-// costs one channel operation instead of two, and a process that is its own
-// next activation (Yield, Sleep(0), a self-wakeup at now) continues with no
-// channel operation at all. The Run goroutine only participates at the start
-// and end of a run.
+// Control transfer uses coroutine switches rather than goroutine channel
+// handoffs: the RunUntil driver resumes the next activation's process with an
+// iter.Pull next(), and a parking process yields back. A coroutine switch
+// stays out of the goroutine scheduler entirely, which makes a handoff
+// several times cheaper than a channel round trip. A process that is its own
+// next activation (Yield, Sleep(0), a self-wakeup at now) consumes the
+// activation inline and continues with no switch at all.
 //
-// A Kernel is not safe for use from goroutines other than its own processes.
+// A Kernel is not safe for use from goroutines other than its own processes
+// and the single goroutine driving Run/RunUntil.
 type Kernel struct {
 	now        Time
 	seq        uint64
@@ -41,7 +52,6 @@ type Kernel struct {
 	future     heap4[activation]
 	nowQ       Ring[activation]
 	dispatched uint64
-	yielded    chan struct{} // signalled by the draining process when a run ends
 	running    *Proc
 	procs      map[*Proc]struct{}
 	nextID     int
@@ -49,6 +59,17 @@ type Kernel struct {
 	tracer     func(t Time, proc, msg string)
 	stopped    bool
 	timers     *timers
+
+	// Fast-forward accounting: jumps of >= ffHorizon over known-quiet
+	// virtual time (see FastForwards).
+	ffHorizon Time
+	ffJumps   uint64
+	ffSkipped Time
+
+	// evFree recycles pooled events (NewPooledEvent); kept across Reset so a
+	// reused kernel skips the ramp-up allocations, like the heap and ring
+	// backing arrays.
+	evFree []*Event
 }
 
 // activation is a pending wakeup of a process at a virtual instant. The epoch
@@ -75,20 +96,20 @@ func (a activation) lessThan(b activation) bool {
 // kernel's random stream (exposed via Rand) so that runs are reproducible.
 func NewKernel(seed int64) *Kernel {
 	return &Kernel{
-		yielded: make(chan struct{}),
-		limit:   maxTime,
-		procs:   make(map[*Proc]struct{}),
-		rng:     rand.New(rand.NewSource(seed)),
+		limit:     maxTime,
+		procs:     make(map[*Proc]struct{}),
+		rng:       rand.New(rand.NewSource(seed)),
+		ffHorizon: DefaultFFHorizon,
 	}
 }
 
 // Reset returns the kernel to the state NewKernel(seed) would produce while
-// keeping the event heap's and now-queue's backing arrays, so a worker that
-// runs many simulations back to back stops paying the ramp-up allocations of
-// each run. A reset kernel is indistinguishable from a fresh one: the clock,
-// sequence counter, dispatch count, random stream and process table all start
-// over, and the (time, sequence) dispatch order of the next run is bit-exact
-// with what a new kernel would produce (regression-tested).
+// keeping the event heap's, now-queue's and event pool's backing arrays, so a
+// worker that runs many simulations back to back stops paying the ramp-up
+// allocations of each run. A reset kernel is indistinguishable from a fresh
+// one: the clock, sequence counter, dispatch count, random stream and process
+// table all start over, and the (time, sequence) dispatch order of the next
+// run is bit-exact with what a new kernel would produce (regression-tested).
 //
 // Reset must only be called between runs — after Run/RunUntil has returned
 // and before any new process is created. Processes left parked by a previous
@@ -111,6 +132,9 @@ func (k *Kernel) Reset(seed int64) {
 	k.rng = rand.New(rand.NewSource(seed))
 	k.tracer = nil
 	k.stopped = false
+	k.ffHorizon = DefaultFFHorizon
+	k.ffJumps = 0
+	k.ffSkipped = 0
 	// Dropping the timer state (rather than clearing it) detaches the old
 	// timer process, which may still be parked on the old kick signal; a
 	// reused kernel lazily starts a new one.
@@ -136,29 +160,66 @@ func (k *Kernel) SetTracer(fn func(t Time, proc, msg string)) { k.tracer = fn }
 // activations are retained (a subsequent Run call would resume them).
 func (k *Kernel) Stop() { k.stopped = true }
 
+// SetFFHorizon sets the quiescence horizon for fast-forward accounting: a
+// clock jump of at least d over known-quiet virtual time counts as one
+// fast-forward. Nonpositive horizons count every nonzero jump. The horizon is
+// observability only — it cannot change scheduling order or results.
+func (k *Kernel) SetFFHorizon(d Time) {
+	if d <= 0 {
+		d = 1
+	}
+	k.ffHorizon = d
+}
+
+// FastForwards reports the analytic fast-forward counters: how many times the
+// clock jumped at least the quiescence horizon in one step, and the total
+// virtual time skipped by those jumps. A discrete-event kernel never grinds
+// through idle virtual time — when no process is runnable before the next
+// scheduled activation (and every device model is parked on its own wakeup),
+// the interval in between is provably quiet and the clock moves wholesale.
+// These counters make that behaviour measurable so idle-heavy scenarios can
+// report a skip ratio and be validated against internal/analytic predictions.
+func (k *Kernel) FastForwards() (jumps uint64, skipped Time) {
+	return k.ffJumps, k.ffSkipped
+}
+
 // Go creates a new process named name executing fn and schedules its first
 // activation at the current virtual time. It may be called before Run or from
 // inside a running process.
 func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
+	return k.spawn(name, nil, fn)
+}
+
+// GoNamed is Go with a lazily formatted name: nameFn runs at most once, the
+// first time the name is actually needed (a Tracef line, Blocked, a
+// diagnostic dump). Hot paths that spawn a process per request avoid the
+// formatting allocations entirely when nothing observes the name.
+func (k *Kernel) GoNamed(nameFn func() string, fn func(p *Proc)) *Proc {
+	return k.spawn("", nameFn, fn)
+}
+
+// spawn creates the process coroutine. The coroutine body runs on first
+// resume; control returns to the resumer whenever the process parks.
+func (k *Kernel) spawn(name string, nameFn func() string, fn func(p *Proc)) *Proc {
 	k.nextID++
 	p := &Proc{
 		k:      k,
 		id:     k.nextID,
 		name:   name,
-		resume: make(chan struct{}),
+		nameFn: nameFn,
 	}
 	k.procs[p] = struct{}{}
-	go func() {
-		<-p.resume
+	// The stop half of the pull pair is discarded: forcing a suspended
+	// process to unwind would run its remaining code against a torn-down
+	// kernel. Abandoned processes simply stay suspended, exactly as the
+	// channel-parked goroutines they replace did.
+	p.resume, _ = iter.Pull(func(yield func(struct{}) bool) {
+		p.yield = yield
 		p.epoch++
 		fn(p)
 		p.done = true
 		delete(k.procs, p)
-		// Pass the baton on; the exiting goroutine is never resumed again.
-		if k.step(nil) == stepDrained {
-			k.drainToRun()
-		}
-	}()
+	})
 	k.schedule(p, k.now, wakeStart)
 	return p
 }
@@ -173,7 +234,7 @@ const (
 // schedule enqueues a wakeup of p at time at (which must be >= now).
 func (k *Kernel) schedule(p *Proc, at Time, tag int32) {
 	if at < k.now {
-		panic(fmt.Sprintf("sim: scheduling %q in the past: %v < %v", p.name, at, k.now))
+		panic(fmt.Sprintf("sim: scheduling %q in the past: %v < %v", p.Name(), at, k.now))
 	}
 	k.seq++
 	a := activation{at: at, seq: k.seq, proc: p, epoch: p.epoch, tag: tag}
@@ -185,72 +246,51 @@ func (k *Kernel) schedule(p *Proc, at Time, tag int32) {
 	p.pending++
 }
 
-// popNext removes and returns the next activation in (time, sequence) order,
-// or reports false if none is due at or before the run limit. Same-instant
-// heap entries always precede the ring (their sequence numbers are smaller),
-// so the heap is consulted first whenever its head is at now.
-func (k *Kernel) popNext() (activation, bool) {
-	if k.future.len() > 0 {
-		if h := k.future.peek(); h.at == k.now || k.nowQ.Len() == 0 {
-			if h.at > k.limit {
-				return activation{}, false
-			}
-			return k.future.pop(), true
-		}
-	}
-	if k.nowQ.Len() > 0 {
-		if k.nowQ.Front().at > k.limit {
+// frontDue returns the next activation in (time, sequence) order without
+// consuming it, or reports false if none is due at or before the run limit.
+// When the now-ring is empty it drains the entire batch of heap entries
+// sharing the next timestamp into the ring in one pass (same-instant batch
+// dispatch): every same-instant heap entry predates every ring entry, and
+// schedule routes new work at the drained instant straight to the ring, so
+// consuming ring-first preserves the exact single-heap order.
+func (k *Kernel) frontDue() (activation, bool) {
+	if k.nowQ.Len() == 0 {
+		if k.future.len() == 0 {
 			return activation{}, false
 		}
-		return k.nowQ.Pop(), true
+		t := k.future.peek().at
+		if t > k.limit {
+			return activation{}, false
+		}
+		if gap := t - k.now; gap >= k.ffHorizon {
+			// The interval (now, t) holds no activation: a quiescent gap the
+			// clock is about to jump over wholesale.
+			k.ffJumps++
+			k.ffSkipped += gap
+		}
+		for {
+			k.nowQ.Push(k.future.pop())
+			if k.future.len() == 0 || k.future.peek().at != t {
+				break
+			}
+		}
+		return k.nowQ.Front(), true
 	}
-	return activation{}, false
+	a := k.nowQ.Front()
+	if a.at > k.limit {
+		return activation{}, false
+	}
+	return a, true
 }
 
-// Outcomes of a step: the caller is itself the next activation (continue
-// without parking), control was handed to another process, or nothing is
-// runnable within the limit and the run ends.
-const (
-	stepSelf = iota
-	stepHanded
-	stepDrained
-)
-
-// step selects the next activation and transfers control to its process. It
-// is executed by whichever goroutine is ceding control: a parking process
-// (self != nil), an exiting process, or the Run goroutine entering the chain
-// (self == nil). Exactly one goroutine runs simulation code at a time; the
-// channel send is the last action before the caller blocks or exits, so the
-// handoff's happens-before edge covers every kernel mutation.
-func (k *Kernel) step(self *Proc) int {
-	for !k.stopped {
-		a, ok := k.popNext()
-		if !ok {
-			break
-		}
-		a.proc.pending--
-		if a.proc.done || a.epoch != a.proc.epoch {
-			continue // stale wakeup from an earlier park
-		}
-		k.now = a.at
-		a.proc.wakeTag = a.tag
-		k.dispatched++
-		k.running = a.proc
-		if a.proc == self {
-			return stepSelf // same-instant fast path: no channel round-trip
-		}
-		a.proc.resume <- struct{}{}
-		return stepHanded
+// popNext removes and returns the next activation in (time, sequence) order,
+// or reports false if none is due at or before the run limit.
+func (k *Kernel) popNext() (activation, bool) {
+	a, ok := k.frontDue()
+	if ok {
+		k.nowQ.Pop()
 	}
-	k.running = nil
-	return stepDrained
-}
-
-// drainToRun wakes the Run goroutine at the end of a run; called by the
-// process that found the queue drained (the Run goroutine handles its own
-// drained case inline).
-func (k *Kernel) drainToRun() {
-	k.yielded <- struct{}{}
+	return a, ok
 }
 
 // Run executes activations until none remain or Stop is called. It returns
@@ -264,16 +304,39 @@ func (k *Kernel) Run() int {
 // the clock is set to limit and RunUntil returns. If processes remain blocked
 // with no pending activation when the queue drains (a deadlock from the
 // model's point of view) they are left parked; Blocked reports them.
+//
+// RunUntil is the dispatch driver: it pops activations and resumes each
+// process's coroutine, which runs until the process parks (yielding control
+// back) or exits. A parking process first consumes its own same-instant
+// re-activations inline, so only genuine cross-process handoffs reach the
+// driver.
 func (k *Kernel) RunUntil(limit Time) int {
 	k.stopped = false
 	k.limit = limit
 	start := k.dispatched
-	if k.step(nil) == stepHanded {
-		<-k.yielded // a process drained the queue and ended the run
+	for !k.stopped {
+		a, ok := k.popNext()
+		if !ok {
+			break
+		}
+		a.proc.pending--
+		if a.proc.done || a.epoch != a.proc.epoch {
+			continue // stale wakeup from an earlier park
+		}
+		k.now = a.at
+		a.proc.wakeTag = a.tag
+		k.dispatched++
+		k.running = a.proc
+		a.proc.resume()
 	}
+	k.running = nil
 	if !k.stopped && (k.future.len() > 0 || k.nowQ.Len() > 0) && k.now < limit {
 		// The head activation is beyond the limit: the interval up to the
-		// limit is known quiet, so the clock may advance to it.
+		// limit is known quiet, so the clock may advance to it wholesale.
+		if gap := limit - k.now; gap >= k.ffHorizon {
+			k.ffJumps++
+			k.ffSkipped += gap
+		}
 		k.now = limit
 	}
 	return int(k.dispatched - start)
@@ -281,12 +344,14 @@ func (k *Kernel) RunUntil(limit Time) int {
 
 // Blocked returns the names of processes that are alive but have no pending
 // activation — i.e. processes waiting on events that can no longer fire.
-// Useful in tests to assert clean termination.
+// Useful in tests to assert clean termination. The names are sorted so
+// diagnostics never leak map-iteration order (stringscheck maporder parity).
 func (k *Kernel) Blocked() []string {
 	var names []string
+	//lint:allow maporder -- p.Name() is a pure accessor and names are sorted below
 	for p := range k.procs {
 		if !p.done && p.pending == 0 && p.parked {
-			names = append(names, p.name)
+			names = append(names, p.Name())
 		}
 	}
 	sort.Strings(names)

@@ -2,15 +2,21 @@ package sim
 
 import "fmt"
 
-// Proc is a simulated process: a goroutine cooperatively scheduled by a
+// Proc is a simulated process: a coroutine cooperatively scheduled by a
 // Kernel. All Proc methods must be called from the process's own function;
 // they are the points at which the process can block and virtual time can
 // advance.
 type Proc struct {
-	k       *Kernel
-	id      int
-	name    string
-	resume  chan struct{}
+	k      *Kernel
+	id     int
+	name   string
+	nameFn func() string // lazy name, formatted on first use (GoNamed)
+
+	// resume switches into the process's coroutine (the driver side of
+	// iter.Pull); yield switches back out (called by park).
+	resume func() (struct{}, bool)
+	yield  func(struct{}) bool
+
 	epoch   uint64 // incremented on every wakeup; see activation.epoch
 	pending int    // number of queued activations
 	parked  bool
@@ -18,8 +24,15 @@ type Proc struct {
 	wakeTag int32
 }
 
-// Name returns the process name given to Kernel.Go.
-func (p *Proc) Name() string { return p.name }
+// Name returns the process name given to Kernel.Go, formatting it on first
+// use when the process was created with GoNamed.
+func (p *Proc) Name() string {
+	if p.name == "" && p.nameFn != nil {
+		p.name = p.nameFn()
+		p.nameFn = nil
+	}
+	return p.name
+}
 
 // ID returns the process's unique small-integer id (creation order).
 func (p *Proc) ID() int { return p.id }
@@ -30,22 +43,40 @@ func (p *Proc) Kernel() *Kernel { return p.k }
 // Now returns the current virtual time.
 func (p *Proc) Now() Time { return p.k.now }
 
-// park cedes control, selecting and resuming the next activation directly
-// (see Kernel.step), and blocks until this process's next wakeup. If the
+// park cedes control and blocks until this process's next wakeup. If the
 // process is itself the next activation — a Yield, Sleep(0) or self-wakeup
-// at the current instant — it continues immediately without touching a
-// channel.
+// at the current instant — it consumes the activation inline and continues
+// without a coroutine switch; otherwise it yields back to the RunUntil
+// driver, which resumes the next process. Stale activations encountered on
+// the way are discarded exactly as the driver would.
 func (p *Proc) park() {
 	p.parked = true
-	switch p.k.step(p) {
-	case stepSelf:
-		// same-instant fast path: nothing blocked, no channel round-trip
-	case stepHanded:
-		<-p.resume
-	case stepDrained:
-		p.k.drainToRun()
-		<-p.resume
+	k := p.k
+	for !k.stopped {
+		a, ok := k.frontDue()
+		if !ok {
+			break
+		}
+		if a.proc.done || a.epoch != a.proc.epoch {
+			k.nowQ.Pop()
+			a.proc.pending-- // stale wakeup from an earlier park
+			continue
+		}
+		if a.proc != p {
+			break // genuine handoff: yield to the driver
+		}
+		// Same-instant fast path: no coroutine switch.
+		k.nowQ.Pop()
+		p.pending--
+		k.now = a.at
+		p.wakeTag = a.tag
+		k.dispatched++
+		k.running = p
+		p.parked = false
+		p.epoch++
+		return
 	}
+	p.yield(struct{}{})
 	p.parked = false
 	p.epoch++
 }
@@ -109,6 +140,6 @@ func (p *Proc) WaitSignalTimeout(s *Signal, d Time) bool {
 // Tracef emits a trace line through the kernel's tracer, if one is installed.
 func (p *Proc) Tracef(format string, args ...interface{}) {
 	if p.k.tracer != nil {
-		p.k.tracer(p.k.now, p.name, fmt.Sprintf(format, args...))
+		p.k.tracer(p.k.now, p.Name(), fmt.Sprintf(format, args...))
 	}
 }

@@ -1,10 +1,13 @@
 package sim
 
-// timerEntry is a deferred callback.
+// timerEntry is a deferred action: either a callback (fn) or a direct
+// message delivery (q, msg) — the closure-free form behind AfterPut.
 type timerEntry struct {
 	at  Time
 	seq uint64
 	fn  func()
+	q   *Queue[any]
+	msg any
 }
 
 // lessThan orders timer entries by (time, registration sequence).
@@ -30,6 +33,20 @@ type timers struct {
 // notify signals — anything non-parking). Callbacks at the same instant run
 // in registration order.
 func (k *Kernel) After(d Time, fn func()) {
+	k.pushTimer(d, timerEntry{fn: fn})
+}
+
+// AfterPut schedules msg to be delivered into q at now+d, in the context of
+// the kernel's timer process. It is After(d, func() { q.Put(msg) }) without
+// the closure allocation, for hot paths that defer a message per call (the
+// RPC transport's latency model). Deliveries and callbacks at the same
+// instant run in registration order.
+func (k *Kernel) AfterPut(d Time, q *Queue[any], msg any) {
+	k.pushTimer(d, timerEntry{q: q, msg: msg})
+}
+
+// pushTimer registers the entry at now+d and kicks the timer process.
+func (k *Kernel) pushTimer(d Time, e timerEntry) {
 	if d < 0 {
 		d = 0
 	}
@@ -38,7 +55,9 @@ func (k *Kernel) After(d Time, fn func()) {
 	}
 	t := k.timers
 	t.seq++
-	t.heap.push(timerEntry{at: k.now + d, seq: t.seq, fn: fn})
+	e.at = k.now + d
+	e.seq = t.seq
+	t.heap.push(e)
 	if !t.started {
 		t.started = true
 		k.Go("sim-timers", k.runTimers)
@@ -53,7 +72,12 @@ func (k *Kernel) runTimers(p *Proc) {
 	t := k.timers
 	for {
 		for t.heap.len() > 0 && t.heap.peek().at <= p.Now() {
-			t.heap.pop().fn()
+			e := t.heap.pop()
+			if e.fn != nil {
+				e.fn()
+			} else {
+				e.q.Put(e.msg)
+			}
 		}
 		if t.kicked {
 			t.kicked = false

@@ -190,9 +190,16 @@ type Recorder struct {
 	hByKind    [kindCount]*metrics.Histogram
 }
 
-// New returns an enabled recorder with its instrument registry.
+// New returns an enabled recorder with its instrument registry. The record
+// slices are pre-sized for a mid-sized run, so a recorder reaches steady
+// state without paying the first dozen grow-copies span by span.
 func New() *Recorder {
-	r := &Recorder{reg: metrics.NewRegistry()}
+	r := &Recorder{
+		spans:     make([]Span, 0, 1024),
+		events:    make([]Event, 0, 512),
+		decisions: make([]Decision, 0, 128),
+		reg:       metrics.NewRegistry(),
+	}
 	r.cSpans = r.reg.Counter("trace.spans")
 	r.cEvents = r.reg.Counter("trace.events")
 	r.cDecisions = r.reg.Counter("trace.decisions")
@@ -208,6 +215,34 @@ func New() *Recorder {
 
 // Enabled reports whether the recorder records anything.
 func (r *Recorder) Enabled() bool { return r != nil }
+
+// Reset discards the recorded spans, events, decisions and instrument state
+// while keeping the slices' backing arrays, so one recorder can serve many
+// runs back to back without re-growing its buffers each time (the traced
+// benchmark loop reuses a single recorder this way). A reset recorder is
+// indistinguishable from a fresh one to every consumer.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	// Clear before truncating: spans and decisions hold strings and row
+	// slices that would otherwise stay reachable through the spare capacity.
+	clear(r.spans)
+	clear(r.events)
+	clear(r.decisions)
+	r.spans = r.spans[:0]
+	r.events = r.events[:0]
+	r.decisions = r.decisions[:0]
+	r.cSpans.Reset()
+	r.cEvents.Reset()
+	r.cDecisions.Reset()
+	r.cSpills.Reset()
+	for _, h := range r.hByKind {
+		if h != nil {
+			h.Reset()
+		}
+	}
+}
 
 // Registry returns the recorder's instrument registry (nil when disabled).
 func (r *Recorder) Registry() *metrics.Registry {

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/sim"
@@ -190,5 +191,44 @@ func TestSnapshotIsACopy(t *testing.T) {
 	set.Spans[0].Name = "mutated"
 	if r.Snapshot().Spans[0].Name != "a" {
 		t.Error("mutating a snapshot changed the recorder")
+	}
+}
+
+// TestResetRecorderIsFresh: a reset recorder must be indistinguishable from
+// a new one — same snapshot, same instrument values — while reusing its
+// buffers (no re-growth; verified via capacity retention).
+func TestResetRecorderIsFresh(t *testing.T) {
+	record := func(r *Recorder) {
+		sp := r.Begin(KCall, 0, 10, "memcpy", 1, 0, 7)
+		r.End(sp, 25)
+		r.Event(KWake, 12, "", 1, 0, 0)
+		r.RecordDecision(Decision{At: 13, App: 1, Picked: 2, Spilled: true})
+	}
+	reused := New()
+	for i := 0; i < 50; i++ { // grow past the pre-size? no — exercise reuse
+		record(reused)
+	}
+	capBefore := cap(reused.spans)
+	reused.Reset()
+	if len(reused.spans) != 0 || len(reused.events) != 0 || len(reused.decisions) != 0 {
+		t.Fatal("Reset left records behind")
+	}
+	if cap(reused.spans) != capBefore {
+		t.Fatalf("Reset dropped the span backing array: cap %d -> %d", capBefore, cap(reused.spans))
+	}
+	record(reused)
+
+	fresh := New()
+	record(fresh)
+	if !reflect.DeepEqual(reused.Snapshot(), fresh.Snapshot()) {
+		t.Fatal("reset recorder's snapshot differs from a fresh recorder's")
+	}
+	for _, name := range []string{"trace.spans", "trace.events", "trace.decisions", "trace.spills"} {
+		if got, want := reused.Registry().Counter(name).Value(), fresh.Registry().Counter(name).Value(); got != want {
+			t.Errorf("%s = %d after reset, want %d", name, got, want)
+		}
+	}
+	if got, want := reused.Registry().Histogram("trace.call_us").Count(), fresh.Registry().Histogram("trace.call_us").Count(); got != want {
+		t.Errorf("call histogram count = %d after reset, want %d", got, want)
 	}
 }

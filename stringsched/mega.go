@@ -1,0 +1,71 @@
+package stringsched
+
+import "fmt"
+
+// MegaResult summarizes one mega macro-run: a single long stream of
+// light-profile requests pushed through a two-GPU Strings node. It exists to
+// answer the scaling question the figure experiments cannot — does the kernel
+// hold its per-event cost at millions of requests — and to expose the
+// fast-forward counters that only matter at this scale.
+type MegaResult struct {
+	Requests int // requests submitted
+	Finished int // requests that completed
+	Events   uint64
+	EndTime  Time // virtual time at which the last event completed
+
+	// Fast-forward instrumentation: how often the kernel's clock jumped
+	// over a quiescent stretch longer than the horizon, and how much
+	// virtual time those jumps covered in total. The mega stream's
+	// inter-arrival gaps dwarf its service times, so most of the virtual
+	// timeline is skipped; FFSkipped/EndTime is the skip ratio.
+	FFJumps   uint64
+	FFSkipped Time
+}
+
+// RunMega drives the mega macro-scenario: requests Gaussian-elimination
+// requests (the lightest Table I profile) arriving as one Poisson stream at a
+// two-GPU Strings node under GMin balancing. Identical seeds give
+// bit-identical results; the scenario is shared between the strings-bench
+// `-exp mega` benchmark and the (short-mode-skipped) smoke test so both
+// measure the same thing.
+func RunMega(seed int64, requests int) (MegaResult, error) {
+	c, err := NewCluster(Config{
+		Seed: seed,
+		Nodes: []NodeConfig{{Devices: []DeviceSpec{
+			Quadro2000, TeslaC2050,
+		}}},
+		Mode:    ModeStrings,
+		Balance: "GMin",
+	})
+	if err != nil {
+		return MegaResult{}, err
+	}
+	r, err := c.Run([]StreamSpec{{
+		Kind: Gaussian, Count: requests, LambdaFactor: 1.5,
+		Node: 0, Tenant: 1, Weight: 1,
+	}})
+	if err != nil {
+		return MegaResult{}, err
+	}
+	if len(r.Errors) > 0 {
+		return MegaResult{}, fmt.Errorf("mega run errors: %v", r.Errors)
+	}
+	jumps, skipped := c.K.FastForwards()
+	return MegaResult{
+		Requests:  requests,
+		Finished:  r.Finished,
+		Events:    c.K.Dispatched(),
+		EndTime:   r.EndTime,
+		FFJumps:   jumps,
+		FFSkipped: skipped,
+	}, nil
+}
+
+// SkipRatio is the fraction of the virtual timeline the kernel fast-forwarded
+// over instead of stepping through.
+func (m MegaResult) SkipRatio() float64 {
+	if m.EndTime <= 0 {
+		return 0
+	}
+	return float64(m.FFSkipped) / float64(m.EndTime)
+}
