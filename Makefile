@@ -20,14 +20,26 @@ race:
 vet:
 	$(GO) vet ./...
 
-# stringscheck: the determinism/protocol-invariant analyzer suite
-# (DESIGN.md "Determinism invariants"). Runs as a go vet unit checker so
-# it sees exactly what the build sees and caches per package.
+# stringscheck: the determinism/hot-path analyzer suite (DESIGN.md
+# "Determinism invariants" and "Dataflow analysis and the hot-path
+# contract"). Runs as a go vet unit checker so it sees exactly what the
+# build sees, caches per package, and threads cross-package facts through
+# the .vetx plumbing.
 stringscheck:
 	$(GO) build -o $(BIN)/stringscheck ./cmd/stringscheck
 
+# The suite is part of the inner loop, so it carries a wall-time budget:
+# the whole pass — all nine analyzers, CFG construction, dataflow
+# fixpoints, and fact propagation across the tree — must finish in 60s or
+# the target fails. A slow linter is a skipped linter.
 lint: stringscheck
-	$(GO) vet -vettool=$(BIN)/stringscheck ./...
+	@start=$$(date +%s); \
+	$(GO) vet -vettool=$(BIN)/stringscheck ./... || exit 1; \
+	elapsed=$$(( $$(date +%s) - start )); \
+	echo "lint: clean in $${elapsed}s (budget 60s)"; \
+	if [ $$elapsed -gt 60 ]; then \
+		echo "lint: exceeded the 60s wall-time budget"; exit 1; \
+	fi
 
 # One iteration of every micro-benchmark: proves they still compile and run
 # without paying full benchmark time. The codec benchmarks must report
@@ -49,15 +61,15 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput|BenchmarkKernelDispatch|BenchmarkQueuePingPong|BenchmarkCodecRoundTrip' -benchmem .
 
 # Coverage gate: run the internal packages with -coverprofile and fail if
-# any of the gated packages (the observability layer and the sweep engine)
-# drops below 85% statement coverage. The profile lands in $(BIN)/cover.out
-# for CI to upload.
+# any of the gated packages (the observability layer, the sweep engine,
+# and the analysis framework) drops below 85% statement coverage. The
+# profile lands in $(BIN)/cover.out for CI to upload.
 cover:
 	@mkdir -p $(BIN)
 	$(GO) test -coverprofile=$(BIN)/cover.out ./internal/...
 	$(GO) run ./cmd/covercheck -profile $(BIN)/cover.out -min 85 \
 		repro/internal/trace repro/internal/sweep repro/internal/parallel \
-		repro/internal/sim
+		repro/internal/sim repro/internal/analysis
 
 # Short fuzz pass over every native fuzz target: the wire codec, the framing
 # layer and the trace encoders each get 10s of coverage-guided input on top

@@ -5,10 +5,13 @@
 //
 //	covercheck -profile cover.out [-min 85] [pkg ...]
 //
-// Each pkg argument is an import-path prefix; a file belongs to the first
-// argument that prefixes it. With no arguments every package in the profile
-// is gated. Exit status is 1 when any gated package falls below the floor,
-// with a per-package report either way.
+// Each pkg argument names one package import path; a file belongs to the
+// argument equal to its package directory, so gating a package does not
+// silently absorb its subpackages (repro/internal/analysis gates the
+// framework without counting its untested driver/load plumbing). With no
+// arguments every package in the profile is gated. Exit status is 1 when
+// any gated package falls below the floor, with a per-package report
+// either way.
 //
 // The profile format is one block per line after the mode header:
 //
@@ -42,8 +45,9 @@ func (p pkgCover) percent() float64 {
 }
 
 // parseProfile folds a coverprofile into per-group totals. groups are
-// import-path prefixes; files outside every group are ignored (gate only
-// what was asked for). With no groups, every package gets its own row.
+// exact package import paths; files outside every group are ignored (gate
+// only what was asked for). With no groups, every package gets its own
+// row.
 func parseProfile(path string, groups []string) (map[string]*pkgCover, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -80,16 +84,15 @@ func parseProfile(path string, groups []string) (map[string]*pkgCover, error) {
 			return nil, fmt.Errorf("%s:%d: bad hit count: %v", path, lineNo, err)
 		}
 
-		key := ""
-		if len(groups) == 0 {
-			if slash := strings.LastIndex(file, "/"); slash >= 0 {
-				key = file[:slash]
-			} else {
-				key = file
-			}
-		} else {
+		dir := file
+		if slash := strings.LastIndex(file, "/"); slash >= 0 {
+			dir = file[:slash]
+		}
+		key := dir
+		if len(groups) > 0 {
+			key = ""
 			for _, g := range groups {
-				if strings.HasPrefix(file, g) {
+				if dir == g {
 					key = g
 					break
 				}

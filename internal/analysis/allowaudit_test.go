@@ -1,0 +1,17 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// TestAllowaudit runs hotalloc and the auditor together, so directive
+// usage is real: a working suppression passes, a working one without a
+// reason is flagged, an idle one is stale, a typoed name is unknown, and
+// directives for analyzers that did not run are left alone.
+func TestAllowaudit(t *testing.T) {
+	analysistest.RunSuite(t, analysistest.TestData(),
+		[]*analysis.Analyzer{analysis.Hotalloc, analysis.Allowaudit}, "allowaudit")
+}

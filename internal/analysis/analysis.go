@@ -1,14 +1,19 @@
 // Package analysis is a small, dependency-free reimplementation of the
-// golang.org/x/tools/go/analysis vocabulary, carrying the five stringscheck
-// analyzers that mechanically enforce the simulator's determinism and
-// protocol invariants (see DESIGN.md "Determinism invariants").
+// golang.org/x/tools/go/analysis vocabulary, carrying the nine stringscheck
+// analyzers that mechanically enforce the simulator's determinism,
+// protocol, and hot-path invariants (see DESIGN.md "Determinism
+// invariants" and "Dataflow analysis and the hot-path contract").
 //
-// The framework is deliberately tiny: an Analyzer inspects one typechecked
-// package and reports Diagnostics; Run executes a set of analyzers over a
-// Target and filters diagnostics through //lint:allow suppressions. It
-// exists because the build environment is offline — x/tools is not
-// vendorable here — and because none of the five checks need cross-package
-// facts, modular analysis, or suggested fixes.
+// The framework has two layers. The syntactic layer is unchanged from the
+// original five analyzers: an Analyzer inspects one typechecked package
+// and reports Diagnostics; Run executes a set of analyzers over a Target
+// and filters diagnostics through //lint:allow suppressions. The dataflow
+// layer adds an intra-procedural CFG with a forward fixpoint driver
+// (cfg.go), a static per-package call graph with //strings:hotpath
+// annotations (callgraph.go), and per-package exported facts that flow
+// between packages in dependency order (facts.go) — enough for the
+// hot-path analyzers (hotalloc, poolsafe, spanpair) without importing
+// x/tools, which the offline build environment cannot vendor.
 package analysis
 
 import (
@@ -43,6 +48,18 @@ type Pass struct {
 	TypesInfo *types.Info
 
 	diags *[]Diagnostic
+
+	// facts holds the dependency packages' exported summaries (nil when
+	// the driver provides none — single-package fixture runs).
+	facts *FactSet
+	// exported accumulates this package's own facts across analyzers.
+	exported *PkgFacts
+	// allows is the package's parsed lint:allow directives; analyzers that
+	// fold suppressions into fact computation consult it via Allowed.
+	allows []*AllowDirective
+	// ran names the analyzers executed in this Run invocation; allowaudit
+	// uses it to scope staleness to rules that actually ran.
+	ran map[string]bool
 }
 
 // Reportf records a diagnostic at pos.
@@ -52,6 +69,46 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Pos:      pos,
 		Message:  fmt.Sprintf(format, args...),
 	})
+}
+
+// DepFacts returns the exported facts of the dependency with the given
+// import path, or nil when the driver has none.
+func (p *Pass) DepFacts(path string) *PkgFacts {
+	return p.facts.Package(path)
+}
+
+// ExportHot marks an exported function key as hot-path-reachable in this
+// package's facts.
+func (p *Pass) ExportHot(key string) {
+	if p.exported != nil {
+		p.exported.Hot[key] = true
+	}
+}
+
+// ExportAlloc marks an exported function key as may-allocate in this
+// package's facts.
+func (p *Pass) ExportAlloc(key string) {
+	if p.exported != nil {
+		p.exported.Alloc[key] = true
+	}
+}
+
+// Allowed reports whether a lint:allow directive for the running analyzer
+// covers pos, marking the directive as used. Analyzers call it when a
+// suppression changes what they compute (hotalloc: a sanctioned alloc site
+// does not poison the function's alloc fact), not merely what they report —
+// reported diagnostics are filtered, and their directives marked, by the
+// framework.
+func (p *Pass) Allowed(pos token.Pos) bool {
+	position := p.Fset.Position(pos)
+	hit := false
+	for _, d := range p.allows {
+		if d.covers(position.Filename, position.Line, p.Analyzer.Name) {
+			d.markUsed(p.Analyzer.Name)
+			hit = true
+		}
+	}
+	return hit
 }
 
 // A Diagnostic is one reported violation.
@@ -68,6 +125,16 @@ type Target struct {
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
+
+	// Facts carries the dependencies' exported summaries into the run
+	// (nil is a valid empty set).
+	Facts *FactSet
+	// Exported is filled by Run with this package's own facts, for the
+	// driver to serialize or hand to dependents.
+	Exported *PkgFacts
+	// FactsOnly marks a dependency package analyzed solely to compute its
+	// exported facts; drivers discard its diagnostics.
+	FactsOnly bool
 }
 
 // NewInfo returns a types.Info with every map the analyzers consult.
@@ -82,9 +149,14 @@ func NewInfo() *types.Info {
 	}
 }
 
-// All returns the full stringscheck suite in reporting order.
+// All returns the full stringscheck suite in reporting order: the five
+// syntactic determinism analyzers, the three dataflow hot-path analyzers,
+// and the suppression auditor.
 func All() []*Analyzer {
-	return []*Analyzer{Simclock, Detrand, Maporder, Rawgo, Errflow}
+	return []*Analyzer{
+		Simclock, Detrand, Maporder, Rawgo, Errflow,
+		Hotalloc, Poolsafe, Spanpair, Allowaudit,
+	}
 }
 
 // ByName resolves one analyzer, or nil.
@@ -98,23 +170,51 @@ func ByName(name string) *Analyzer {
 }
 
 // Run executes analyzers over the target, applies //lint:allow filtering,
-// and returns the surviving diagnostics sorted by position.
+// and returns the surviving diagnostics sorted by position. The package's
+// exported facts land in t.Exported. Allowaudit, when present, runs last:
+// it needs to know which directives the other analyzers actually consumed.
 func Run(t *Target, analyzers []*Analyzer) ([]Diagnostic, error) {
+	directives := collectAllowDirectives(t.Fset, t.Files)
+	t.Exported = NewPkgFacts(t.Path)
+	ran := make(map[string]bool, len(analyzers))
+
 	var diags []Diagnostic
-	for _, a := range analyzers {
-		pass := &Pass{
+	newPass := func(a *Analyzer) *Pass {
+		return &Pass{
 			Analyzer:  a,
 			Fset:      t.Fset,
 			Files:     t.Files,
 			Pkg:       t.Pkg,
 			TypesInfo: t.Info,
 			diags:     &diags,
+			facts:     t.Facts,
+			exported:  t.Exported,
+			allows:    directives,
+			ran:       ran,
 		}
-		if err := a.Run(pass); err != nil {
+	}
+
+	var audit *Analyzer
+	for _, a := range analyzers {
+		if a.Name == Allowaudit.Name {
+			audit = a
+			continue
+		}
+		ran[a.Name] = true
+		if err := a.Run(newPass(a)); err != nil {
 			return nil, fmt.Errorf("%s: %w", a.Name, err)
 		}
 	}
-	diags = filterAllowed(t.Fset, t.Files, diags)
+	diags = filterAllowed(t.Fset, directives, diags)
+	if audit != nil {
+		ran[audit.Name] = true
+		if err := audit.Run(newPass(audit)); err != nil {
+			return nil, fmt.Errorf("%s: %w", audit.Name, err)
+		}
+		// The auditor's own findings honor lint:allow allowaudit; earlier
+		// survivors pass through the second filter unchanged.
+		diags = filterAllowed(t.Fset, directives, diags)
+	}
 	sort.SliceStable(diags, func(i, j int) bool {
 		pi, pj := t.Fset.Position(diags[i].Pos), t.Fset.Position(diags[j].Pos)
 		if pi.Filename != pj.Filename {
@@ -130,8 +230,8 @@ func Run(t *Target, analyzers []*Analyzer) ([]Diagnostic, error) {
 
 // ---- shared predicates ----
 
-// isTestFile reports whether the file holding pos is a _test.go file; all
-// five analyzers check production code only (tests legitimately use
+// isTestFile reports whether the file holding pos is a _test.go file; the
+// analyzers check production code only (tests legitimately use
 // goroutines, wall clocks for timeouts, and unordered iteration).
 func isTestFile(fset *token.FileSet, pos token.Pos) bool {
 	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")

@@ -44,14 +44,36 @@ func TestData() string {
 // //lint:allow filtering), and reports mismatches against want comments.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpath string) {
 	t.Helper()
+	RunSuite(t, testdata, []*analysis.Analyzer{a}, pkgpath)
+}
+
+// RunSuite is Run for several analyzers at once — the shape allowaudit
+// fixtures need, since staleness only exists relative to other analyzers
+// that ran. Fixture packages imported by pkgpath (other fixture dirs under
+// testdata/src) are analyzed first, in dependency order, with their
+// diagnostics discarded and their exported facts fed forward, so
+// cross-package fixtures exercise the same facts plumbing as the real
+// drivers. Want comments are checked in pkgpath only.
+func RunSuite(t *testing.T, testdata string, analyzers []*analysis.Analyzer, pkgpath string) {
+	t.Helper()
 	ld := newLoader(testdata)
 	target, err := ld.target(pkgpath)
 	if err != nil {
 		t.Fatalf("loading %s: %v", pkgpath, err)
 	}
-	diags, err := analysis.Run(target, []*analysis.Analyzer{a})
+	facts := analysis.NewFactSet()
+	for _, dep := range ld.fixtureDeps(pkgpath) {
+		dep.Facts = facts
+		dep.FactsOnly = true
+		if _, err := analysis.Run(dep, analyzers); err != nil {
+			t.Fatalf("running facts pass on %s: %v", dep.Path, err)
+		}
+		facts.Add(dep.Exported)
+	}
+	target.Facts = facts
+	diags, err := analysis.Run(target, analyzers)
 	if err != nil {
-		t.Fatalf("running %s on %s: %v", a.Name, pkgpath, err)
+		t.Fatalf("running on %s: %v", pkgpath, err)
 	}
 	checkWants(t, target, diags)
 }
@@ -62,6 +84,9 @@ type loader struct {
 	root  string // testdata dir
 	fset  *token.FileSet
 	cache map[string]*types.Package
+	// targets caches fixture packages with full syntax and type info, so
+	// fixture dependencies can be re-analyzed for facts.
+	targets map[string]*analysis.Target
 	// stdExports maps stdlib import paths to export data files, filled
 	// lazily by `go list -deps -export`; stdImporter resolves through it.
 	stdExports  map[string]string
@@ -73,6 +98,7 @@ func newLoader(root string) *loader {
 		root:       root,
 		fset:       token.NewFileSet(),
 		cache:      make(map[string]*types.Package),
+		targets:    make(map[string]*analysis.Target),
 		stdExports: make(map[string]string),
 	}
 	ld.stdImporter = load.ExportImporter(ld.fset, ld.stdExports)
@@ -88,12 +114,11 @@ func (ld *loader) Import(path string) (*types.Package, error) {
 		return pkg, nil
 	}
 	if dir := filepath.Join(ld.root, "src", filepath.FromSlash(path)); dirExists(dir) {
-		pkg, _, _, err := ld.check(path, dir, nil)
+		tgt, err := ld.load(path, dir)
 		if err != nil {
 			return nil, err
 		}
-		ld.cache[path] = pkg
-		return pkg, nil
+		return tgt.Pkg, nil
 	}
 	if _, ok := ld.stdExports[path]; !ok {
 		pkgs, err := load.List(ld.root, []string{path})
@@ -118,12 +143,54 @@ func (ld *loader) target(pkgpath string) (*analysis.Target, error) {
 	if !dirExists(dir) {
 		return nil, fmt.Errorf("no fixture directory %s", dir)
 	}
+	return ld.load(pkgpath, dir)
+}
+
+// load typechecks one fixture package, caching the full target.
+func (ld *loader) load(pkgpath, dir string) (*analysis.Target, error) {
+	if tgt, ok := ld.targets[pkgpath]; ok {
+		return tgt, nil
+	}
 	info := analysis.NewInfo()
 	pkg, files, fset, err := ld.check(pkgpath, dir, info)
 	if err != nil {
 		return nil, err
 	}
-	return &analysis.Target{Path: pkgpath, Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+	tgt := &analysis.Target{Path: pkgpath, Fset: fset, Files: files, Pkg: pkg, Info: info}
+	ld.targets[pkgpath] = tgt
+	ld.cache[pkgpath] = pkg
+	return tgt, nil
+}
+
+// fixtureDeps returns every loaded fixture package except skip, ordered so
+// dependencies precede dependents (the order facts must flow).
+func (ld *loader) fixtureDeps(skip string) []*analysis.Target {
+	var order []*analysis.Target
+	done := map[string]bool{skip: true}
+	var visit func(path string)
+	visit = func(path string) {
+		if done[path] {
+			return
+		}
+		done[path] = true
+		tgt := ld.targets[path]
+		if tgt == nil {
+			return // stdlib import, no fixture syntax
+		}
+		for _, imp := range tgt.Pkg.Imports() {
+			visit(imp.Path())
+		}
+		order = append(order, tgt)
+	}
+	paths := make([]string, 0, len(ld.targets))
+	for p := range ld.targets {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		visit(p)
+	}
+	return order
 }
 
 func (ld *loader) check(pkgpath, dir string, info *types.Info) (*types.Package, []*ast.File, *token.FileSet, error) {
@@ -177,7 +244,13 @@ func checkWants(t *testing.T, target *analysis.Target, diags []analysis.Diagnost
 				text := strings.TrimPrefix(c.Text, "//")
 				text = strings.TrimSpace(text)
 				if !strings.HasPrefix(text, "want ") {
-					continue
+					// A want marker may trail another annotation in the same
+					// line comment (e.g. after a //lint:allow directive).
+					if i := strings.Index(text, "// want "); i >= 0 {
+						text = text[i+len("// "):]
+					} else {
+						continue
+					}
 				}
 				pos := target.Fset.Position(c.Pos())
 				patterns, err := parseWant(strings.TrimPrefix(text, "want "))

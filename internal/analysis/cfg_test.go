@@ -1,0 +1,313 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseBody parses `func f() { <src> }` and returns the function body.
+func parseBody(t *testing.T, src string) *ast.BlockStmt {
+	t.Helper()
+	file := "package p\nfunc f(c bool, n int, ch chan int) {\n" + src + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "body.go", file, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f.Decls[0].(*ast.FuncDecl).Body
+}
+
+// mustAssigned runs a must-reach forward analysis: the set of variable
+// names assigned on EVERY path from Entry, intersected at joins. It is a
+// precise structural probe: a missing or extra CFG edge changes the result.
+func mustAssigned(g *CFG) map[string]bool {
+	clone := func(s map[string]bool) map[string]bool {
+		out := make(map[string]bool, len(s))
+		for k := range s {
+			out[k] = true
+		}
+		return out
+	}
+	join := func(dst, src map[string]bool) (map[string]bool, bool) {
+		changed := false
+		for k := range dst {
+			if !src[k] {
+				delete(dst, k)
+				changed = true
+			}
+		}
+		return dst, changed
+	}
+	transfer := func(b *Block, in map[string]bool) map[string]bool {
+		for _, n := range b.Nodes {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				continue
+			}
+			for _, lhs := range as.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					in[id.Name] = true
+				}
+			}
+		}
+		return in
+	}
+	in := ForwardFixpoint(g, map[string]bool{}, clone, join, transfer)
+	return in[g.Exit]
+}
+
+// mayAssigned is the union (may-reach) variant.
+func mayAssigned(g *CFG) map[string]bool {
+	clone := func(s map[string]bool) map[string]bool {
+		out := make(map[string]bool, len(s))
+		for k := range s {
+			out[k] = true
+		}
+		return out
+	}
+	join := func(dst, src map[string]bool) (map[string]bool, bool) {
+		changed := false
+		for k := range src {
+			if !dst[k] {
+				dst[k] = true
+				changed = true
+			}
+		}
+		return dst, changed
+	}
+	transfer := func(b *Block, in map[string]bool) map[string]bool {
+		for _, n := range b.Nodes {
+			if as, ok := n.(*ast.AssignStmt); ok {
+				for _, lhs := range as.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						in[id.Name] = true
+					}
+				}
+			}
+		}
+		return in
+	}
+	in := ForwardFixpoint(g, map[string]bool{}, clone, join, transfer)
+	return in[g.Exit]
+}
+
+func TestCFGLinear(t *testing.T) {
+	g := BuildCFG(parseBody(t, `x := 1; y := x`))
+	got := mustAssigned(g)
+	if !got["x"] || !got["y"] {
+		t.Fatalf("straight-line assignments should reach Exit on all paths, got %v", got)
+	}
+}
+
+func TestCFGIfJoin(t *testing.T) {
+	// y assigned only on the then-branch: present in the may-set, absent
+	// from the must-set. x dominates the exit.
+	g := BuildCFG(parseBody(t, `x := 1; if c { y := 2; _ = y }`))
+	must, may := mustAssigned(g), mayAssigned(g)
+	if !must["x"] || must["y"] {
+		t.Fatalf("must-set wrong: %v", must)
+	}
+	if !may["y"] {
+		t.Fatalf("then-branch assignment should reach Exit on some path: %v", may)
+	}
+}
+
+func TestCFGIfElseBothAssign(t *testing.T) {
+	g := BuildCFG(parseBody(t, `if c { y := 2; _ = y } else { y := 3; _ = y }`))
+	if must := mustAssigned(g); !must["y"] {
+		t.Fatalf("y assigned on both branches must reach Exit: %v", must)
+	}
+}
+
+func TestCFGForLoop(t *testing.T) {
+	// The loop body may execute zero times: body assignments are may, not
+	// must. The init clause always runs.
+	g := BuildCFG(parseBody(t, `for i := 0; i < n; i++ { body := 1; _ = body }`))
+	must, may := mustAssigned(g), mayAssigned(g)
+	if !must["i"] {
+		t.Fatalf("loop init should dominate Exit: %v", must)
+	}
+	if must["body"] {
+		t.Fatalf("zero-iteration path should drop body from the must-set: %v", must)
+	}
+	if !may["body"] {
+		t.Fatalf("loop body should reach Exit on some path: %v", may)
+	}
+}
+
+func TestCFGInfiniteLoopWithBreak(t *testing.T) {
+	// The only way out of `for {}` is the break: everything before the
+	// break dominates Exit.
+	g := BuildCFG(parseBody(t, `for { x := 1; _ = x; if c { break }; y := 2; _ = y }`))
+	must := mustAssigned(g)
+	if !must["x"] {
+		t.Fatalf("pre-break assignment should dominate Exit: %v", must)
+	}
+	if must["y"] {
+		t.Fatalf("post-break assignment is skipped on the exiting path: %v", must)
+	}
+}
+
+func TestCFGRangeLoop(t *testing.T) {
+	g := BuildCFG(parseBody(t, `s := []int{1}; for _, v := range s { body := v; _ = body }`))
+	must, may := mustAssigned(g), mayAssigned(g)
+	if must["body"] || !may["body"] {
+		t.Fatalf("range body is a may-path: must=%v may=%v", must, may)
+	}
+	// The header carries a RangeHeader marker, never the raw RangeStmt.
+	sawHeader := false
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(RangeHeader); ok {
+				sawHeader = true
+			}
+			if _, ok := n.(*ast.RangeStmt); ok {
+				t.Fatalf("raw *ast.RangeStmt leaked into a block")
+			}
+		}
+	}
+	if !sawHeader {
+		t.Fatalf("no RangeHeader node emitted")
+	}
+}
+
+func TestCFGPanicEdge(t *testing.T) {
+	// panic() is an exit: the assignment after it is unreachable, and y is
+	// only assigned on the non-panicking path.
+	g := BuildCFG(parseBody(t, `x := 1; if c { panic("boom") }; y := 2; _, _ = x, y`))
+	must, may := mustAssigned(g), mayAssigned(g)
+	if !must["x"] {
+		t.Fatalf("x dominates both exits: %v", must)
+	}
+	if must["y"] {
+		t.Fatalf("panic edge must remove y from the must-set: %v", must)
+	}
+	if !may["y"] {
+		t.Fatalf("fallthrough path still assigns y: %v", may)
+	}
+}
+
+func TestCFGEarlyReturn(t *testing.T) {
+	g := BuildCFG(parseBody(t, `if c { return }; y := 1; _ = y`))
+	if must := mustAssigned(g); must["y"] {
+		t.Fatalf("early return path must drop y: %v", must)
+	}
+}
+
+func TestCFGDeferCollection(t *testing.T) {
+	// All defers are collected, including conditionally registered ones
+	// (over-approximated as always registered).
+	g := BuildCFG(parseBody(t, `defer func() {}(); if c { defer func() {}() }; for i := 0; i < n; i++ { defer func() {}() }`))
+	if len(g.Defers) != 3 {
+		t.Fatalf("got %d defers, want 3", len(g.Defers))
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	// fallthrough chains case 0 into case 1, so y is assigned on the
+	// case-0 path too; with a default present every path assigns z.
+	g := BuildCFG(parseBody(t, `switch n {
+case 0:
+	x := 1
+	_ = x
+	fallthrough
+case 1:
+	y := 2
+	_ = y
+	z := 0
+	_ = z
+default:
+	z := 1
+	_ = z
+}`))
+	must, may := mustAssigned(g), mayAssigned(g)
+	if !may["y"] || !may["x"] {
+		t.Fatalf("fallthrough edge missing: %v", may)
+	}
+	if !must["z"] {
+		t.Fatalf("all three paths assign z: %v", must)
+	}
+}
+
+func TestCFGSwitchNoDefault(t *testing.T) {
+	// Without a default the header falls through directly: nothing from
+	// the cases is in the must-set.
+	g := BuildCFG(parseBody(t, `switch n { case 0: x := 1; _ = x }`))
+	if must := mustAssigned(g); must["x"] {
+		t.Fatalf("no-default switch must keep the skip edge: %v", must)
+	}
+}
+
+func TestCFGSelectNoDefaultHasNoSkipEdge(t *testing.T) {
+	// A select without default parks until a case fires: every path to
+	// Exit runs some case body.
+	g := BuildCFG(parseBody(t, `select {
+case v := <-ch:
+	x := v
+	_ = x
+case ch <- 1:
+	x := 2
+	_ = x
+}`))
+	if must := mustAssigned(g); !must["x"] {
+		t.Fatalf("both select cases assign x and there is no skip edge: %v", must)
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	g := BuildCFG(parseBody(t, `outer:
+for i := 0; i < n; i++ {
+	for j := 0; j < n; j++ {
+		if c {
+			break outer
+		}
+		inner := 1
+		_ = inner
+	}
+	tail := 1
+	_ = tail
+}`))
+	may := mayAssigned(g)
+	if !may["inner"] || !may["tail"] {
+		t.Fatalf("loop bodies unreachable: %v", may)
+	}
+	// The labeled break skips tail on the breaking path.
+	if must := mustAssigned(g); must["tail"] || must["inner"] {
+		t.Fatalf("labeled break edge missing: %v", must)
+	}
+}
+
+func TestCFGGoto(t *testing.T) {
+	// goto skips the y assignment.
+	g := BuildCFG(parseBody(t, `x := 1; if c { goto done }; y := 2; _ = y
+done:
+	_ = x`))
+	must, may := mustAssigned(g), mayAssigned(g)
+	if !must["x"] || must["y"] {
+		t.Fatalf("goto edge wrong: must=%v", must)
+	}
+	if !may["y"] {
+		t.Fatalf("fallthrough to label missing: may=%v", may)
+	}
+}
+
+func TestCFGExitIsSingle(t *testing.T) {
+	g := BuildCFG(parseBody(t, `if c { return }; if n > 0 { panic("x") }`))
+	if len(g.Exit.Succs) != 0 {
+		t.Fatalf("Exit must be terminal")
+	}
+	if g.Exit != g.Blocks[len(g.Blocks)-1] {
+		t.Fatalf("Exit must be the last block")
+	}
+	count := 0
+	for _, b := range g.Blocks {
+		if b == g.Exit {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("exactly one Exit block, got %d", count)
+	}
+}

@@ -4,18 +4,35 @@
 package driver
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"path/filepath"
 	"sort"
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/load"
 )
 
+// A Finding is one diagnostic in `stringscheck -json` output. File paths
+// are relative to the invocation directory when possible so the bytes do
+// not depend on the checkout location.
+type Finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 // Standalone lints the packages matching patterns from dir, printing
-// diagnostics to w. It returns 0 for a clean tree, 2 when diagnostics were
-// reported, 1 on operational failure (load or typecheck error).
-func Standalone(w io.Writer, dir string, patterns []string) int {
+// diagnostics to w — go-vet-style lines, or (with jsonOut) one sorted JSON
+// array, byte-identical across runs for the same tree. Packages are
+// analyzed in dependency order so each one sees its dependencies' exported
+// facts; module-local dependencies outside the patterns contribute facts
+// without contributing diagnostics. Returns 0 for a clean tree, 2 when
+// diagnostics were reported, 1 on operational failure.
+func Standalone(w io.Writer, dir string, patterns []string, jsonOut bool) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -24,18 +41,65 @@ func Standalone(w io.Writer, dir string, patterns []string) int {
 		fmt.Fprintf(w, "stringscheck: %v\n", err)
 		return 1
 	}
-	sort.Slice(targets, func(i, j int) bool { return targets[i].Path < targets[j].Path })
-	exit := 0
+	facts := analysis.NewFactSet()
+	findings := []Finding{} // non-nil so -json renders "[]", not "null"
 	for _, t := range targets {
+		t.Facts = facts
 		diags, err := analysis.Run(t, analysis.All())
 		if err != nil {
 			fmt.Fprintf(w, "stringscheck: %s: %v\n", t.Path, err)
 			return 1
 		}
+		facts.Add(t.Exported)
+		if t.FactsOnly {
+			continue
+		}
 		for _, d := range diags {
-			fmt.Fprintf(w, "%s: %s: %s\n", t.Fset.Position(d.Pos), d.Analyzer, d.Message)
-			exit = 2
+			pos := t.Fset.Position(d.Pos)
+			file := pos.Filename
+			if rel, err := filepath.Rel(dir, file); err == nil && !filepath.IsAbs(rel) {
+				file = rel
+			}
+			findings = append(findings, Finding{
+				File:     file,
+				Line:     pos.Line,
+				Col:      pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
 		}
 	}
-	return exit
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	if jsonOut {
+		// Emit even when empty: "[]" is the machine-readable all-clear.
+		data, err := json.MarshalIndent(findings, "", "  ")
+		if err != nil {
+			fmt.Fprintf(w, "stringscheck: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(w, "%s\n", data)
+	} else {
+		for _, f := range findings {
+			fmt.Fprintf(w, "%s:%d:%d: %s: %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+		}
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
 }

@@ -51,23 +51,32 @@ func VetTool(w io.Writer, cfgFile string) int {
 		return 1
 	}
 
-	// cmd/go caches the vetx facts file as this action's output; the suite
-	// is facts-free, so an empty file satisfies the contract.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
-			fmt.Fprintf(w, "stringscheck: %v\n", err)
-			return 1
-		}
-	}
-	// Dependency-only invocation: nothing to report, no facts to compute.
-	if cfg.VetxOnly {
-		return 0
-	}
 	// Test variants ("pkg [pkg.test]", "pkg.test") recompile the package's
 	// production files alongside _test.go files. The analyzers check
 	// production files only and those are covered by the primary variant,
-	// so analyzing here would only duplicate diagnostics.
+	// so analyzing here would only duplicate diagnostics. cmd/go still
+	// caches a vetx output for the action; empty decodes as empty facts.
 	if strings.Contains(cfg.ImportPath, " [") || strings.HasSuffix(cfg.ImportPath, ".test") {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+				fmt.Fprintf(w, "stringscheck: %v\n", err)
+				return 1
+			}
+		}
+		return 0
+	}
+
+	// Standard-library packages are fact-free, matching standalone mode
+	// (load.Targets skips them): the hot-path contract governs this module,
+	// and analyzing fmt or sort would both cost time and make vet-mode
+	// findings diverge from `stringscheck ./...` output.
+	if cfg.Standard[cfg.ImportPath] {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+				fmt.Fprintf(w, "stringscheck: %v\n", err)
+				return 1
+			}
+		}
 		return 0
 	}
 
@@ -115,17 +124,50 @@ func VetTool(w io.Writer, cfgFile string) int {
 		return 1
 	}
 
+	// Dependency facts arrive as the .vetx files cmd/go recorded for this
+	// package's imports (written by our own earlier invocations). Unreadable
+	// or foreign-format files decode as empty facts rather than failing the
+	// build: facts only ever add diagnostics.
+	facts := analysis.NewFactSet()
+	for path, vetxFile := range cfg.PackageVetx {
+		data, err := os.ReadFile(vetxFile)
+		if err != nil {
+			continue
+		}
+		pf, err := analysis.DecodeFacts(data)
+		if err != nil {
+			continue
+		}
+		pf.Path = path
+		facts.Add(pf)
+	}
+
 	target := &analysis.Target{
-		Path:  cfg.ImportPath,
-		Fset:  fset,
-		Files: files,
-		Pkg:   tpkg,
-		Info:  info,
+		Path:      cfg.ImportPath,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       tpkg,
+		Info:      info,
+		Facts:     facts,
+		FactsOnly: cfg.VetxOnly,
 	}
 	diags, err := analysis.Run(target, analysis.All())
 	if err != nil {
 		fmt.Fprintf(w, "stringscheck: %s: %v\n", cfg.ImportPath, err)
 		return 1
+	}
+	// cmd/go content-hashes the vetx output into its action cache;
+	// EncodeFacts is byte-deterministic so an unchanged package reuses
+	// every downstream cache entry.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, analysis.EncodeFacts(target.Exported), 0o666); err != nil {
+			fmt.Fprintf(w, "stringscheck: %v\n", err)
+			return 1
+		}
+	}
+	// Dependency-only invocation: facts were the product, not diagnostics.
+	if cfg.VetxOnly {
+		return 0
 	}
 	for _, d := range diags {
 		fmt.Fprintf(w, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)

@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/types"
+	"sort"
+)
+
+// Cross-package facts.
+//
+// Packages are analyzed in dependency order (both drivers guarantee it:
+// standalone follows `go list -deps` post-order, vettool is invoked by
+// cmd/go per package with its dependencies' .vetx files on hand). Each
+// package exports a small summary — which exported functions sit on a
+// hotpath, and which may heap-allocate — that dependents consult when one
+// of their own hot functions calls across the package boundary. The
+// summaries are transitive by construction: a function that calls an
+// allocating function is itself recorded as allocating, so reachability
+// information flows bottom-up through the import DAG without any analyzer
+// ever loading more than one package's syntax.
+//
+// The wire form is a single deterministic JSON object (sorted key lists),
+// stored as the package's .vetx file in vettool mode and held in memory in
+// standalone mode. Byte-determinism matters: cmd/go content-hashes vetx
+// files into its action cache, so a nondeterministic encoding would
+// invalidate downstream cache entries on every run.
+
+// PkgFacts is one package's exported summary. Function keys are "Func" for
+// package-level functions and "Type.Method" for methods (pointer receivers
+// are keyed by the element type).
+type PkgFacts struct {
+	Path string
+	// Hot marks exported functions reachable from a //strings:hotpath
+	// root within their own package.
+	Hot map[string]bool
+	// Alloc marks exported functions that may heap-allocate, directly or
+	// through calls, excluding sites sanctioned by //lint:allow hotalloc.
+	Alloc map[string]bool
+}
+
+// NewPkgFacts returns an empty fact record for path.
+func NewPkgFacts(path string) *PkgFacts {
+	return &PkgFacts{Path: path, Hot: make(map[string]bool), Alloc: make(map[string]bool)}
+}
+
+// A FactSet holds the facts of every package analyzed so far, keyed by
+// import path. The zero value of a nil *FactSet is a valid empty set.
+type FactSet struct {
+	pkgs map[string]*PkgFacts
+}
+
+// NewFactSet returns an empty fact set.
+func NewFactSet() *FactSet {
+	return &FactSet{pkgs: make(map[string]*PkgFacts)}
+}
+
+// Add records one package's facts, replacing any previous record.
+func (s *FactSet) Add(f *PkgFacts) {
+	if s == nil || f == nil {
+		return
+	}
+	s.pkgs[f.Path] = f
+}
+
+// Package returns the facts for path, or nil when unknown.
+func (s *FactSet) Package(path string) *PkgFacts {
+	if s == nil {
+		return nil
+	}
+	return s.pkgs[path]
+}
+
+// factsWire is the serialized form: sorted slices for byte determinism.
+type factsWire struct {
+	Path  string   `json:"path"`
+	Hot   []string `json:"hot,omitempty"`
+	Alloc []string `json:"alloc,omitempty"`
+}
+
+// EncodeFacts renders f as deterministic JSON (trailing newline).
+func EncodeFacts(f *PkgFacts) []byte {
+	w := factsWire{Path: f.Path}
+	for k := range f.Hot {
+		w.Hot = append(w.Hot, k)
+	}
+	for k := range f.Alloc {
+		w.Alloc = append(w.Alloc, k)
+	}
+	sort.Strings(w.Hot)
+	sort.Strings(w.Alloc)
+	data, err := json.Marshal(w)
+	if err != nil {
+		// Marshaling a struct of strings cannot fail.
+		panic(err)
+	}
+	return append(data, '\n')
+}
+
+// DecodeFacts parses a facts file. Empty input decodes to an empty record
+// (the pre-facts vetx format was a zero-byte file; tolerate it).
+func DecodeFacts(data []byte) (*PkgFacts, error) {
+	f := NewPkgFacts("")
+	if len(data) == 0 {
+		return f, nil
+	}
+	var w factsWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("decoding facts: %w", err)
+	}
+	f.Path = w.Path
+	for _, k := range w.Hot {
+		f.Hot[k] = true
+	}
+	for _, k := range w.Alloc {
+		f.Alloc[k] = true
+	}
+	return f, nil
+}
+
+// funcKey renders a *types.Func as a fact key: "Func" or "Type.Method".
+func funcKey(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return fn.Name()
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	if named, ok := rt.(*types.Named); ok {
+		return named.Obj().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}

@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestEncodeFactsDeterministic: cmd/go content-hashes vetx files into its
+// action cache, so the encoding must be byte-identical regardless of map
+// insertion order.
+func TestEncodeFactsDeterministic(t *testing.T) {
+	a := NewPkgFacts("repro/internal/gpu")
+	for _, k := range []string{"Device.GetOp", "NewDevice", "Device.Submit"} {
+		a.Hot[k] = true
+	}
+	for _, k := range []string{"NewDevice", "Device.Submit"} {
+		a.Alloc[k] = true
+	}
+	b := NewPkgFacts("repro/internal/gpu")
+	for _, k := range []string{"Device.Submit", "Device.GetOp", "NewDevice"} {
+		b.Hot[k] = true
+	}
+	for _, k := range []string{"Device.Submit", "NewDevice"} {
+		b.Alloc[k] = true
+	}
+	ea, eb := EncodeFacts(a), EncodeFacts(b)
+	if !bytes.Equal(ea, eb) {
+		t.Fatalf("encoding depends on insertion order:\n%s\nvs\n%s", ea, eb)
+	}
+	if ea[len(ea)-1] != '\n' {
+		t.Fatalf("encoding must end in newline: %q", ea)
+	}
+}
+
+func TestFactsRoundTrip(t *testing.T) {
+	f := NewPkgFacts("repro/internal/trace")
+	f.Hot["Recorder.Begin"] = true
+	f.Alloc["NewRecorder"] = true
+	got, err := DecodeFacts(EncodeFacts(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Path != f.Path || !got.Hot["Recorder.Begin"] || !got.Alloc["NewRecorder"] {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	if len(got.Hot) != 1 || len(got.Alloc) != 1 {
+		t.Fatalf("round trip invented data: %+v", got)
+	}
+}
+
+// TestDecodeFactsEmpty: the pre-facts vetx format was a zero-byte file;
+// it must decode as an empty record, not an error.
+func TestDecodeFactsEmpty(t *testing.T) {
+	f, err := DecodeFacts(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Hot) != 0 || len(f.Alloc) != 0 {
+		t.Fatalf("empty input decoded to non-empty facts: %+v", f)
+	}
+	if _, err := DecodeFacts([]byte("{not json")); err == nil {
+		t.Fatal("malformed input must error")
+	}
+}

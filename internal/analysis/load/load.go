@@ -31,14 +31,17 @@ type Pkg struct {
 	Export     string
 	GoFiles    []string
 	DepOnly    bool
+	Standard   bool
 }
 
 // List runs `go list -deps -export -json` in dir for patterns and returns
-// every listed package (targets and dependencies).
+// every listed package (targets and dependencies) in dependency order:
+// cmd/go emits the -deps traversal post-order, so every package appears
+// after everything it imports.
 func List(dir string, patterns []string) ([]Pkg, error) {
 	args := append([]string{
 		"list", "-deps", "-export",
-		"-json=ImportPath,Name,Dir,Export,GoFiles,DepOnly",
+		"-json=ImportPath,Name,Dir,Export,GoFiles,DepOnly,Standard",
 	}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
@@ -76,9 +79,15 @@ func ExportImporter(fset *token.FileSet, exports map[string]string) types.Import
 	})
 }
 
-// Targets loads, parses, and typechecks the packages matching patterns
-// (dependencies are consumed as export data only). Files are parsed with
-// comments so //lint:allow suppressions survive into analysis.
+// Targets loads, parses, and typechecks the packages matching patterns.
+// Standard-library dependencies are consumed as export data only;
+// module-local dependencies that the patterns did not name are loaded as
+// FactsOnly targets, so cross-package facts reach the named packages even
+// when the invocation is narrower than ./.... The returned slice preserves
+// go list's dependency order — analyze it front to back and every
+// package's dependency facts are computed before they are needed. Files
+// are parsed with comments so //lint:allow suppressions and
+// //strings:hotpath annotations survive into analysis.
 func Targets(dir string, patterns []string) ([]*analysis.Target, error) {
 	pkgs, err := List(dir, patterns)
 	if err != nil {
@@ -93,7 +102,7 @@ func Targets(dir string, patterns []string) ([]*analysis.Target, error) {
 
 	var targets []*analysis.Target
 	for _, p := range pkgs {
-		if p.DepOnly || p.Name == "" {
+		if p.Standard || p.Name == "" {
 			continue
 		}
 		var files []*ast.File
@@ -114,11 +123,12 @@ func Targets(dir string, patterns []string) ([]*analysis.Target, error) {
 			return nil, fmt.Errorf("typechecking %s: %v", p.ImportPath, err)
 		}
 		targets = append(targets, &analysis.Target{
-			Path:  p.ImportPath,
-			Fset:  fset,
-			Files: files,
-			Pkg:   tpkg,
-			Info:  info,
+			Path:      p.ImportPath,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       tpkg,
+			Info:      info,
+			FactsOnly: p.DepOnly,
 		})
 	}
 	return targets, nil

@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// TestPoolsafe covers use-after-release (straight-line, branch-merge, and
+// Unref forms), double-release, the zero-before-store contract on
+// pool-return methods, and the negatives: diverging error paths, loop
+// redefinition, deferred releases, aliased releases, and suppression.
+func TestPoolsafe(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.Poolsafe, "poolsafe")
+}

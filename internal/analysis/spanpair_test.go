@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// TestSpanpair covers unmatched Begins on fall-through, early-return, and
+// panic exits; discarded Begins; and the negatives: straight pairs,
+// deferred Ends, neutral SetGID/Event uses, ownership transfer by return
+// or call, per-iteration pairs, and suppression.
+func TestSpanpair(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.Spanpair, "spanpair")
+}

@@ -1,0 +1,47 @@
+// Fixture for the allowaudit analyzer, run as a suite with hotalloc so
+// directive usage is real: unknown analyzer names, missing reasons, stale
+// suppressions, and the not-ran staleness scope.
+package allowaudit
+
+type rec struct{ v int }
+
+var keep *rec
+
+//strings:hotpath
+func Hot(n int) {
+	keep = &rec{v: n} //lint:allow hotalloc -- fixture: deliberate steady-state allocation
+	fresh(n)
+	cold(n)
+}
+
+// fresh's suppression does real work but states no reason: the claim is
+// not auditable.
+func fresh(n int) {
+	keep = &rec{v: n} //lint:allow hotalloc // want `lint:allow without a '-- reason'`
+}
+
+// cold's directive suppresses nothing — hotalloc ran and found this line
+// clean — so it is stale.
+func cold(n int) int {
+	m := n * 2 //lint:allow hotalloc -- fixture: nothing allocates here // want `suppresses no hotalloc diagnostic here`
+	return m
+}
+
+// typo: an unknown analyzer name silently suppresses nothing; worse, it
+// reads like coverage.
+func typo(n int) int {
+	return n + 1 //lint:allow hotaloc -- fixture: misspelled on purpose // want `unknown analyzer "hotaloc"`
+}
+
+// notRan: maporder is not part of this suite invocation, so its unused
+// directive is NOT called stale — staleness is scoped to analyzers that
+// ran.
+func notRan(n int) int {
+	return n + 2 //lint:allow maporder -- fixture: audited only under the full suite
+}
+
+// blanket: "all" is only auditable when the whole suite ran; under a
+// partial run it is left alone.
+func blanket(n int) int {
+	return n + 3 //lint:allow all -- fixture: blanket waiver, audited under full runs only
+}

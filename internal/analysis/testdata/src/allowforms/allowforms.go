@@ -1,0 +1,23 @@
+// Fixture for lint:allow comment forms: trailing line comments, trailing
+// block comments, own-line forms, and multi-line block comments must all
+// suppress the line they cover — and only that line.
+package allowforms
+
+type box struct{ v int }
+
+var sink *box
+
+//strings:hotpath
+func Hot(n int) {
+	sink = &box{v: n} //lint:allow hotalloc -- fixture: trailing line form
+	sink = &box{v: n} /* lint:allow hotalloc -- fixture: trailing block form */
+	//lint:allow hotalloc -- fixture: own-line line form
+	sink = &box{v: n}
+	/* lint:allow hotalloc -- fixture: own-line block form */
+	sink = &box{v: n}
+	/*
+		lint:allow hotalloc -- fixture: multi-line block form
+	*/
+	sink = &box{v: n}
+	sink = &box{v: n} // want `escaping &box\{\.\.\.\} literal heap-allocates`
+}

@@ -1,0 +1,131 @@
+// Fixture for the hotalloc analyzer: heap-allocating constructs in
+// functions statically reachable from a //strings:hotpath root.
+package hotalloc
+
+import "fmt"
+
+type thing struct{ a, b int }
+
+var sink *thing
+var results []int
+
+// Dispatch is the fixture's hot-path root; everything it calls is held to
+// the no-allocation contract.
+//
+//strings:hotpath
+func Dispatch(n int) {
+	completeOp(n)
+	cleanPath(n)
+	takeAny(n)                  // want `argument n boxes into interface parameter and heap-allocates`
+	register(func() { n++ })    // want `escaping closure captures outer variables and heap-allocates`
+	_ = fmt.Sprintf("op %d", n) // want `fmt.Sprintf call allocates its formatting state`
+}
+
+// completeOp is NOT annotated — it is hot only by reachability from
+// Dispatch. The escaping literal below is the seeded regression the
+// analyzer must catch through the call graph.
+func completeOp(n int) {
+	t := &thing{a: n} // want `escaping &thing\{\.\.\.\} literal heap-allocates on the hot path \(completeOp is reachable from //strings:hotpath root Dispatch\)`
+	sink = t
+	lookup := make(map[int]int) // want `make\(map\[int\]int\) heap-allocates on the hot path`
+	lookup[n] = n
+	results = append(results, n) // want `append may grow escaping slice results`
+}
+
+// cleanPath is hot-reachable but allocation-free: everything stays in the
+// frame.
+func cleanPath(n int) {
+	local := thing{a: n} // value literal, not escaping: no diagnostic
+	local.b = local.a
+	scratch := [4]int{}
+	for i := range scratch {
+		scratch[i] = n
+	}
+	buf := scratch[:0]
+	buf = append(buf, n) // local, non-escaping destination: no diagnostic
+	_ = buf
+	results = append(results[:0], results[1:]...) // splice idiom: in-place, no growth
+	ptr := &thing{a: n}                           // non-escaping pointer: only read through selectors
+	local.b = ptr.a
+	if n < 0 {
+		// Failure path: the message-building fmt call and the boxing of n
+		// are sanctioned inside panic arguments.
+		panic(fmt.Sprintf("negative op %d", n))
+	}
+}
+
+// takeAny exists to force interface boxing at Dispatch's call site.
+func takeAny(v any) {}
+
+// register retains its callback, so a capturing closure argument escapes —
+// and register itself is hot-reachable, so its own growing append is a
+// second, independent finding.
+var handlers []func()
+
+func register(f func()) { handlers = append(handlers, f) } // want `append may grow escaping slice handlers`
+
+// coldPath is unreachable from any root: the same constructs draw no
+// diagnostics.
+func coldPath(n int) {
+	sink = &thing{a: n}
+	_ = fmt.Sprintf("cold %d", n)
+	m := make(map[int]int)
+	m[n] = n
+}
+
+// The escape zoo below is cold (no diagnostics), but every function is
+// still walked for fact computation, exercising the escape approximation's
+// branches: returns, sends, address-taking, value specs, embedding in
+// larger literals, conversions, and the non-escaping read-only shapes.
+var (
+	globalInts []int
+	globalMap  map[string]int
+	thingChan  = make(chan *thing, 1)
+)
+
+type wrapper struct{ inner []int }
+
+func zooEscapes(n int) *thing {
+	xs := []int{1, 2, n} // escaping slice literal: copied to a global below
+	globalInts = xs
+	globalMap = map[string]int{"a": n} // escaping map literal: direct global store
+	p := new(thing)                    // escaping new: returned
+	thingChan <- &thing{a: n}          // send: escapes to the channel
+	var vs = []int{n}                  // ValueSpec binding, then embedded in a literal
+	w := wrapper{inner: vs}
+	globalInts = w.inner
+	t := thing{a: n}
+	holdPointer(&t) // address-taken and handed away
+	return p
+}
+
+func zooStays(n int) int {
+	local := []int{n, n} // read locally, indexed, measured: stays in frame
+	total := 0
+	for _, v := range local {
+		total += v
+	}
+	if len(local) > 1 && cap(local) > 1 {
+		total += local[0]
+	}
+	small := new(thing) // dissected through selectors only
+	small.a = n
+	pairs := map[int]int{n: n} // make-like literal, deleted from and read
+	delete(pairs, n)
+	_ = any(small) // pointer conversion: fits the interface word, no box
+	_ = any(n)     // int conversion boxes, but zooStays is cold
+	return total + small.a
+}
+
+func holdPointer(t *thing) { sink = t }
+
+// allowedPath carries a sanctioned amortized allocation: suppressed at the
+// site, and the suppression keeps the function out of the alloc facts.
+func allowedGrow(n int) {
+	results = append(results, n) //lint:allow hotalloc -- fixture: amortized growth, pre-sized in production
+}
+
+//strings:hotpath
+func DispatchAllowed(n int) {
+	allowedGrow(n)
+}

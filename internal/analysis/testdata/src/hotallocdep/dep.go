@@ -1,0 +1,27 @@
+// Fixture dependency for hotalloc's cross-package facts: the package has
+// no hot-path root of its own, so nothing is reported here, but NewBuf's
+// escaping allocation is exported as a fact that dependents consult.
+package hotallocdep
+
+type Buf struct{ b []byte }
+
+// NewBuf may heap-allocate; the analyzer records Alloc["NewBuf"].
+func NewBuf() *Buf { return &Buf{b: make([]byte, 0, 64)} }
+
+// Size is allocation-free; no fact.
+func Size(b *Buf) int { return len(b.b) }
+
+// Grow allocates transitively through NewBuf; the bottom-up summary
+// records Alloc["Grow"] without re-reading NewBuf's body.
+func Grow(b *Buf) *Buf {
+	if b == nil {
+		return NewBuf()
+	}
+	return b
+}
+
+// Sanctioned's allocation carries a lint:allow, so the suppression keeps
+// it OUT of the alloc facts: callers on a hot path stay clean.
+func Sanctioned() *Buf {
+	return &Buf{} //lint:allow hotalloc -- fixture: pool refill, amortized across a window
+}

@@ -1,0 +1,28 @@
+// Fixture for hotalloc's cross-package reachability: the hot function
+// calls into hotallocdep, and the diagnostics come from the dependency's
+// exported facts, not from reading its syntax.
+package hotallocx
+
+import "hotallocdep"
+
+var held *hotallocdep.Buf
+
+//strings:hotpath
+func Pump(n int) {
+	b := hotallocdep.NewBuf() // want `call to hotallocdep\.NewBuf may heap-allocate \(exported fact\) on the hot path \(Pump is reachable from //strings:hotpath root Pump\)`
+	_ = hotallocdep.Size(b)   // fact-free callee: no diagnostic
+	held = hotallocdep.Grow(held) // want `call to hotallocdep\.Grow may heap-allocate \(exported fact\) on the hot path`
+	held = hotallocdep.Sanctioned() // suppressed at the source: no alloc fact, no diagnostic
+}
+
+// coldPump makes the same calls off the hot path: no diagnostics.
+func coldPump() {
+	held = hotallocdep.NewBuf()
+}
+
+// justified suppresses the fact-driven diagnostic at the call site.
+//
+//strings:hotpath
+func Justified() {
+	held = hotallocdep.NewBuf() //lint:allow hotalloc -- fixture: cold-start fill, happens once per epoch
+}

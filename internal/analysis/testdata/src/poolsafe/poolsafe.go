@@ -1,0 +1,123 @@
+// Fixture for the poolsafe analyzer: use-after-release, double-release,
+// and zero-before-store on pool-return methods.
+package poolsafe
+
+import "errors"
+
+type Op struct{ k int }
+
+type pool struct{ free []*Op }
+
+func (p *pool) Get() *Op {
+	if n := len(p.free); n > 0 {
+		op := p.free[n-1]
+		p.free = p.free[:n-1]
+		return op
+	}
+	return &Op{}
+}
+
+// PutOp zeroes before the pool store: clean.
+func (p *pool) PutOp(op *Op) {
+	*op = Op{}
+	p.free = append(p.free, op)
+}
+
+// FreeOp stores without sanitizing: request state leaks to the next Get.
+func (p *pool) FreeOp(op *Op) {
+	p.free = append(p.free, op) // want `FreeOp stores op into a pool without zeroing it first`
+}
+
+// ResetOp uses the method form of sanitizing.
+func (o *Op) Reset() { o.k = 0 }
+
+func (p *pool) RecycleOp(op *Op) {
+	op.Reset()
+	p.free = append(p.free, op)
+}
+
+func useAfter(p *pool) {
+	op := p.Get()
+	p.PutOp(op)
+	op.k = 1 // want `use of op after its release`
+}
+
+func doubleRelease(p *pool) {
+	op := p.Get()
+	p.PutOp(op)
+	p.PutOp(op) // want `op released again after release`
+}
+
+// branchy releases on one arm only; the merge point may see a released op.
+func branchy(p *pool, c bool) {
+	op := p.Get()
+	if c {
+		p.PutOp(op)
+	}
+	op.k = 2 // want `use of op after its release`
+}
+
+// errPath releases and returns: the diverging path never rejoins, so the
+// later use is clean (the cuda submit shape).
+func errPath(p *pool, bad bool) error {
+	op := p.Get()
+	if bad {
+		p.PutOp(op)
+		return errors.New("bad")
+	}
+	op.k = 3
+	p.PutOp(op)
+	return nil
+}
+
+// loopRevive redefines the variable each iteration, killing the released
+// state carried around the back edge (the serve-loop shape).
+func loopRevive(p *pool) {
+	for i := 0; i < 3; i++ {
+		op := p.Get()
+		op.k = i
+		p.PutOp(op)
+	}
+}
+
+// rangeRelease rebinds the range variable every iteration, so the release
+// at the bottom of the body must not leak around the back edge into the
+// next iteration's use (the DeviceSynchronize drain shape).
+func rangeRelease(p *pool, ops []*Op) {
+	for _, op := range ops {
+		op.k = 0
+		p.PutOp(op)
+	}
+}
+
+// deferredRelease fires at exit, not in place: uses after the defer
+// statement are clean.
+func deferredRelease(p *pool) {
+	op := p.Get()
+	defer p.PutOp(op)
+	op.k = 4
+}
+
+type ev struct{ refs int }
+
+func (e *ev) Unref() {}
+
+// unrefUse: Unref is a niladic release of its receiver.
+func unrefUse(e *ev) int {
+	e.Unref()
+	return e.refs // want `use of e after its release`
+}
+
+// fieldRelease: releases through a field selector are not tracked — the
+// analysis is deliberately alias-free.
+func fieldRelease(p *pool, h *struct{ op *Op }) {
+	p.PutOp(h.op)
+	h.op.k = 6 // aliased: out of scope, no diagnostic
+}
+
+// allowed suppresses a known-benign post-release poke.
+func allowed(p *pool) {
+	op := p.Get()
+	p.PutOp(op)
+	op.k = 5 //lint:allow poolsafe -- fixture: diagnostic write on a quarantined object
+}

@@ -1,0 +1,13 @@
+// Fixture dependency: a minimal mirror of internal/trace for the spanpair
+// analyzer, which recognizes span-opening calls by their SpanID result
+// type and closing calls by the End method name.
+package trace
+
+type SpanID uint64
+
+type Recorder struct{ next SpanID }
+
+func (r *Recorder) Begin(name string) SpanID     { r.next++; return r.next }
+func (r *Recorder) End(id SpanID)                {}
+func (r *Recorder) SetGID(id SpanID, gid uint64) {}
+func (r *Recorder) Event(id SpanID, what string) {}

@@ -237,6 +237,8 @@ func nameFor(gid int) string {
 
 // dispatch is the Dispatcher loop: every epoch (or kick) it refreshes the
 // Request Monitor's accounting and applies the policy's wake set.
+//
+//strings:hotpath
 func (s *Scheduler) dispatch(p *sim.Proc) {
 	for {
 		if s.closed {

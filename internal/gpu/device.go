@@ -193,7 +193,7 @@ func (s *Stream) Pending() int { return s.queue.Len() }
 func (s *Stream) Submit(op *Op) *sim.Event {
 	d := s.ctx.dev
 	if op.Done == nil {
-		op.Done = d.k.NewEvent()
+		op.Done = d.k.NewEvent() //lint:allow hotalloc -- cold fallback for unpooled ops (markers, tests); the op path arrives with a pooled Done
 	}
 	op.stream = s
 	op.Enqueued = d.k.Now()
@@ -230,7 +230,7 @@ func (d *Device) PutOp(op *Op) {
 // recycleOp zeroes a pooled op and returns it to the free list.
 func (d *Device) recycleOp(op *Op) {
 	*op = Op{pooled: true}
-	d.opFree = append(d.opFree, op)
+	d.opFree = append(d.opFree, op) //lint:allow hotalloc -- free-list growth is amortized, bounded by peak in-flight ops
 }
 
 // Alloc reserves device memory, failing when capacity would be exceeded
@@ -375,6 +375,8 @@ func (d *Device) advance(now sim.Time) {
 }
 
 // reap completes ops that are due at now; it reports whether any finished.
+//
+//strings:hotpath
 func (d *Device) reap(now sim.Time) bool {
 	done := false
 	// Kernels.

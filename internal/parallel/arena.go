@@ -50,7 +50,7 @@ func (a *KernelArena) Put(k *sim.Kernel) {
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	a.free = append(a.free, k)
+	a.free = append(a.free, k) //lint:allow poolsafe -- kernels carry megabytes of warm backing arrays; the next user calls Reset, which zeroes without discarding them
 }
 
 // Stats reports how many Gets were served and how many of them reused a

@@ -232,6 +232,8 @@ const (
 )
 
 // schedule enqueues a wakeup of p at time at (which must be >= now).
+//
+//strings:hotpath
 func (k *Kernel) schedule(p *Proc, at Time, tag int32) {
 	if at < k.now {
 		panic(fmt.Sprintf("sim: scheduling %q in the past: %v < %v", p.Name(), at, k.now))
@@ -310,6 +312,8 @@ func (k *Kernel) Run() int {
 // back) or exits. A parking process first consumes its own same-instant
 // re-activations inline, so only genuine cross-process handoffs reach the
 // driver.
+//
+//strings:hotpath
 func (k *Kernel) RunUntil(limit Time) int {
 	k.stopped = false
 	k.limit = limit
