@@ -55,6 +55,12 @@ bench-smoke:
 	$(GO) run ./cmd/strings-bench -exp fig9 -requests 4 -parallel 1 -csv | grep -v '^(' > $(BIN)/sweep-smoke-seq.csv
 	$(GO) run ./cmd/strings-bench -exp fig9 -requests 4 -parallel 4 -csv | grep -v '^(' > $(BIN)/sweep-smoke-par.csv
 	diff $(BIN)/sweep-smoke-seq.csv $(BIN)/sweep-smoke-par.csv
+	@# Slice-placement study: a small frag grid, its CSV kept as a CI
+	@# artifact. Like the sweep check above, worker count must not change
+	@# a single byte of the table.
+	$(GO) run ./cmd/strings-bench -exp frag -requests 6 -parallel 1 -csv | grep -v '^(' > $(BIN)/frag-smoke.csv
+	$(GO) run ./cmd/strings-bench -exp frag -requests 6 -parallel 4 -csv | grep -v '^(' > $(BIN)/frag-smoke-par.csv
+	diff $(BIN)/frag-smoke.csv $(BIN)/frag-smoke-par.csv
 
 # Full micro-benchmark pass with allocation counts.
 bench:
@@ -62,14 +68,14 @@ bench:
 
 # Coverage gate: run the internal packages with -coverprofile and fail if
 # any of the gated packages (the observability layer, the sweep engine,
-# and the analysis framework) drops below 85% statement coverage. The
-# profile lands in $(BIN)/cover.out for CI to upload.
+# the analysis framework and the device model) drops below 85% statement
+# coverage. The profile lands in $(BIN)/cover.out for CI to upload.
 cover:
 	@mkdir -p $(BIN)
 	$(GO) test -coverprofile=$(BIN)/cover.out ./internal/...
 	$(GO) run ./cmd/covercheck -profile $(BIN)/cover.out -min 85 \
 		repro/internal/trace repro/internal/sweep repro/internal/parallel \
-		repro/internal/sim repro/internal/analysis
+		repro/internal/sim repro/internal/analysis repro/internal/gpu
 
 # Short fuzz pass over every native fuzz target: the wire codec, the framing
 # layer and the trace encoders each get 10s of coverage-guided input on top

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	strings-bench [-exp all|table1|fig1|fig2|fig9|fig10|fig11|fig12|fig13|fig14|fig15|headline|ablations|faults|mega]
+//	strings-bench [-exp all|table1|fig1|fig2|fig9|fig10|fig11|fig12|fig13|fig14|fig15|headline|frag|ablations|faults|mega]
 //	              [-requests N] [-lambda F] [-seed S] [-pairs N] [-width W]
 //	              [-parallel N] [-seeds N] [-mega-requests N]
 //	              [-cpuprofile out.pprof] [-memprofile out.pprof]
@@ -14,7 +14,10 @@
 // Systems" (SC'14). Absolute numbers come from the simulated testbed; the
 // shapes — which policy wins, by roughly what factor — are the
 // reproduction targets. The faults experiment is opt-in: it is excluded
-// from -exp all and runs only when named explicitly.
+// from -exp all and runs only when named explicitly. The frag experiment
+// is the slice-placement study: MIG-partitioned devices under mixed
+// 1g..7g tenants, comparing the fragmentation-gradient policy against
+// GMin and GRR on stranded capacity and tail latency.
 //
 // -parallel bounds how many experiment cells run concurrently (0 =
 // GOMAXPROCS, 1 = sequential). Output is byte-identical at every setting:
@@ -377,7 +380,7 @@ func runBenchSweep(path string, seed int64, requests, pairs, workers int) error 
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, table1, fig1, fig2, fig9..fig15, headline, ablations, faults, mega; faults and mega are opt-in and excluded from all)")
+	exp := flag.String("exp", "all", "experiment to run (all, table1, fig1, fig2, fig9..fig15, headline, frag, ablations, faults, mega; faults and mega are opt-in and excluded from all)")
 	requests := flag.Int("requests", 12, "requests per short-job stream")
 	lambda := flag.Float64("lambda", 0.6, "mean inter-arrival as a fraction of solo runtime")
 	seed := flag.Int64("seed", 1, "simulation seed")
@@ -522,6 +525,7 @@ func main() {
 		{name: "fig14", fn: func() { render(suite.Fig14()) }},
 		{name: "fig15", fn: func() { render(suite.Fig15()) }},
 		{name: "headline", fn: func() { render(suite.Headline()) }},
+		{name: "frag", fn: func() { render(suite.FragPacking()) }},
 		{name: "ablations", fn: func() {
 			render(suite.AblationContextSwitch())
 			render(suite.AblationCopyEngines())

@@ -1,0 +1,155 @@
+package balancer
+
+import "testing"
+
+// Regression test for the positional-GID lookup bug: DST.Entry used to
+// return d.entries[gid], which is only correct while every row's GID equals
+// its position. A DST built from a sparse row set — e.g. the alive view
+// after a middle node was removed, or a table with carved-slice rows
+// retired — silently returned the WRONG device's row (or nil for valid
+// GIDs past the row count). Entry must key on the row's GID field.
+func TestDSTEntryByGIDNotPosition(t *testing.T) {
+	// The alive rows after a reconfiguration removed the middle node that
+	// owned GIDs 1 and 2: positions 0,1,2 hold GIDs 0,3,4.
+	dst := NewDST([]*DSTEntry{
+		{GID: 0, Node: 0, Name: "a"},
+		{GID: 3, Node: 2, Name: "b"},
+		{GID: 4, Node: 2, Name: "c"},
+	})
+	if e := dst.Entry(3); e == nil || e.Name != "b" {
+		t.Fatalf("Entry(3) = %+v, want row b", e)
+	}
+	if e := dst.Entry(4); e == nil || e.Name != "c" {
+		t.Fatalf("Entry(4) = %+v, want row c", e)
+	}
+	// GIDs 1 and 2 are gone from this view: lookups must miss, not alias
+	// positions 1 and 2.
+	if e := dst.Entry(1); e != nil {
+		t.Fatalf("Entry(1) = row %q, want nil (gid not in table)", e.Name)
+	}
+	if e := dst.Entry(2); e != nil {
+		t.Fatalf("Entry(2) = row %q, want nil (gid not in table)", e.Name)
+	}
+
+	// Bind/Unbind by GID must hit the row they name.
+	dst.Bind(4, "MC")
+	if got := dst.Entry(4).Load; got != 1 {
+		t.Fatalf("after Bind(4): load = %d, want 1", got)
+	}
+	if got := dst.Entry(3).Load; got != 0 {
+		t.Fatalf("Bind(4) leaked onto gid 3: load = %d", got)
+	}
+	dst.Unbind(4, "MC")
+	if got := dst.Entry(4).Load; got != 0 {
+		t.Fatalf("after Unbind(4): load = %d, want 0", got)
+	}
+	if dst.UnbindClamps != 0 {
+		t.Fatalf("balanced bind/unbind counted %d clamps", dst.UnbindClamps)
+	}
+}
+
+func TestDSTAddRowAndRetire(t *testing.T) {
+	dst := NewDST([]*DSTEntry{{GID: 0}, {GID: 1}})
+	dst.AddRow(&DSTEntry{GID: 7, Name: "slice", IsSlice: true, Parent: 1, Profile: "2g"})
+	if dst.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", dst.Len())
+	}
+	e := dst.Entry(7)
+	if e == nil || !e.IsSlice || e.Parent != 1 {
+		t.Fatalf("Entry(7) = %+v", e)
+	}
+	if e.Weight != 1 {
+		t.Fatalf("AddRow did not default Weight: %v", e.Weight)
+	}
+	dst.Retire(7)
+	if dst.Entry(7).Health != Dead {
+		t.Fatal("retired row not Dead")
+	}
+	// Retired rows stay resolvable and never shift their neighbours.
+	if dst.Entry(1) == nil || dst.Entry(1).GID != 1 {
+		t.Fatal("retire disturbed other rows")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate-GID AddRow did not panic")
+		}
+	}()
+	dst.AddRow(&DSTEntry{GID: 7})
+}
+
+// The Unbind clamp cases: an Unbind with nothing to remove is a
+// double-unbind bug upstream and must be observable, not silently absorbed.
+func TestDSTUnbindClampMetric(t *testing.T) {
+	dst := NewDST([]*DSTEntry{{GID: 0}})
+	dst.Unbind(0, "MC") // never bound: load clamp + kind clamp
+	if dst.UnbindClamps != 2 {
+		t.Fatalf("UnbindClamps = %d, want 2", dst.UnbindClamps)
+	}
+	dst.Bind(0, "MC")
+	dst.Unbind(0, "BS") // load ok, wrong kind
+	if dst.UnbindClamps != 3 {
+		t.Fatalf("UnbindClamps = %d, want 3", dst.UnbindClamps)
+	}
+	if got := dst.Entry(0).Load; got != 0 {
+		t.Fatalf("load = %d, want 0", got)
+	}
+	// Unknown GIDs are not clamps (the caller's GID is simply gone).
+	dst.Unbind(99, "MC")
+	if dst.UnbindClamps != 3 {
+		t.Fatalf("unknown-gid unbind counted a clamp: %d", dst.UnbindClamps)
+	}
+}
+
+func TestDSTUnbindPanicOnClamp(t *testing.T) {
+	dst := NewDST([]*DSTEntry{{GID: 0}})
+	dst.PanicOnClamp = true
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double unbind did not panic under PanicOnClamp")
+		}
+	}()
+	dst.Unbind(0, "MC")
+}
+
+// NewDST documents an ownership transfer: it retains the rows and
+// normalizes them in place. This pins the documented behaviour so a future
+// defensive copy is a deliberate API change.
+func TestNewDSTTakesOwnershipAndNormalizes(t *testing.T) {
+	row := &DSTEntry{GID: 0, Weight: -1}
+	dst := NewDST([]*DSTEntry{row})
+	if dst.Entry(0) != row {
+		t.Fatal("NewDST copied the row; documented behaviour is retention")
+	}
+	if row.Weight != 1 {
+		t.Fatalf("caller row not normalized in place: Weight = %v", row.Weight)
+	}
+	if row.BoundKinds == nil {
+		t.Fatal("caller row BoundKinds not allocated")
+	}
+}
+
+func TestDSTCarveReturnCapacity(t *testing.T) {
+	dst := NewDST([]*DSTEntry{{
+		GID: 0, Partitionable: true,
+		TotalFrac: 7, FreeFrac: 7, TotalMem: 800, FreeMem: 800,
+	}})
+	dst.CarveCapacity(0, 3, 400)
+	e := dst.Entry(0)
+	if e.FreeFrac != 4 || e.FreeMem != 400 {
+		t.Fatalf("after carve: %d/7 free, %d bytes", e.FreeFrac, e.FreeMem)
+	}
+	dst.ReturnCapacity(0, 3, 400)
+	if e.FreeFrac != 7 || e.FreeMem != 800 {
+		t.Fatalf("after return: %d/7 free, %d bytes", e.FreeFrac, e.FreeMem)
+	}
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("overcommit", func() { dst.CarveCapacity(0, 8, 0) })
+	mustPanic("over-return", func() { dst.ReturnCapacity(0, 1, 1) })
+}

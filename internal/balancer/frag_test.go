@@ -1,0 +1,140 @@
+package balancer
+
+import "testing"
+
+// migShapes mirrors gpu.MIGProfiles for an 800-byte toy device: memory
+// shares of 1/8, 1/4, 1/2, 1/2 and the whole device.
+func migShapes() []SliceShape {
+	return []SliceShape{
+		{Name: "1g", Frac: 1, Mem: 100},
+		{Name: "2g", Frac: 2, Mem: 200},
+		{Name: "3g", Frac: 3, Mem: 400},
+		{Name: "4g", Frac: 4, Mem: 400},
+		{Name: "7g", Frac: 7, Mem: 800},
+	}
+}
+
+func partRow(gid GID) *DSTEntry {
+	return &DSTEntry{
+		GID: gid, Partitionable: true,
+		TotalFrac: 7, FreeFrac: 7, TotalMem: 800, FreeMem: 800,
+		Shapes: migShapes(),
+	}
+}
+
+func sliceReq(profile string) Request {
+	for _, s := range migShapes() {
+		if s.Name == profile {
+			return Request{Kind: "MC", SliceProfile: profile, SliceFrac: s.Frac, SliceMem: s.Mem}
+		}
+	}
+	panic("unknown profile " + profile)
+}
+
+// Frag packs slices onto already-carved devices, keeping whole devices free
+// for big profiles; GMin spreads them by load. This is the packing gap the
+// -exp frag experiment measures at fleet scale.
+func TestFragPacksGMinSpreads(t *testing.T) {
+	mk := func() *DST {
+		d := NewDST([]*DSTEntry{partRow(0), partRow(1)})
+		// Device 0 already hosts a 3g slice (and the bind that came with it).
+		d.CarveCapacity(0, 3, 400)
+		d.Bind(0, "MC")
+		return d
+	}
+	sft := NewSFT()
+
+	if gid := (Frag{}).Select(sliceReq("3g"), mk(), sft); gid != 0 {
+		t.Fatalf("Frag placed 3g on gid %d, want 0 (pack the carved device)", gid)
+	}
+	if gid := (GMin{}).Select(sliceReq("3g"), mk(), sft); gid != 1 {
+		t.Fatalf("GMin placed 3g on gid %d, want 1 (load spreading)", gid)
+	}
+}
+
+// Eligibility: a slice request only sees partitionable rows that fit the
+// profile in BOTH capacity dimensions; a profile nothing fits selects
+// nothing at all rather than falling back to an over-committed row.
+func TestSliceEligibility(t *testing.T) {
+	dst := NewDST([]*DSTEntry{partRow(0), partRow(1)})
+	dst.CarveCapacity(0, 3, 400)
+
+	// 7g only fits the untouched device.
+	req := sliceReq("7g")
+	for i := 0; i < 4; i++ {
+		if gid := (Frag{}).Select(req, dst, NewSFT()); gid != 1 {
+			t.Fatalf("7g placed on gid %d, want 1", gid)
+		}
+	}
+	grr := NewGRR()
+	for i := 0; i < 3; i++ {
+		if gid := grr.Select(req, dst, NewSFT()); gid != 1 {
+			t.Fatalf("GRR placed 7g on gid %d, want 1 (rotation must skip unfit rows)", gid)
+		}
+	}
+
+	// Memory, not compute, is the binding dimension: 4 sevenths are free on
+	// device 0 but only 400 bytes, so a 4g (400 bytes) fits while a second
+	// 3g+4g combination cannot exceed it.
+	dst2 := NewDST([]*DSTEntry{partRow(0)})
+	dst2.CarveCapacity(0, 3, 400)
+	if gid, ok := argminWhere(dst2, sliceReq("4g"), func(*DSTEntry) float64 { return 0 }, true); !ok || gid != 0 {
+		t.Fatalf("4g should fit device 0: ok=%v gid=%d", ok, gid)
+	}
+	dst2.CarveCapacity(0, 4, 400)
+	if _, ok := argminWhere(dst2, sliceReq("1g"), func(*DSTEntry) float64 { return 0 }, true); ok {
+		t.Fatal("1g placed on a device with zero free memory")
+	}
+}
+
+// Mapper.SelectSliceAt parks (ok=false) when nothing fits and never binds
+// or carves on its own.
+func TestMapperSelectSliceAt(t *testing.T) {
+	dst := NewDST([]*DSTEntry{partRow(0)})
+	m := NewMapper(dst, Frag{})
+
+	gid, ok := m.SelectSliceAt(0, sliceReq("7g"))
+	if !ok || gid != 0 {
+		t.Fatalf("7g on empty device: gid=%d ok=%v", gid, ok)
+	}
+	if e := dst.Entry(0); e.FreeFrac != 7 || e.Load != 0 {
+		t.Fatalf("SelectSliceAt mutated the table: %+v", e)
+	}
+
+	dst.CarveCapacity(0, 7, 800)
+	if _, ok := m.SelectSliceAt(1, sliceReq("1g")); ok {
+		t.Fatal("full device accepted a slice request")
+	}
+}
+
+// Classic whole-device requests never land on a carved-slice row — those
+// are private to their tenant.
+func TestClassicRequestsSkipSliceRows(t *testing.T) {
+	dst := NewDST([]*DSTEntry{
+		{GID: 0, Name: "whole"},
+		{GID: 1, Name: "slice", IsSlice: true, Parent: 0},
+	})
+	req := Request{Kind: "MC"}
+	for i := 0; i < 3; i++ {
+		if gid := (GMin{}).Select(req, dst, NewSFT()); gid != 0 {
+			t.Fatalf("GMin bound a classic request to slice row %d", gid)
+		}
+	}
+	grr := NewGRR()
+	for i := 0; i < 4; i++ {
+		if gid := grr.Select(req, dst, NewSFT()); gid != 0 {
+			t.Fatalf("GRR bound a classic request to slice row %d", gid)
+		}
+	}
+}
+
+// ByName must resolve the new policy.
+func TestFragByName(t *testing.T) {
+	p, err := ByName("Frag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "Frag" {
+		t.Fatalf("Name = %q", p.Name())
+	}
+}

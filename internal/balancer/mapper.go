@@ -57,25 +57,87 @@ func (m *Mapper) SelectAt(now sim.Time, req Request) GID {
 		gid, _, _ := m.pick(req)
 		return gid
 	}
+	d := m.auditStart(now, req)
+	gid, raw, spilled := m.pick(req)
+	d.Raw, d.Picked, d.Spilled = int(raw), int(gid), spilled
+	m.rec.RecordDecision(d)
+	return gid
+}
+
+// auditStart snapshots the tables into a decision-audit record before the
+// pick mutates them. Partitionable rows carry their free capacity so slice
+// audits show exactly which devices could fit the profile.
+func (m *Mapper) auditStart(now sim.Time, req Request) trace.Decision {
 	d := trace.Decision{
 		At: now, App: req.AppID, Class: req.Kind, Node: req.Node,
 		Tenant: req.Tenant, Policy: m.policy.Name(),
 		Rows: make([]trace.DecisionRow, 0, m.dst.Len()),
 	}
 	for _, e := range m.dst.Entries() {
-		d.Rows = append(d.Rows, trace.DecisionRow{
+		row := trace.DecisionRow{
 			GID: int(e.GID), Node: e.Node, Health: e.Health.String(),
 			Load: e.Load, Weight: e.Weight,
-		})
+		}
+		if e.Partitionable {
+			row.FreeFrac = e.FreeFrac
+			row.FreeMem = e.FreeMem
+		}
+		d.Rows = append(d.Rows, row)
 	}
 	if h, ok := m.sft.Lookup(req.Kind); ok {
 		d.SFTSamples = h.Samples
 		d.SFTExec = h.ExecTime
 	}
-	gid, raw, spilled := m.pick(req)
-	d.Raw, d.Picked, d.Spilled = int(raw), int(gid), spilled
-	m.rec.RecordDecision(d)
-	return gid
+	return d
+}
+
+// SelectSliceAt answers a slice-placement request: the policy picks the
+// partitionable device the requested profile should be carved from. ok is
+// false when no eligible device currently fits the profile — the caller
+// parks the tenant until capacity frees and retries. The mapper neither
+// carves nor binds here: the placement layer owns the carve (gpu.Partition
+// + DST.CarveCapacity + the new slice row) so the two ledgers stay
+// reconciled in one place. Every attempt — including a no-fit parking —
+// is decision-audited when a recorder is installed (Picked −1 means
+// parked).
+func (m *Mapper) SelectSliceAt(now sim.Time, req Request) (GID, bool) {
+	anyFit := false
+	for _, e := range m.dst.Entries() {
+		if eligible(e, req) {
+			anyFit = true
+			break
+		}
+	}
+	gid, raw := GID(-1), GID(-1)
+	if anyFit {
+		gid = m.policy.Select(req, m.dst, m.sft)
+		raw = gid
+		if e := m.dst.Entry(gid); e == nil || !eligible(e, req) {
+			// The policy named an ineligible row (a stale rotation or a
+			// slice-unaware policy): spill to the least-loaded fit.
+			alt, ok := argminWhere(m.dst, req, func(e *DSTEntry) float64 {
+				return float64(e.Load) / e.Weight
+			}, true)
+			if !ok {
+				anyFit = false
+			}
+			gid = alt
+			m.spills++
+		}
+		m.selections++
+	}
+	if m.rec.Enabled() {
+		d := m.auditStart(now, req)
+		d.Raw, d.Picked, d.Spilled = int(raw), int(gid), gid != raw
+		if !anyFit {
+			d.Raw, d.Picked = -1, -1
+		}
+		m.rec.RecordDecision(d)
+	}
+	if !anyFit {
+		return 0, false
+	}
+	return gid, true
 }
 
 // pick runs the policy and the mapper's spill-over, binds the winner and
@@ -90,7 +152,7 @@ func (m *Mapper) pick(req Request) (gid, raw GID, spilled bool) {
 	}
 	raw = gid
 	if e := m.dst.Entry(gid); e != nil && e.Health != Healthy {
-		if alt, ok := argminWhere(m.dst, req.Node, func(e *DSTEntry) float64 {
+		if alt, ok := argminWhere(m.dst, req, func(e *DSTEntry) float64 {
 			return float64(e.Load) / e.Weight
 		}, true); ok && alt != gid {
 			gid = alt

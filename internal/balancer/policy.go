@@ -9,6 +9,31 @@ type Request struct {
 	Kind   string // application class (workload short code)
 	Node   int    // node the application's CPU component runs on
 	Tenant int64
+
+	// Slice demand. When SliceFrac > 0 the tenant asks for a dedicated
+	// MIG-style slice (SliceProfile names the shape, SliceFrac/SliceMem
+	// carry its compute-sevenths and memory demand) and only partitionable
+	// physical rows with enough free capacity are eligible targets. Zero —
+	// the default — is a classic whole-device request.
+	SliceProfile string
+	SliceFrac    int
+	SliceMem     int64
+}
+
+// WantsSlice reports whether the request asks for a carved slice.
+func (r Request) WantsSlice() bool { return r.SliceFrac > 0 }
+
+// eligible reports whether a DST row can serve the request at all. Classic
+// requests bind to any non-slice row (exactly the pre-partitioning pool —
+// carved-slice rows are private to their tenant). Slice requests bind only
+// to healthy partitionable physical rows whose free capacity fits the
+// profile in both dimensions.
+func eligible(e *DSTEntry, req Request) bool {
+	if !req.WantsSlice() {
+		return !e.IsSlice
+	}
+	return e.Partitionable && !e.IsSlice && e.Health == Healthy &&
+		e.FreeFrac >= req.SliceFrac && e.FreeMem >= req.SliceMem
 }
 
 // Policy is a Target GPU Selector policy. Select must be deterministic
@@ -33,16 +58,17 @@ func (g *GRR) Name() string { return "GRR" }
 // Mapper's spillover (or the caller) deals with the exhausted pool.
 func (g *GRR) Select(req Request, dst *DST, sft *SFT) GID {
 	n := dst.Len()
+	rows := dst.Entries()
 	for i := 0; i < n; i++ {
-		gid := GID(g.next % n)
+		e := rows[g.next%n]
 		g.next++
-		if e := dst.Entry(gid); e != nil && e.Health == Healthy {
-			return gid
+		if e.Health == Healthy && eligible(e, req) {
+			return e.GID
 		}
 	}
-	gid := GID(g.next % n)
+	e := rows[g.next%n]
 	g.next++
-	return gid
+	return e.GID
 }
 
 // GMin chooses the device with the minimum number of bound applications,
@@ -55,7 +81,7 @@ func (GMin) Name() string { return "GMin" }
 
 // Select implements Policy.
 func (GMin) Select(req Request, dst *DST, sft *SFT) GID {
-	return argmin(dst, req.Node, func(e *DSTEntry) float64 { return float64(e.Load) })
+	return argmin(dst, req, func(e *DSTEntry) float64 { return float64(e.Load) })
 }
 
 // GWtMin extends GMin with the gPool Creator's static device weights,
@@ -68,25 +94,27 @@ func (GWtMin) Name() string { return "GWtMin" }
 
 // Select implements Policy.
 func (GWtMin) Select(req Request, dst *DST, sft *SFT) GID {
-	return argmin(dst, req.Node, func(e *DSTEntry) float64 {
+	return argmin(dst, req, func(e *DSTEntry) float64 {
 		return float64(e.Load) / e.Weight
 	})
 }
 
-// argmin picks the entry minimizing score; ties prefer devices on localNode,
-// then lower GIDs. Non-Healthy entries are skipped; if the whole pool is
-// down the scan falls back to every row so callers always get an answer
-// (the Mapper surfaces the exhaustion separately).
-func argmin(dst *DST, localNode int, score func(*DSTEntry) float64) GID {
-	if gid, ok := argminWhere(dst, localNode, score, true); ok {
+// argmin picks the eligible entry minimizing score; ties prefer devices on
+// the request's node, then lower GIDs. Non-Healthy entries are skipped; if
+// the whole pool is down the scan falls back to every eligible row so
+// callers always get an answer (the Mapper surfaces the exhaustion
+// separately). Slice requests never fall back past eligibility — a row that
+// cannot fit the profile is not an answer at any health.
+func argmin(dst *DST, req Request, score func(*DSTEntry) float64) GID {
+	if gid, ok := argminWhere(dst, req, score, true); ok {
 		return gid
 	}
-	gid, _ := argminWhere(dst, localNode, score, false)
+	gid, _ := argminWhere(dst, req, score, false)
 	return gid
 }
 
 // argminWhere is argmin's scan; healthyOnly restricts it to Healthy rows.
-func argminWhere(dst *DST, localNode int, score func(*DSTEntry) float64, healthyOnly bool) (GID, bool) {
+func argminWhere(dst *DST, req Request, score func(*DSTEntry) float64, healthyOnly bool) (GID, bool) {
 	var best *DSTEntry
 	var bestScore float64
 	bestLocal := false
@@ -94,8 +122,11 @@ func argminWhere(dst *DST, localNode int, score func(*DSTEntry) float64, healthy
 		if healthyOnly && e.Health != Healthy {
 			continue
 		}
+		if !eligible(e, req) {
+			continue
+		}
 		s := score(e)
-		local := e.Node == localNode
+		local := e.Node == req.Node
 		switch {
 		case best == nil, s < bestScore, s == bestScore && local && !bestLocal:
 			best, bestScore, bestLocal = e, s, local
@@ -185,7 +216,7 @@ func (RTF) Select(req Request, dst *DST, sft *SFT) GID {
 		return GWtMin{}.Select(req, dst, sft)
 	}
 	mine, _ := sft.Lookup(req.Kind)
-	return argmin(dst, req.Node, func(e *DSTEntry) float64 {
+	return argmin(dst, req, func(e *DSTEntry) float64 {
 		return loadOf(e, sft).exec + remoteCost(mine, e, req)
 	})
 }
@@ -206,7 +237,7 @@ func (GUF) Select(req Request, dst *DST, sft *SFT) GID {
 		return GWtMin{}.Select(req, dst, sft)
 	}
 	myExec := float64(mine.ExecTime)
-	return argmin(dst, req.Node, func(e *DSTEntry) float64 {
+	return argmin(dst, req, func(e *DSTEntry) float64 {
 		l := loadOf(e, sft)
 		// Expected delay: measured backlog plus the interference of
 		// sharing the device with busy tenants, scaled by how much this
@@ -241,7 +272,7 @@ func (DTF) Select(req Request, dst *DST, sft *SFT) GID {
 	if cpu < 0 {
 		cpu = 0
 	}
-	return argmin(dst, req.Node, func(e *DSTEntry) float64 {
+	return argmin(dst, req, func(e *DSTEntry) float64 {
 		l := loadOf(e, sft)
 		// Per-engine queueing delay weighted by this class's use of each
 		// engine; the CPU component is contention-free.
@@ -273,7 +304,7 @@ func (MBF) Select(req Request, dst *DST, sft *SFT) GID {
 		return RTF{}.Select(req, dst, sft)
 	}
 	fk, fx := kernT/tot, xferT/tot
-	return argmin(dst, req.Node, func(e *DSTEntry) float64 {
+	return argmin(dst, req, func(e *DSTEntry) float64 {
 		l := loadOf(e, sft)
 		myFrac := myBW / e.MemBandwidth
 		// Engine-aware delay plus the bandwidth-contention slowdown the
@@ -281,6 +312,77 @@ func (MBF) Select(req Request, dst *DST, sft *SFT) GID {
 		return fk*l.kern + fx*l.xfer + l.bw*myFrac*kernT + remoteCost(mine, e, req)
 	})
 }
+
+// Frag is the fragmentation-aware slice-placement policy, after the
+// fragmentation-gradient scheduler of arXiv 2511.18906: place each slice
+// request on the partitionable device whose fragmentation increases least.
+//
+// A device's fragmentation F is measured against the full profile table:
+// free capacity that cannot serve a profile is stranded for it. With cap =
+// mean(freeFrac/totalFrac, freeMem/totalMem),
+//
+//	F = (1/|P|) · Σ_{p ∈ P, p does not fit free} cap
+//
+// and the policy picks the eligible device minimizing ΔF = F(after) −
+// F(before), tie-breaking toward the tighter-packed device (smaller
+// remaining cap) so big holes stay whole for big profiles. Load-only
+// policies (GMin/GRR) spread slices evenly and strand sevenths everywhere;
+// Frag concentrates them, which is exactly the packing-efficiency gap the
+// `-exp frag` experiment measures. Classic whole-device requests fall back
+// to GMin.
+type Frag struct{}
+
+// Name implements Policy.
+func (Frag) Name() string { return "Frag" }
+
+// Select implements Policy.
+func (Frag) Select(req Request, dst *DST, sft *SFT) GID {
+	if !req.WantsSlice() {
+		return GMin{}.Select(req, dst, sft)
+	}
+	return argmin(dst, req, func(e *DSTEntry) float64 {
+		before := fragOf(e, e.FreeFrac, e.FreeMem)
+		after := fragOf(e, e.FreeFrac-req.SliceFrac, e.FreeMem-req.SliceMem)
+		// The epsilon term prefers the tighter-packed survivor among
+		// equal-gradient candidates; it is far below any ΔF step (1/|P|
+		// per newly stranded profile), so it only breaks exact ties.
+		return (after - before) + 1e-9*capScalar(e, e.FreeFrac-req.SliceFrac, e.FreeMem-req.SliceMem)
+	})
+}
+
+// capScalar collapses a partitionable row's two free-capacity dimensions to
+// one scalar in [0,1]: the mean of the free compute and memory fractions.
+func capScalar(e *DSTEntry, frac int, mem int64) float64 {
+	if e.TotalFrac <= 0 || e.TotalMem <= 0 {
+		return 0
+	}
+	return (float64(frac)/float64(e.TotalFrac) + float64(mem)/float64(e.TotalMem)) / 2
+}
+
+// fragOf is the row's fragmentation measure at a hypothetical free
+// capacity: the share of profiles the free hole cannot serve, weighted by
+// the hole's size. An empty hole strands nothing; a large hole that fits
+// no profile is maximally stranded.
+func fragOf(e *DSTEntry, frac int, mem int64) float64 {
+	if len(e.Shapes) == 0 {
+		return 0
+	}
+	c := capScalar(e, frac, mem)
+	f := 0.0
+	for _, s := range e.Shapes {
+		if s.Frac > frac || s.Mem > mem {
+			f += c
+		}
+	}
+	return f / float64(len(e.Shapes))
+}
+
+// FragScore returns the row's current fragmentation measure (see Frag): the
+// share of slice profiles its free hole cannot serve, weighted by the
+// hole's size. Zero for non-partitionable rows. Exposed so the runtime can
+// integrate the fleet's stranded-capacity ratio over time with exactly the
+// measure the policy optimizes.
+func FragScore(e *DSTEntry) float64 { return fragOf(e, e.FreeFrac, e.FreeMem) }
 
 // Arbiter is the Policy Arbiter: it runs the static policy until the SFT
 // holds MinSamples reports for the requesting class, then switches to the
@@ -338,6 +440,8 @@ func ByName(name string) (Policy, error) {
 		return NewArbiter(GWtMin{}, DTF{}, 1), nil
 	case "MBF":
 		return NewArbiter(GWtMin{}, MBF{}, 1), nil
+	case "Frag":
+		return Frag{}, nil
 	default:
 		return nil, fmt.Errorf("balancer: unknown policy %q", name)
 	}

@@ -8,6 +8,7 @@
 package balancer
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/rpcproto"
@@ -38,39 +39,100 @@ type DSTEntry struct {
 	// Failure-detector state (see health.go). Zero value = Healthy.
 	Health      Health
 	ConsecFails int // consecutive failed calls since the last success
+
+	// Partitioning state (MIG-style slice-capable fleets; see
+	// internal/gpu/slice.go). All zero on classic whole-device rows.
+	Partitionable bool         // row can be carved into slices
+	TotalFrac     int          // compute sevenths when whole
+	FreeFrac      int          // uncarved compute sevenths
+	TotalMem      int64        // memory bytes when whole
+	FreeMem       int64        // uncarved memory bytes
+	Shapes        []SliceShape // allowed slice profiles (frag scoring)
+	IsSlice       bool         // row is a carved slice, not a device
+	Parent        GID          // physical row a slice was carved from
+	Profile       string       // slice profile name ("1g".."7g")
 }
 
-// DST is the Device Status Table.
+// SliceShape mirrors one gpu.SliceProfile for placement: the demand a
+// profile makes on a partitionable row's two capacity dimensions.
+type SliceShape struct {
+	Name string
+	Frac int
+	Mem  int64
+}
+
+// DST is the Device Status Table. Rows are GID-stable: lookups go through a
+// gid→index map, so removing or retiring a middle row never shifts the rows
+// behind it (PR 3's GMap.RemoveNode promises rows are never renumbered, and
+// slice rows retire while later rows live on).
 type DST struct {
 	entries []*DSTEntry
+	byGID   map[GID]int
+
+	// UnbindClamps counts Unbind calls that would have driven Load or a
+	// kind count negative — each one is a double-unbind (or unbind of a
+	// never-bound kind) somewhere upstream. The old code clamped silently;
+	// the counter makes the accounting bug observable, and PanicOnClamp
+	// turns it into a crash for debugging.
+	UnbindClamps int
+
+	// PanicOnClamp makes Unbind panic instead of counting a clamp.
+	PanicOnClamp bool
 }
 
-// NewDST builds the table from per-device rows.
+// NewDST builds the table from per-device rows. Ownership of the rows
+// transfers to the DST: it retains the slice AND normalizes the rows in
+// place (nil BoundKinds maps are allocated, non-positive Weights default
+// to 1), so callers must not reuse or concurrently mutate them afterwards.
 func NewDST(entries []*DSTEntry) *DST {
+	d := &DST{byGID: make(map[GID]int, len(entries))}
 	for _, e := range entries {
-		if e.BoundKinds == nil {
-			e.BoundKinds = make(map[string]int)
-		}
-		if e.Weight <= 0 {
-			e.Weight = 1
-		}
+		d.addRow(e)
 	}
-	return &DST{entries: entries}
+	return d
 }
 
-// Entries returns the rows in GID order.
+// AddRow appends a dynamically created row (a carved slice) to the table.
+// Like NewDST, ownership of the row transfers to the DST. GIDs must be
+// unique for the table's lifetime; reusing one panics.
+func (d *DST) AddRow(e *DSTEntry) {
+	d.addRow(e)
+}
+
+func (d *DST) addRow(e *DSTEntry) {
+	if _, dup := d.byGID[e.GID]; dup {
+		panic(fmt.Sprintf("balancer: duplicate DST row for gid %d", e.GID))
+	}
+	if e.BoundKinds == nil {
+		e.BoundKinds = make(map[string]int)
+	}
+	if e.Weight <= 0 {
+		e.Weight = 1
+	}
+	d.byGID[e.GID] = len(d.entries)
+	d.entries = append(d.entries, e)
+}
+
+// Entries returns the rows in table (row-creation) order.
 func (d *DST) Entries() []*DSTEntry { return d.entries }
 
-// Len returns the number of devices.
+// Len returns the number of rows.
 func (d *DST) Len() int { return len(d.entries) }
 
-// Entry returns the row for gid, or nil.
+// Entry returns the row for gid, or nil. Lookup is by the row's GID field,
+// not by position — the two coincide only while no row has ever been
+// removed or carved.
 func (d *DST) Entry(gid GID) *DSTEntry {
-	if int(gid) < 0 || int(gid) >= len(d.entries) {
-		return nil
+	if i, ok := d.byGID[gid]; ok {
+		return d.entries[i]
 	}
-	return d.entries[gid]
+	return nil
 }
+
+// Retire marks a row permanently Dead — used when a carved slice is
+// destroyed. The row stays in the table (GID-stable history for audits);
+// policies skip it like any other dead device.
+func (d *DST) Retire(gid GID) { d.MarkDead(gid) }
 
 // Bind records an application of the given class binding to gid.
 func (d *DST) Bind(gid GID, kind string) {
@@ -80,18 +142,65 @@ func (d *DST) Bind(gid GID, kind string) {
 	}
 }
 
-// Unbind removes a binding.
+// Unbind removes a binding. An Unbind that finds nothing to remove — Load
+// already zero, or no binding of that kind — is a double-unbind accounting
+// bug upstream: it is counted in UnbindClamps (or panics under
+// PanicOnClamp) rather than silently clamped.
 func (d *DST) Unbind(gid GID, kind string) {
-	if e := d.Entry(gid); e != nil {
-		if e.Load > 0 {
-			e.Load--
+	e := d.Entry(gid)
+	if e == nil {
+		return
+	}
+	if e.Load > 0 {
+		e.Load--
+	} else {
+		d.clamp(gid, kind, "load already zero")
+	}
+	if e.BoundKinds[kind] > 0 {
+		e.BoundKinds[kind]--
+		if e.BoundKinds[kind] == 0 {
+			delete(e.BoundKinds, kind)
 		}
-		if e.BoundKinds[kind] > 0 {
-			e.BoundKinds[kind]--
-			if e.BoundKinds[kind] == 0 {
-				delete(e.BoundKinds, kind)
-			}
-		}
+	} else {
+		d.clamp(gid, kind, "kind not bound")
+	}
+}
+
+func (d *DST) clamp(gid GID, kind, why string) {
+	if d.PanicOnClamp {
+		panic(fmt.Sprintf("balancer: unbind clamp on gid %d kind %q: %s", gid, kind, why))
+	}
+	d.UnbindClamps++
+}
+
+// CarveCapacity deducts a slice's demand from a partitionable row's free
+// capacity. Over-carving is a placement-layer bug and panics outright — the
+// DST's view must stay reconcilable with the device-side gpu.Partition.
+func (d *DST) CarveCapacity(gid GID, frac int, mem int64) {
+	e := d.Entry(gid)
+	if e == nil || !e.Partitionable {
+		panic(fmt.Sprintf("balancer: carve on non-partitionable gid %d", gid))
+	}
+	if frac > e.FreeFrac || mem > e.FreeMem {
+		panic(fmt.Sprintf("balancer: carve overcommit on gid %d: want %d/7+%dB, free %d/7+%dB",
+			gid, frac, mem, e.FreeFrac, e.FreeMem))
+	}
+	e.FreeFrac -= frac
+	e.FreeMem -= mem
+}
+
+// ReturnCapacity gives a destroyed slice's capacity back to its parent row.
+// Over-returning panics for the same reason over-carving does.
+func (d *DST) ReturnCapacity(gid GID, frac int, mem int64) {
+	e := d.Entry(gid)
+	if e == nil || !e.Partitionable {
+		panic(fmt.Sprintf("balancer: capacity return on non-partitionable gid %d", gid))
+	}
+	e.FreeFrac += frac
+	e.FreeMem += mem
+	if e.FreeFrac > e.TotalFrac || e.FreeMem > e.TotalMem {
+		panic(fmt.Sprintf("balancer: capacity over-return on gid %d: %d/%d sevenths, %d/%d bytes",
+			gid, e.FreeFrac, e.TotalFrac, e.FreeMem, e.TotalMem))
 	}
 }
 

@@ -148,6 +148,10 @@ type Cluster struct {
 	gpuDown    []bool
 	stallUntil []sim.Time
 	degrade    []float64
+
+	// Slice-placement ledger (see slices.go); inert unless the fleet has
+	// partitionable devices and a run declares slice streams.
+	sl sliceState
 }
 
 // selectResult carries a selection answer from the mapper service back to
@@ -251,6 +255,7 @@ func New(cfg Config) (*Cluster, error) {
 	c.gpuDown = make([]bool, gid)
 	c.stallUntil = make([]sim.Time, gid)
 	c.degrade = make([]float64, gid)
+	c.initSlices()
 
 	if cfg.Mode == ModeCUDA {
 		return c, nil
@@ -269,24 +274,30 @@ func New(cfg Config) (*Cluster, error) {
 	// Device schedulers and, for Strings, per-GPU backend processes. Rain's
 	// per-process backends can only observe attained service at request
 	// boundaries, so its Request Monitor runs with coarse accounting.
-	schedCfg := cfg.Sched
-	if cfg.Mode == ModeRain && schedCfg.AccountingLag == 0 {
-		schedCfg.AccountingLag = 100 * sim.Millisecond
-	}
 	for g, d := range c.devices {
 		dp, err := c.devPolicy()
 		if err != nil {
 			return nil, err
 		}
-		s := devsched.New(c.K, d, g, dp, schedCfg)
-		s.SetRecorder(cfg.Recorder)
-		c.scheds = append(c.scheds, s)
+		c.scheds = append(c.scheds, c.newSched(d, g, dp))
 		if cfg.Mode == ModeStrings {
 			c.backs = append(c.backs, newStringsBackend(c, g))
 		}
 	}
 	faults.Start(c.K, cfg.Faults, c)
 	return c, nil
+}
+
+// newSched builds one device scheduler with the cluster's config (Rain's
+// per-process backends get the coarse accounting lag).
+func (c *Cluster) newSched(d *gpu.Device, gid int, dp devsched.Policy) *devsched.Scheduler {
+	schedCfg := c.cfg.Sched
+	if c.cfg.Mode == ModeRain && schedCfg.AccountingLag == 0 {
+		schedCfg.AccountingLag = 100 * sim.Millisecond
+	}
+	s := devsched.New(c.K, d, gid, dp, schedCfg)
+	s.SetRecorder(c.cfg.Recorder)
+	return s
 }
 
 // devPolicy instantiates a fresh device-policy value (stateful policies
@@ -352,6 +363,10 @@ func (c *Cluster) mapperLoop(p *sim.Proc) {
 		case m.recovered:
 			c.mapper.ReportRecovered(m.hGID)
 		case m.done != nil:
+			if m.req.WantsSlice() {
+				c.handleSliceSelect(p, m)
+				continue
+			}
 			m.out.gid = c.mapper.SelectAt(p.Now(), m.req)
 			m.done.Fire()
 		case m.release:
@@ -359,6 +374,7 @@ func (c *Cluster) mapperLoop(p *sim.Proc) {
 				c.mapper.Feedback(m.fb)
 			}
 			c.mapper.Release(m.relGID, m.relKind)
+			c.noteSliceRelease(p, m.relGID)
 		}
 	}
 }
@@ -372,8 +388,11 @@ func (c *Cluster) controlLatency(node int) sim.Time {
 	return c.cfg.RemoteLink.Latency
 }
 
-// SelectGPU implements interpose.Fabric.
+// SelectGPU implements interpose.Fabric. Requests from tenants with a
+// slice profile are enriched with the profile's demand here, so the
+// interposer stays slice-agnostic.
 func (c *Cluster) SelectGPU(p *sim.Proc, req balancer.Request) balancer.GID {
+	req = c.sliceDemand(req)
 	lat := c.controlLatency(req.Node)
 	p.Sleep(lat)
 	out := &selectResult{}

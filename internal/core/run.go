@@ -50,6 +50,46 @@ type RunResult struct {
 	// Recovered counts applications that completed despite being touched
 	// by a backend failure (a call timeout or a failover to another GPU).
 	Recovered int
+
+	// Slice-placement outcomes (all zero unless the run used slice
+	// streams; see internal/core/slices.go).
+	SliceCarves   int // slices carved over the run
+	SliceReleases int // slices destroyed when their tenant departed
+	SliceParks    int // placement attempts that had to park for capacity
+
+	// AdmissionWaits is the per-tenant wait from the tenant's first
+	// placement attempt to its slice being carved (zero when it was placed
+	// immediately) — the admission component of the tenants' SLO.
+	AdmissionWaits []sim.Time
+
+	// StrandedIntegral/StrandedHorizon hold the time-weighted integral of
+	// the fleet's stranded-capacity fraction and the virtual time it was
+	// integrated over; StrandedRatio() is their quotient.
+	StrandedIntegral float64
+	StrandedHorizon  sim.Time
+}
+
+// StrandedRatio returns the time-averaged stranded-capacity fraction of the
+// partitionable fleet: free capacity weighted by the share of slice
+// profiles it cannot serve (see balancer.FragScore), averaged over devices
+// and virtual time. Zero for fleets without partitionable devices.
+func (r *RunResult) StrandedRatio() float64 {
+	if r.StrandedHorizon <= 0 {
+		return 0
+	}
+	return r.StrandedIntegral / float64(r.StrandedHorizon)
+}
+
+// AvgAdmissionWait returns the mean slice-admission wait (0 with no slices).
+func (r *RunResult) AvgAdmissionWait() sim.Time {
+	if len(r.AdmissionWaits) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, w := range r.AdmissionWaits {
+		sum += int64(w)
+	}
+	return sim.Time(sum / int64(len(r.AdmissionWaits)))
 }
 
 func newRunResult() *RunResult {
@@ -84,6 +124,12 @@ func (r *RunResult) Merge(o *RunResult) {
 	r.Finished += o.Finished
 	r.Lost += o.Lost
 	r.Recovered += o.Recovered
+	r.SliceCarves += o.SliceCarves
+	r.SliceReleases += o.SliceReleases
+	r.SliceParks += o.SliceParks
+	r.AdmissionWaits = append(r.AdmissionWaits, o.AdmissionWaits...)
+	r.StrandedIntegral += o.StrandedIntegral
+	r.StrandedHorizon += o.StrandedHorizon
 	if o.EndTime > r.EndTime {
 		r.EndTime = o.EndTime
 	}
@@ -150,6 +196,9 @@ func (r *RunResult) FairnessAllocations() []float64 {
 // Run launches the request streams and drives the simulation to completion,
 // returning the aggregated results.
 func (c *Cluster) Run(streams []workload.StreamSpec) (*RunResult, error) {
+	if err := c.prepareSlices(streams); err != nil {
+		return nil, err
+	}
 	for si, s := range streams {
 		if s.Node < 0 || s.Node >= len(c.nodeDev) {
 			return nil, fmt.Errorf("core: stream %d arrives at unknown node %d", si, s.Node)
@@ -158,6 +207,7 @@ func (c *Cluster) Run(streams []workload.StreamSpec) (*RunResult, error) {
 	}
 	c.K.Run()
 	c.results.EndTime = c.K.Now()
+	c.closeStranded(c.results.EndTime)
 	return c.results, nil
 }
 
@@ -168,6 +218,9 @@ func (c *Cluster) Run(streams []workload.StreamSpec) (*RunResult, error) {
 // sized to keep every tenant backlogged through the horizon, and the Jain
 // index is computed over service rates while tenants actually compete.
 func (c *Cluster) RunUntil(streams []workload.StreamSpec, horizon sim.Time) (*RunResult, error) {
+	if err := c.prepareSlices(streams); err != nil {
+		return nil, err
+	}
 	for si, s := range streams {
 		if s.Node < 0 || s.Node >= len(c.nodeDev) {
 			return nil, fmt.Errorf("core: stream %d arrives at unknown node %d", si, s.Node)
@@ -176,6 +229,7 @@ func (c *Cluster) RunUntil(streams []workload.StreamSpec, horizon sim.Time) (*Ru
 	}
 	c.K.RunUntil(horizon)
 	c.results.EndTime = c.K.Now()
+	c.closeStranded(c.results.EndTime)
 	// Replace the completion-derived tenant accounting with the devices'
 	// view at the horizon.
 	c.results.TenantService = make(map[int64]sim.Time)

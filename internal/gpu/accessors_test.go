@@ -1,0 +1,147 @@
+package gpu
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestDeviceAccessors(t *testing.T) {
+	k := sim.NewKernel(1)
+	d := NewDevice(k, testSpec(), 3)
+	if d.ID() != 3 {
+		t.Fatalf("ID = %d, want 3", d.ID())
+	}
+	if d.Spec().Name != "test" {
+		t.Fatalf("Spec name %q", d.Spec().Name)
+	}
+	ctx := d.NewContext()
+	if ctx.ID() != 0 || ctx.Device() != d {
+		t.Fatalf("context accessors: id=%d dev=%p", ctx.ID(), ctx.Device())
+	}
+	s := ctx.NewStream()
+	if s.ID() != 0 || s.Context() != ctx || s.Pending() != 0 {
+		t.Fatalf("stream accessors: id=%d pending=%d", s.ID(), s.Pending())
+	}
+}
+
+func TestOpPoolRecycles(t *testing.T) {
+	k := sim.NewKernel(1)
+	d := NewDevice(k, testSpec(), 0)
+	op := d.GetOp(OpKernel)
+	if op.Kind != OpKernel || !op.pooled {
+		t.Fatalf("GetOp gave %+v", op)
+	}
+	op.Compute = 123
+	d.PutOp(op)
+	op2 := d.GetOp(OpH2D)
+	if op2 != op {
+		t.Fatal("free list did not recycle the returned op")
+	}
+	if op2.Compute != 0 {
+		t.Fatal("recycled op was not zeroed")
+	}
+	if op2.Kind != OpH2D {
+		t.Fatalf("recycled op kind %v", op2.Kind)
+	}
+	d.PutOp(nil)              // must not panic
+	d.PutOp(&Op{Kind: OpD2H}) // unpooled: ignored
+	if len(d.opFree) != 0 {
+		t.Fatalf("unpooled op landed on the free list")
+	}
+}
+
+func TestOpTimesAndAppCounters(t *testing.T) {
+	k := sim.NewKernel(1)
+	d := NewDevice(k, testSpec(), 0)
+	ctx := d.NewContext()
+	s := ctx.NewStream()
+	op := &Op{Kind: OpKernel, Compute: 50000, MemTraffic: 1000, AppID: 9}
+	k.Go("app", func(p *sim.Proc) {
+		p.Wait(s.Submit(op))
+	})
+	k.Run()
+	if op.WallTime() <= 0 || op.ExecTime() <= 0 {
+		t.Fatalf("WallTime=%v ExecTime=%v", op.WallTime(), op.ExecTime())
+	}
+	if op.WallTime() < op.ExecTime() {
+		t.Fatal("wall time below exec time")
+	}
+	if d.AppMemTraffic(9) != 1000 {
+		t.Fatalf("AppMemTraffic = %v, want 1000", d.AppMemTraffic(9))
+	}
+	// A single resident context is never switched out.
+	if d.AppSwitchCharge(9) != 0 {
+		t.Fatalf("AppSwitchCharge = %v, want 0", d.AppSwitchCharge(9))
+	}
+}
+
+func TestUtilTraceBusyHelpers(t *testing.T) {
+	u := &UtilTrace{}
+	u.Segment(0, 10, 1.0, 0.5, 1, 1)  // busy
+	u.Segment(10, 20, 0, 0, 0, 1)     // idle gap
+	u.Segment(20, 30, 0.5, 0.1, 0, 1) // busy again
+	u.Segment(30, 40, 0, 0, 0, 0)     // trailing idle
+
+	if !u.Segments[0].Busy() || u.Segments[1].Busy() {
+		t.Fatal("Busy() misclassifies segments")
+	}
+	if got := u.MeanBusy(40); got != 0.5 {
+		t.Fatalf("MeanBusy = %v, want 0.5", got)
+	}
+	if got := u.MeanBusy(0); got != 0 {
+		t.Fatalf("MeanBusy(0) = %v", got)
+	}
+	bb := u.BusyBuckets(40, 4)
+	want := []float64{1, 0, 1, 0}
+	for i := range bb {
+		if bb[i] != want[i] {
+			t.Fatalf("BusyBuckets = %v, want %v", bb, want)
+		}
+	}
+	if got := len(u.BusyBuckets(0, 4)); got != 4 {
+		t.Fatalf("BusyBuckets(0) length %d", got)
+	}
+	strip := u.RenderBusy(40, 4)
+	if len([]rune(strip)) != 4 {
+		t.Fatalf("RenderBusy strip %q", strip)
+	}
+	if u.BusyGlitchCount() != 1 {
+		t.Fatalf("BusyGlitchCount = %d, want 1", u.BusyGlitchCount())
+	}
+	if cu, bw := u.Sample(5); cu != 1.0 || bw != 0.5 {
+		t.Fatalf("Sample(5) = %v,%v", cu, bw)
+	}
+	if cu, _ := u.Sample(100); cu != 0 {
+		t.Fatalf("Sample past end = %v", cu)
+	}
+}
+
+func TestUtilTraceWriteJSON(t *testing.T) {
+	u := &UtilTrace{}
+	u.Segment(0, 10, 0.25, 0.5, 1, 2)
+	var buf bytes.Buffer
+	if err := u.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	got := buf.String()
+	want := `[{"from_us":0,"to_us":10,"compute":0.25,"bw":0.5,"copies":1,"ctx":2}]` + "\n"
+	if got != want {
+		t.Fatalf("WriteJSON = %q, want %q", got, want)
+	}
+}
+
+func TestSpecNormalizedDefaults(t *testing.T) {
+	n := Spec{Name: "bare"}.normalized()
+	if n.ComputeRate == 0 || n.MemBandwidth == 0 || n.H2DBandwidth == 0 ||
+		n.D2HBandwidth == 0 || n.CopyEngines == 0 || n.TimeSlice == 0 ||
+		n.MaxConcurrentKernels == 0 || n.MemBytes == 0 || n.Weight == 0 {
+		t.Fatalf("normalized left zero fields: %+v", n)
+	}
+	full := testSpec()
+	full.MaxConcurrentKernels = 4
+	if got := full.normalized(); got.ComputeRate != full.ComputeRate || got.MaxConcurrentKernels != 4 {
+		t.Fatalf("normalized overwrote set fields: %+v", got)
+	}
+}

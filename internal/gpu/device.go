@@ -39,7 +39,8 @@ type Device struct {
 
 	memUsed      int64
 	memHighWater int64
-	memWait      *sim.Signal // admission-control waiters (AllocBlocking)
+	memQ         sim.Ring[*memWaiter] // admission-control FIFO (AllocBlocking)
+	memWaitFree  []*memWaiter         // recycled waiter records
 
 	tracer     Tracer
 	onComplete func(*Op)
@@ -251,41 +252,93 @@ func (d *Device) Alloc(bytes int64) error {
 	return nil
 }
 
-// AllocBlocking reserves device memory, parking p in FIFO order until
+// memWaiter is one parked AllocBlocking request. The granter (Free) reserves
+// the capacity on the waiter's behalf before firing done, so a woken waiter
+// never re-checks — and a late small request can never slip in between the
+// free and the head waiter's wake-up.
+type memWaiter struct {
+	bytes int64
+	done  *sim.Event
+}
+
+// AllocBlocking reserves device memory, parking p in strict FIFO order until
 // enough capacity frees up. It only fails on invalid sizes (a request larger
 // than the device can ever satisfy, or negative). This is the
 // memory-pressure admission control the paper leaves as future work ("with
 // virtual memory support, Strings can eliminate the assumption on the
 // maximum rate of request arrivals").
+//
+// FIFO here is head-of-line reservation, not wake-all-and-race: a request
+// joins the queue whenever the queue is non-empty — even if its own bytes
+// would fit right now — and capacity freed by Free is handed to queued
+// waiters in arrival order. The earlier wake-everyone-and-recheck scheme let
+// any late small request take freed capacity ahead of the FIFO head, so a
+// large blocked allocation could starve indefinitely under steady small
+// traffic (regression-tested in TestAllocBlockingNoHeadOfLineBypass).
 func (d *Device) AllocBlocking(p *sim.Proc, bytes int64) error {
 	if bytes < 0 || bytes > d.spec.MemBytes {
 		return fmt.Errorf("gpu%d: unsatisfiable allocation %d of %d",
 			d.id, bytes, d.spec.MemBytes)
 	}
-	if d.memWait == nil {
-		d.memWait = d.k.NewSignal()
+	if d.memQ.Len() == 0 && d.memUsed+bytes <= d.spec.MemBytes {
+		d.memUsed += bytes
+		if d.memUsed > d.memHighWater {
+			d.memHighWater = d.memUsed
+		}
+		return nil
 	}
-	// Capacity-fit admission: waiters are woken in arrival order on every
-	// free and take the capacity if their request now fits.
-	for d.memUsed+bytes > d.spec.MemBytes {
-		p.WaitSignal(d.memWait)
-	}
-	d.memUsed += bytes
-	if d.memUsed > d.memHighWater {
-		d.memHighWater = d.memUsed
-	}
+	w := d.getMemWaiter(bytes)
+	d.memQ.Push(w)
+	p.Wait(w.done)
+	// The granter already took the capacity for us; just recycle the record.
+	d.putMemWaiter(w)
 	return nil
 }
 
-// Free releases device memory and wakes any admission-control waiters.
+// getMemWaiter draws a waiter record from the free list.
+func (d *Device) getMemWaiter(bytes int64) *memWaiter {
+	if n := len(d.memWaitFree); n > 0 {
+		w := d.memWaitFree[n-1]
+		d.memWaitFree[n-1] = nil
+		d.memWaitFree = d.memWaitFree[:n-1]
+		w.bytes = bytes
+		w.done.Reset()
+		return w
+	}
+	return &memWaiter{bytes: bytes, done: d.k.NewEvent()}
+}
+
+// putMemWaiter recycles a granted waiter record.
+func (d *Device) putMemWaiter(w *memWaiter) {
+	w.bytes = 0
+	d.memWaitFree = append(d.memWaitFree, w) //lint:allow hotalloc -- free-list growth is amortized, bounded by peak parked waiters
+}
+
+// grantMemWaiters hands freed capacity to parked allocations in FIFO order,
+// stopping at the first waiter that still does not fit (no bypass).
+func (d *Device) grantMemWaiters() {
+	for d.memQ.Len() > 0 {
+		w := d.memQ.Front()
+		if d.memUsed+w.bytes > d.spec.MemBytes {
+			return
+		}
+		d.memQ.Pop()
+		d.memUsed += w.bytes
+		if d.memUsed > d.memHighWater {
+			d.memHighWater = d.memUsed
+		}
+		w.done.Fire()
+	}
+}
+
+// Free releases device memory and grants it to admission-control waiters in
+// FIFO order.
 func (d *Device) Free(bytes int64) {
 	d.memUsed -= bytes
 	if d.memUsed < 0 {
 		panic(fmt.Sprintf("gpu%d: freed more memory than allocated", d.id))
 	}
-	if d.memWait != nil {
-		d.memWait.Notify()
-	}
+	d.grantMemWaiters()
 }
 
 // MemUsed returns the bytes currently allocated.

@@ -63,6 +63,75 @@ func TestAllocBlockingUnsatisfiable(t *testing.T) {
 	k.Run()
 }
 
+// TestAllocBlockingNoHeadOfLineBypass is the regression test for the FIFO
+// bypass bug: the old wake-all-and-recheck scheme let every late small
+// request take freed capacity ahead of the parked FIFO head, so a
+// 90%-capacity waiter starved for as long as small traffic kept churning.
+// With head-of-line reservation the big waiter is granted the instant the
+// original holder has drained enough (t=80 leaves exactly 900 bytes free),
+// regardless of the churn.
+func TestAllocBlockingNoHeadOfLineBypass(t *testing.T) {
+	k := sim.NewKernel(1)
+	spec := testSpec()
+	spec.MemBytes = 1000
+	d := NewDevice(k, spec, 0)
+
+	// Holder occupies 90% and drains in 9 steps, fully free at t=90.
+	k.Go("holder", func(p *sim.Proc) {
+		if err := d.Alloc(900); err != nil {
+			t.Errorf("holder: %v", err)
+		}
+		for i := 0; i < 9; i++ {
+			p.Sleep(10)
+			d.Free(100)
+		}
+	})
+
+	// The 90%-capacity waiter parks at t=1 (only 100 bytes free).
+	var bigGrantedAt sim.Time = -1
+	k.Go("big", func(p *sim.Proc) {
+		p.Sleep(1)
+		if err := d.AllocBlocking(p, 900); err != nil {
+			t.Errorf("big: %v", err)
+		}
+		bigGrantedAt = p.Now()
+	})
+
+	// Steady small traffic behind it: arrivals every 4us holding 100 bytes
+	// for 10us each keep 200-300 bytes resident at all times, so under the
+	// old scheme no notify ever found ≤100 bytes in use and the big waiter
+	// starved until the churn stopped (t≈208).
+	var smallGrants []sim.Time
+	for i := 0; i < 50; i++ {
+		at := sim.Time(2 + 4*i)
+		k.Go("small", func(p *sim.Proc) {
+			p.Sleep(at)
+			if err := d.AllocBlocking(p, 100); err != nil {
+				t.Errorf("small@%v: %v", at, err)
+			}
+			smallGrants = append(smallGrants, p.Now())
+			p.Sleep(10)
+			d.Free(100)
+		})
+	}
+
+	k.Run()
+	if bigGrantedAt != 80 {
+		t.Fatalf("90%%-capacity waiter granted at t=%v, want t=80 (head-of-line reservation)", bigGrantedAt)
+	}
+	if len(smallGrants) != 50 {
+		t.Fatalf("granted %d small requests, want 50", len(smallGrants))
+	}
+	for i := 1; i < len(smallGrants); i++ {
+		if smallGrants[i] < smallGrants[i-1] {
+			t.Fatalf("small grants out of FIFO order at %d: %v", i, smallGrants[:i+1])
+		}
+	}
+	if d.MemUsed() != 900 {
+		t.Fatalf("MemUsed = %d after drain, want 900 (big waiter holds)", d.MemUsed())
+	}
+}
+
 func TestAllocBlockingServesWaitersInOrder(t *testing.T) {
 	k := sim.NewKernel(1)
 	d := NewDevice(k, testSpec(), 0) // 1 MiB

@@ -1,0 +1,178 @@
+package gpu
+
+import "fmt"
+
+// MIG-style device partitioning. A partitionable device (Spec.SliceProfiles
+// non-empty) can be carved into isolated slices: each slice owns a fixed
+// compute fraction (expressed in sevenths, after NVIDIA's GPU-instance
+// granularity), a dedicated share of memory bandwidth, and a dedicated
+// memory capacity. A slice is served by its own Device (see Spec.Slice),
+// so slices get private resident-context multiplexing and zero cross-slice
+// interference by construction — the 2020s hardware answer to the paper's
+// software context-packing story.
+
+// SliceFractions is the compute-fraction denominator: profiles are sized in
+// sevenths of the parent device, mirroring MIG's seven GPU slices.
+const SliceFractions = 7
+
+// SliceProfile describes one allowed slice shape on a partitionable device.
+type SliceProfile struct {
+	// Name is the profile's short code ("1g", "2g", ... "7g").
+	Name string
+
+	// Frac is the compute fraction in sevenths (1..7). The slice receives
+	// Frac/7 of the parent's compute throughput and memory bandwidth.
+	Frac int
+
+	// MemBytes is the slice's dedicated device-memory capacity. MIG memory
+	// shares are deliberately NOT proportional to compute (a 3g instance
+	// owns half the memory of the device); the disproportion is what makes
+	// placement fragment.
+	MemBytes int64
+}
+
+// MIGProfiles returns the standard MIG-style profile table for a device with
+// the given memory capacity, following the A100 1g/2g/3g/4g/7g shapes:
+// memory shares of 1/8, 1/4, 1/2, 1/2 and the whole device.
+func MIGProfiles(memBytes int64) []SliceProfile {
+	return []SliceProfile{
+		{Name: "1g", Frac: 1, MemBytes: memBytes / 8},
+		{Name: "2g", Frac: 2, MemBytes: memBytes / 4},
+		{Name: "3g", Frac: 3, MemBytes: memBytes / 2},
+		{Name: "4g", Frac: 4, MemBytes: memBytes / 2},
+		{Name: "7g", Frac: 7, MemBytes: memBytes},
+	}
+}
+
+// WithMIG returns a copy of the spec carrying the standard MIG profile table
+// sized to the spec's memory — the one-liner that turns a testbed card into
+// a partitionable device.
+func (s Spec) WithMIG() Spec {
+	s.SliceProfiles = MIGProfiles(s.normalized().MemBytes)
+	return s
+}
+
+// Partitionable reports whether the spec allows slicing.
+func (s Spec) Partitionable() bool { return len(s.SliceProfiles) > 0 }
+
+// ProfileByName resolves a profile name against the spec's table.
+func (s Spec) ProfileByName(name string) (SliceProfile, bool) {
+	for _, p := range s.SliceProfiles {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return SliceProfile{}, false
+}
+
+// Slice derives the isolated slice device spec for a profile: the parent's
+// rates scaled by the compute fraction, the profile's dedicated memory, and
+// no further partitioning (slices are not re-sliceable).
+func (s Spec) Slice(p SliceProfile) Spec {
+	out := s.normalized()
+	f := float64(p.Frac) / SliceFractions
+	out.Name = s.Name + "/" + p.Name
+	out.ComputeRate *= f
+	out.MemBandwidth *= f
+	out.H2DBandwidth *= f
+	out.D2HBandwidth *= f
+	out.MemBytes = p.MemBytes
+	out.Weight = out.Weight * f
+	if mck := out.MaxConcurrentKernels * p.Frac / SliceFractions; mck >= 1 {
+		out.MaxConcurrentKernels = mck
+	} else {
+		out.MaxConcurrentKernels = 1
+	}
+	out.SliceProfiles = nil
+	return out
+}
+
+// CarvedSlice is one live slice on a Partition.
+type CarvedSlice struct {
+	ID      int
+	Profile SliceProfile
+}
+
+// Partition is the reconfiguration ledger of one partitionable device: it
+// tracks the compute sevenths and memory bytes consumed by live slices and
+// enforces the carve invariants (never over-commit either dimension;
+// releasing a slice returns exactly what it carved). The placement layer
+// keeps its own capacity view in the DST; the Partition is the device-side
+// source of truth the two are reconciled against.
+type Partition struct {
+	spec     Spec
+	freeFrac int
+	freeMem  int64
+	carved   []CarvedSlice // live slices in carve order
+	nextID   int
+}
+
+// NewPartition creates the ledger for a partitionable spec.
+func NewPartition(spec Spec) (*Partition, error) {
+	n := spec.normalized()
+	n.SliceProfiles = spec.SliceProfiles
+	if !n.Partitionable() {
+		return nil, fmt.Errorf("gpu: %s is not partitionable (no slice profiles)", n.Name)
+	}
+	for _, p := range n.SliceProfiles {
+		if p.Frac < 1 || p.Frac > SliceFractions || p.MemBytes <= 0 || p.MemBytes > n.MemBytes {
+			return nil, fmt.Errorf("gpu: %s: invalid slice profile %+v", n.Name, p)
+		}
+	}
+	return &Partition{spec: n, freeFrac: SliceFractions, freeMem: n.MemBytes}, nil
+}
+
+// Spec returns the parent spec (normalized, profiles attached).
+func (pt *Partition) Spec() Spec { return pt.spec }
+
+// FreeFrac returns the uncarved compute sevenths.
+func (pt *Partition) FreeFrac() int { return pt.freeFrac }
+
+// FreeMem returns the uncarved memory bytes.
+func (pt *Partition) FreeMem() int64 { return pt.freeMem }
+
+// Slices returns the live slices in carve order. Callers must not mutate
+// the returned slice.
+func (pt *Partition) Slices() []CarvedSlice { return pt.carved }
+
+// Fits reports whether a profile can be carved right now.
+func (pt *Partition) Fits(p SliceProfile) bool {
+	return p.Frac <= pt.freeFrac && p.MemBytes <= pt.freeMem
+}
+
+// Carve reserves capacity for the named profile and returns the slice's id
+// and device spec. It fails — leaving the ledger untouched — when the
+// profile is unknown or either dimension would over-commit.
+func (pt *Partition) Carve(name string) (int, Spec, error) {
+	p, ok := pt.spec.ProfileByName(name)
+	if !ok {
+		return 0, Spec{}, fmt.Errorf("gpu: %s: unknown slice profile %q", pt.spec.Name, name)
+	}
+	if !pt.Fits(p) {
+		return 0, Spec{}, fmt.Errorf("gpu: %s: profile %s does not fit (%d/7 compute, %d bytes free)",
+			pt.spec.Name, name, pt.freeFrac, pt.freeMem)
+	}
+	pt.freeFrac -= p.Frac
+	pt.freeMem -= p.MemBytes
+	id := pt.nextID
+	pt.nextID++
+	pt.carved = append(pt.carved, CarvedSlice{ID: id, Profile: p})
+	return id, pt.spec.Slice(p), nil
+}
+
+// Release destroys a live slice, returning exactly the capacity it carved.
+func (pt *Partition) Release(id int) error {
+	for i, c := range pt.carved {
+		if c.ID == id {
+			pt.freeFrac += c.Profile.Frac
+			pt.freeMem += c.Profile.MemBytes
+			pt.carved = append(pt.carved[:i], pt.carved[i+1:]...)
+			if pt.freeFrac > SliceFractions || pt.freeMem > pt.spec.MemBytes {
+				panic(fmt.Sprintf("gpu: %s: slice release over-returned capacity (%d/7, %d bytes)",
+					pt.spec.Name, pt.freeFrac, pt.freeMem))
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("gpu: %s: release of unknown slice %d", pt.spec.Name, id)
+}

@@ -64,6 +64,12 @@ type Spec struct {
 	// PCIe-bound behaviour — which is precisely the headroom the
 	// feedback-based policies recover.
 	Weight float64
+
+	// SliceProfiles, when non-empty, marks the device partitionable: it can
+	// be carved into MIG-style isolated slices of these shapes (see
+	// slice.go). Empty — the default, and every testbed card — leaves the
+	// device whole, so all pre-slice behaviour is bit-identical.
+	SliceProfiles []SliceProfile
 }
 
 // Fermi-generation specs used by the paper's testbed. Compute rates are in

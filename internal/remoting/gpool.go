@@ -25,6 +25,16 @@ type Entry struct {
 	// removed. Rows are never deleted — GIDs are stable indices — so a
 	// dead row stays resolvable while the alive view excludes it.
 	Dead bool
+
+	// Slice rows are MIG-style slices carved at runtime from a
+	// partitionable device (see gpu.Partition): Parent is the physical
+	// row's GID, SliceID the partition-local slice id, Profile the shape.
+	// Like every other row they are never renumbered; a destroyed slice's
+	// row is marked Dead and stays resolvable.
+	Slice   bool
+	Parent  balancer.GID
+	SliceID int
+	Profile string
 }
 
 // GMap is the gPool's global device map, broadcast to every node.
@@ -95,6 +105,31 @@ func (g *GMap) RemoveNode(node int) []balancer.GID {
 	return removed
 }
 
+// AddSlice appends the gMap row for a slice carved from parent, assigning
+// the next free GID. The slice inherits the parent's location (node, addr,
+// local device) — it is the same silicon behind a capacity fence.
+func (g *GMap) AddSlice(parent balancer.GID, sliceID int, profile string, spec gpu.Spec) (balancer.GID, error) {
+	pe, ok := g.Lookup(parent)
+	if !ok {
+		return 0, fmt.Errorf("remoting: AddSlice: unknown parent gid %d", parent)
+	}
+	if pe.Slice {
+		return 0, fmt.Errorf("remoting: AddSlice: parent gid %d is itself a slice", parent)
+	}
+	gid := balancer.GID(len(g.entries))
+	g.entries = append(g.entries, Entry{
+		GID: gid, Node: pe.Node, Addr: pe.Addr, LocalDev: pe.LocalDev,
+		Spec: spec, Slice: true, Parent: parent, SliceID: sliceID, Profile: profile,
+	})
+	g.rebuild()
+	return gid, nil
+}
+
+// RetireSlice marks a destroyed slice's row dead. The row — like a removed
+// node's — stays resolvable forever, so in-flight references to the GID
+// fail cleanly instead of aliasing a future row.
+func (g *GMap) RetireSlice(gid balancer.GID) { g.MarkDead(gid) }
+
 // Alive returns the live GIDs in ascending order. The slice is the gMap's
 // cache; callers must not mutate it.
 func (g *GMap) Alive() []balancer.GID { return g.alive }
@@ -132,6 +167,22 @@ func (g *GMap) DST() *balancer.DST {
 		}
 		if e.Dead {
 			row.Health = balancer.Dead
+		}
+		if e.Slice {
+			row.IsSlice = true
+			row.Parent = e.Parent
+			row.Profile = e.Profile
+		} else if e.Spec.Partitionable() {
+			row.Partitionable = true
+			row.TotalFrac = gpu.SliceFractions
+			row.FreeFrac = gpu.SliceFractions
+			row.TotalMem = e.Spec.MemBytes
+			row.FreeMem = e.Spec.MemBytes
+			for _, p := range e.Spec.SliceProfiles {
+				row.Shapes = append(row.Shapes, balancer.SliceShape{
+					Name: p.Name, Frac: p.Frac, Mem: p.MemBytes,
+				})
+			}
 		}
 		rows = append(rows, row)
 	}

@@ -144,6 +144,12 @@ func appendDecisionJSONL(b []byte, d Decision) []byte {
 		b = appendInt(b, int64(row.Load))
 		b = append(b, `,"weight":`...)
 		b = appendJSONFloat(b, row.Weight)
+		if row.FreeFrac != 0 || row.FreeMem != 0 {
+			b = append(b, `,"free_frac":`...)
+			b = appendInt(b, int64(row.FreeFrac))
+			b = append(b, `,"free_mem":`...)
+			b = appendInt(b, row.FreeMem)
+		}
 		b = append(b, '}')
 	}
 	return append(b, `]}`...)
@@ -199,11 +205,13 @@ type jsonlRecord struct {
 }
 
 type jsonlAuditRow struct {
-	GID    int     `json:"gid"`
-	Node   int     `json:"node"`
-	Health string  `json:"health"`
-	Load   int     `json:"load"`
-	Weight float64 `json:"weight"`
+	GID      int     `json:"gid"`
+	Node     int     `json:"node"`
+	Health   string  `json:"health"`
+	Load     int     `json:"load"`
+	Weight   float64 `json:"weight"`
+	FreeFrac int     `json:"free_frac"`
+	FreeMem  int64   `json:"free_mem"`
 }
 
 // ParseJSONL decodes a JSONL stream back into a Set. Lines must be valid

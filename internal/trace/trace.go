@@ -138,13 +138,19 @@ type Event struct {
 }
 
 // DecisionRow snapshots one DST row as the policy saw it (before the
-// winning bind mutated the table).
+// winning bind mutated the table). FreeFrac/FreeMem carry a partitionable
+// row's uncarved capacity (compute sevenths, memory bytes) so slice-
+// placement audits show why a device was or wasn't a fit; both stay zero on
+// classic rows and are then omitted from the JSONL encoding, keeping
+// pre-slice trace bytes identical.
 type DecisionRow struct {
-	GID    int
-	Node   int
-	Health string
-	Load   int
-	Weight float64
+	GID      int
+	Node     int
+	Health   string
+	Load     int
+	Weight   float64
+	FreeFrac int
+	FreeMem  int64
 }
 
 // Decision is the structured audit record of one cudaSetDevice override:

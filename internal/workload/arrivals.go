@@ -31,6 +31,16 @@ type StreamSpec struct {
 	// LambdaFactor, if set and Lambda is zero, sizes λ proportionally to
 	// the application's solo runtime, as the paper does.
 	LambdaFactor float64
+
+	// SliceProfile, when non-empty, asks the placement layer to serve this
+	// tenant from a dedicated MIG-style slice of the named shape ("1g" ..
+	// "7g", see gpu.MIGProfiles) instead of a shared whole device. The
+	// string stays flat so StreamSpec remains comparable (it keys caches).
+	SliceProfile string
+
+	// Start offsets every arrival of the stream, staggering tenant onsets
+	// so scenarios can shape instantaneous load (zero = legacy behavior).
+	Start sim.Time
 }
 
 // EffectiveLambda resolves the stream's mean inter-arrival time.
@@ -49,7 +59,7 @@ func (s StreamSpec) EffectiveLambda() sim.Time {
 // random source.
 func (s StreamSpec) Arrivals(rng *rand.Rand) []sim.Time {
 	times := make([]sim.Time, s.Count)
-	var t sim.Time
+	t := s.Start
 	lambda := s.EffectiveLambda()
 	for i := range times {
 		t += ExpInterArrival(rng, lambda)

@@ -76,6 +76,26 @@ var (
 // NewCluster builds a cluster from cfg.
 func NewCluster(cfg Config) (*Cluster, error) { return core.New(cfg) }
 
+// MIG-style device partitioning: a DeviceSpec carrying slice profiles (see
+// DeviceSpec.WithMIG) can be carved into isolated slices, and StreamSpecs
+// naming a SliceProfile get their tenant a dedicated slice instead of a
+// share of a whole device.
+type (
+	// SliceProfile is one allowed slice shape (name, compute sevenths,
+	// dedicated memory).
+	SliceProfile = gpu.SliceProfile
+	// Partition is the carve/release ledger of one partitionable device.
+	Partition = gpu.Partition
+)
+
+// SliceFractions is the compute-fraction denominator of slice profiles:
+// shapes are sized in sevenths of the parent device, as MIG does.
+const SliceFractions = gpu.SliceFractions
+
+// MIGProfiles returns the standard 1g..7g slice-profile table for a device
+// with the given memory capacity.
+func MIGProfiles(memBytes int64) []SliceProfile { return gpu.MIGProfiles(memBytes) }
+
 // GID is a gPool-global GPU identifier.
 type GID = balancer.GID
 
@@ -123,7 +143,9 @@ const (
 func ProfileFor(k Kind) Profile { return workload.ProfileFor(k) }
 
 // BalancingPolicies lists the workload-balancing policy names accepted by
-// Config.Balance, in the paper's order.
+// Config.Balance, in the paper's order. Config.Balance additionally accepts
+// "Frag", the fragmentation-gradient slice-placement policy (it behaves as
+// GMin for whole-device requests, so it is omitted from the paper's list).
 func BalancingPolicies() []string { return balancer.Names() }
 
 // DevicePolicies lists the device-level scheduling policy names accepted by

@@ -71,3 +71,38 @@ func TestFacadeSuite(t *testing.T) {
 		t.Fatal("TableI missing rows")
 	}
 }
+
+func TestFacadeSlicePlacement(t *testing.T) {
+	dev := stringsched.TeslaC2050.WithMIG()
+	if !dev.Partitionable() {
+		t.Fatal("WithMIG spec must be partitionable")
+	}
+	if len(stringsched.MIGProfiles(8<<30)) != 5 {
+		t.Fatal("MIGProfiles table size")
+	}
+	cfg := stringsched.Config{
+		Seed:    1,
+		Nodes:   []stringsched.NodeConfig{{Devices: []stringsched.DeviceSpec{dev, dev}}},
+		Mode:    stringsched.ModeStrings,
+		Balance: "Frag",
+	}
+	c, err := stringsched.NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.Run([]stringsched.StreamSpec{
+		{Kind: stringsched.Gaussian, Count: 3, LambdaFactor: 0.6,
+			Node: 0, Tenant: 1, Weight: 1, SliceProfile: "3g"},
+		{Kind: stringsched.Gaussian, Count: 3, LambdaFactor: 0.6,
+			Node: 0, Tenant: 2, Weight: 1, SliceProfile: "7g"},
+	})
+	if err != nil || len(r.Errors) > 0 {
+		t.Fatalf("run: %v %v", err, r.Errors)
+	}
+	if r.SliceCarves != 2 || r.SliceReleases != 2 {
+		t.Fatalf("carves/releases = %d/%d", r.SliceCarves, r.SliceReleases)
+	}
+	if r.StrandedRatio() < 0 || r.StrandedRatio() > 1 {
+		t.Fatalf("StrandedRatio = %v", r.StrandedRatio())
+	}
+}
