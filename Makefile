@@ -16,6 +16,12 @@ test:
 # figure-grid comparison.
 race:
 	$(GO) test -race -short ./...
+	@# The sharded kernel's concurrency surface, raced at full strength:
+	@# the coordinator's window/solo machinery, the cross-shard cluster
+	@# invariance matrix, and the sharded mega smoke (skipped under -short
+	@# above) all run with the barrier worker pool live.
+	$(GO) test -race -run 'TestRing|TestShard|TestSolo|TestRunMegaSharded' \
+		./internal/sim/shard/ ./internal/core/ ./stringsched/
 
 vet:
 	$(GO) vet ./...
@@ -68,14 +74,16 @@ bench:
 
 # Coverage gate: run the internal packages with -coverprofile and fail if
 # any of the gated packages (the observability layer, the sweep engine,
-# the analysis framework and the device model) drops below 85% statement
-# coverage. The profile lands in $(BIN)/cover.out for CI to upload.
+# the shard coordinator, the analytic fast-forward layer, the analysis
+# framework and the device model) drops below 85% statement coverage. The
+# profile lands in $(BIN)/cover.out for CI to upload.
 cover:
 	@mkdir -p $(BIN)
 	$(GO) test -coverprofile=$(BIN)/cover.out ./internal/...
 	$(GO) run ./cmd/covercheck -profile $(BIN)/cover.out -min 85 \
 		repro/internal/trace repro/internal/sweep repro/internal/parallel \
-		repro/internal/sim repro/internal/analysis repro/internal/gpu
+		repro/internal/sim repro/internal/sim/shard repro/internal/analytic \
+		repro/internal/analysis repro/internal/gpu
 
 # Short fuzz pass over every native fuzz target: the wire codec, the framing
 # layer and the trace encoders each get 10s of coverage-guided input on top
@@ -97,8 +105,11 @@ bench-json:
 # Mega macro-benchmark smoke: the million-request scenario at CI scale
 # (20k requests, a couple of seconds). Runs against a copy so the committed
 # BENCH_simcore.json keeps its full-scale numbers; the merge must preserve
-# the standard scenario's keys, which the grep asserts. CI uploads the
-# resulting file as an artifact.
+# the standard scenario's keys, which the grep asserts. The sharded smoke
+# then runs the four-node sharded variant twice — -shards 1 and -shards 4 —
+# into separate files and diffs the simulated-metrics keys (mega_sharded_*):
+# the barrier worker count may only change wall-clock numbers, never a
+# simulated one. CI uploads all three files as artifacts.
 bench-mega:
 	@mkdir -p $(BIN)
 	cp BENCH_simcore.json $(BIN)/BENCH_simcore.json
@@ -107,6 +118,14 @@ bench-mega:
 		{ echo "bench-mega: merge dropped the standard scenario's keys"; exit 1; }
 	@grep -q '"mega_ns_per_event"' $(BIN)/BENCH_simcore.json || \
 		{ echo "bench-mega: mega keys missing from merged output"; exit 1; }
+	$(GO) run ./cmd/strings-bench -exp mega -mega-requests 20000 -shards 1 \
+		-bench-json $(BIN)/BENCH_simcore.shards1.json
+	$(GO) run ./cmd/strings-bench -exp mega -mega-requests 20000 -shards 4 \
+		-bench-json $(BIN)/BENCH_simcore.shards4.json
+	@grep '"mega_sharded_' $(BIN)/BENCH_simcore.shards1.json > $(BIN)/mega-sim-keys.shards1; \
+	grep '"mega_sharded_' $(BIN)/BENCH_simcore.shards4.json > $(BIN)/mega-sim-keys.shards4; \
+	diff $(BIN)/mega-sim-keys.shards1 $(BIN)/mega-sim-keys.shards4 || \
+		{ echo "bench-mega: simulated metrics differ between -shards 1 and -shards 4"; exit 1; }
 
 # Regenerate BENCH_sweep.json: the figure grid (fig9+fig10+fig12) timed
 # sequentially and at GOMAXPROCS workers, with the tables verified deeply

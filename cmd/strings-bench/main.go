@@ -4,7 +4,7 @@
 //
 //	strings-bench [-exp all|table1|fig1|fig2|fig9|fig10|fig11|fig12|fig13|fig14|fig15|headline|frag|ablations|faults|mega]
 //	              [-requests N] [-lambda F] [-seed S] [-pairs N] [-width W]
-//	              [-parallel N] [-seeds N] [-mega-requests N]
+//	              [-parallel N] [-seeds N] [-mega-requests N] [-shards N]
 //	              [-cpuprofile out.pprof] [-memprofile out.pprof]
 //	              [-bench-json BENCH_simcore.json] [-bench-sweep BENCH_sweep.json]
 //	              [-trace out.json]
@@ -31,6 +31,11 @@
 // light-profile requests through a two-GPU Strings node, reporting events/sec,
 // ns/event, allocs/event and the fast-forward skip ratio; its mega_* keys are
 // merged into the bench JSON without disturbing the standard scenario's keys.
+// With -shards N the mega run instead uses the four-node sharded fleet: the
+// same traffic split across four shard kernels advancing concurrently under
+// the conservative window protocol, timed at 1 and N barrier workers, with
+// bit-identical simulated results verified between the passes and the
+// parallel speedup recorded (mega_sharded_*/mega_shards keys).
 // -bench-sweep times the figure grid sequentially and at -parallel workers,
 // verifies the tables are identical, and writes the speedup to the given
 // JSON file. -trace runs the same throughput scenario with the span recorder
@@ -45,6 +50,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"reflect"
 	"runtime"
 	"runtime/pprof"
@@ -238,7 +244,37 @@ func mergeBenchJSON(path string, rep any) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(out, '\n'), 0o644)
+	return writeFileAtomic(path, append(out, '\n'))
+}
+
+// writeFileAtomic writes data to path via a temp file in the same directory
+// and a rename, so a crash mid-write (or a concurrent reader in CI) never
+// observes a truncated bench file. The bench JSON is read-modify-written by
+// several independent passes; the rename makes each update all-or-nothing.
+func writeFileAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	if err := os.Chmod(name, 0o644); err != nil {
+		os.Remove(name)
+		return err
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return nil
 }
 
 // megaReport is the mega macro-run's slice of the BENCH_simcore.json schema.
@@ -296,6 +332,99 @@ func runBenchMega(path string, seed int64, requests int) error {
 	fmt.Printf("%s: mega %d requests, %d events, %.0f events/sec, %.0f ns/event, %.2f allocs/event, %d ff jumps (%.1f%% of timeline skipped), %.2fs wall\n",
 		path, rep.Requests, rep.Events, rep.EventsPerSec, rep.NsPerEvent, rep.AllocsPerEvent,
 		rep.FFJumps, 100*rep.FFSkipRatio, rep.WallSeconds)
+	return nil
+}
+
+// megaShardReport is the sharded mega macro-run's slice of the bench JSON.
+// The mega_sharded_* keys are the simulated outcome — bit-identical at any
+// -shards setting, which is what CI diffs between its -shards 1 and -shards 4
+// variants — while the remaining keys (worker count, wall clocks, speedup)
+// describe machine-dependent timing. Cores/gomaxprocs make the speedup honest
+// (same convention as BENCH_sweep.json): a 1-core container cannot show one,
+// and the file says so.
+type megaShardReport struct {
+	Scenario       string  `json:"mega_sharded_scenario"`
+	Requests       int     `json:"mega_sharded_requests"`
+	Finished       int     `json:"mega_sharded_finished"`
+	Events         uint64  `json:"mega_sharded_events"`
+	VirtualSeconds float64 `json:"mega_sharded_virtual_seconds"`
+	FFJumps        uint64  `json:"mega_sharded_ff_jumps"`
+	FFSkipRatio    float64 `json:"mega_sharded_ff_skip_ratio"`
+	Windows        uint64  `json:"mega_sharded_windows"`
+	SoloRuns       uint64  `json:"mega_sharded_solo_runs"`
+	Messages       uint64  `json:"mega_sharded_messages"`
+	LookaheadUS    int64   `json:"mega_sharded_lookahead_us"`
+	Identical      bool    `json:"mega_sharded_identical"`
+
+	Shards       int     `json:"mega_shards"`
+	Cores        int     `json:"mega_cores"`
+	Gomaxprocs   int     `json:"mega_gomaxprocs"`
+	SeqSeconds   float64 `json:"mega_seq_seconds"`
+	ParSeconds   float64 `json:"mega_par_seconds"`
+	Speedup      float64 `json:"mega_parallel_speedup"`
+	EventsPerSec float64 `json:"mega_par_events_per_sec"`
+	NsPerEvent   float64 `json:"mega_par_ns_per_event"`
+}
+
+// runBenchMegaSharded runs the sharded mega macro-scenario
+// (stringsched.RunMegaSharded: the mega traffic split across a four-node,
+// four-shard fleet) twice — once with one barrier worker, once with shards —
+// verifies the two passes produced bit-identical simulated results, and
+// merges the comparison into the bench JSON at path. A mismatch is a hard
+// error after the file is written: the speedup is worthless if the answers
+// changed.
+func runBenchMegaSharded(path string, seed int64, requests, shards int) error {
+	if requests < 1 {
+		return fmt.Errorf("-mega-requests must be at least 1 (got %d)", requests)
+	}
+	if shards < 1 {
+		return fmt.Errorf("-shards must be at least 1 in sharded mega mode (got %d)", shards)
+	}
+	pass := func(workers int) (stringsched.MegaResult, stringsched.ShardStats, float64, error) {
+		runtime.GC()
+		sw := parallel.StartStopwatch()
+		res, stats, err := stringsched.RunMegaSharded(seed, requests, workers)
+		return res, stats, sw.Seconds(), err
+	}
+	seqRes, seqStats, seqSec, err := pass(1)
+	if err != nil {
+		return err
+	}
+	parRes, parStats, parSec, err := pass(shards)
+	if err != nil {
+		return err
+	}
+	rep := megaShardReport{
+		Scenario:       fmt.Sprintf("four-node sharded Strings fleet, GMin, %d Gaussian requests", requests),
+		Requests:       requests,
+		Finished:       parRes.Finished,
+		Events:         parRes.Events,
+		VirtualSeconds: parRes.EndTime.Seconds(),
+		FFJumps:        parRes.FFJumps,
+		FFSkipRatio:    parRes.SkipRatio(),
+		Windows:        parStats.Windows,
+		SoloRuns:       parStats.SoloRuns,
+		Messages:       parStats.Messages,
+		LookaheadUS:    int64(parStats.Lookahead),
+		Identical:      reflect.DeepEqual(parRes, seqRes) && reflect.DeepEqual(parStats, seqStats),
+		Shards:         shards,
+		Cores:          runtime.NumCPU(),
+		Gomaxprocs:     runtime.GOMAXPROCS(0),
+		SeqSeconds:     seqSec,
+		ParSeconds:     parSec,
+		Speedup:        seqSec / parSec,
+		EventsPerSec:   float64(parRes.Events) / parSec,
+		NsPerEvent:     parSec * 1e9 / float64(parRes.Events),
+	}
+	if err := mergeBenchJSON(path, rep); err != nil {
+		return err
+	}
+	fmt.Printf("%s: sharded mega %d requests, %d events, %d windows, %d messages; %.2fs at 1 worker, %.2fs at %d (%.2fx, %d cores, identical=%v)\n",
+		path, rep.Requests, rep.Events, rep.Windows, rep.Messages,
+		rep.SeqSeconds, rep.ParSeconds, shards, rep.Speedup, rep.Cores, rep.Identical)
+	if !rep.Identical {
+		return fmt.Errorf("sharded mega run diverged between 1 and %d workers — determinism bug", shards)
+	}
 	return nil
 }
 
@@ -398,6 +527,7 @@ func main() {
 	traceOut := flag.String("trace", "", "run the throughput scenario with the span recorder and write the trace here (.jsonl for JSONL, otherwise Chrome trace JSON); with -bench-json, also reports traced overhead")
 	benchSweep := flag.String("bench-sweep", "", "sweep-benchmark mode: run the figure grid sequentially and in parallel, verify identical tables, and write the speedup to this JSON file")
 	megaRequests := flag.Int("mega-requests", 1_000_000, "requests in the -exp mega macro-run")
+	shardsN := flag.Int("shards", 0, "with -exp mega: run the four-node sharded mega scenario at 1 and N barrier workers, verify bit-identical simulated results, and record the speedup (0 = classic single-node mega)")
 	flag.Parse()
 
 	if *parallelN == 0 {
@@ -442,7 +572,13 @@ func main() {
 		if path == "" {
 			path = "BENCH_simcore.json"
 		}
-		if err := runBenchMega(path, *seed, *megaRequests); err != nil {
+		run := func() error { return runBenchMega(path, *seed, *megaRequests) }
+		if *shardsN >= 1 {
+			// -shards switches to the sharded fleet variant: same traffic
+			// split across four shard kernels, timed at 1 and N workers.
+			run = func() error { return runBenchMegaSharded(path, *seed, *megaRequests, *shardsN) }
+		}
+		if err := run(); err != nil {
 			fmt.Fprintf(os.Stderr, "mega: %v\n", err)
 			os.Exit(1)
 		}

@@ -237,16 +237,30 @@ func isTestFile(fset *token.FileSet, pos token.Pos) bool {
 	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
 }
 
+// kernelLayer reports whether path is the virtual-time kernel implementation
+// itself: internal/sim (the baton-chain kernel) or internal/sim/shard (the
+// coordinator composing shard kernels under conservative window barriers).
+// The layer is inside the deterministic domain by definition — simDriven
+// holds for it regardless of imports — and rawgo grants it the goroutine
+// right, because the baton chain and the cross-kernel window handoff are
+// exactly what it implements. simclock still applies: window barriers
+// synchronize workers in host time but must never read it; lookahead and
+// horizons are virtual sim.Time.
+func kernelLayer(path string) bool {
+	return pathEndsWith(path, "internal/sim") ||
+		pathEndsWith(path, "internal/sim/shard")
+}
+
 // simDriven reports whether pkg belongs to the simulator's deterministic
-// domain: it is internal/sim itself, or it directly imports internal/sim or
-// one of the façade packages (stringsched, internal/core) that drive it.
+// domain: it is the kernel layer itself, or it directly imports internal/sim
+// or one of the façade packages (stringsched, internal/core) that drive it.
 // Matching is by path suffix so analysistest fixtures under testdata/src
 // trigger the same way the real tree does.
 func simDriven(pkg *types.Package) bool {
 	if pkg == nil {
 		return false
 	}
-	if pathEndsWith(pkg.Path(), "internal/sim") {
+	if kernelLayer(pkg.Path()) {
 		return true
 	}
 	for _, imp := range pkg.Imports() {

@@ -19,6 +19,13 @@ func TestRawgoExemptsKernel(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), analysis.Rawgo, "repro/internal/sim")
 }
 
+// TestRawgoExemptsShardCoordinator: internal/sim/shard implements the
+// cross-kernel window-barrier handoff and holds the same goroutine right as
+// the kernel itself — its barrier workers need no //lint:allow.
+func TestRawgoExemptsShardCoordinator(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.Rawgo, "repro/internal/sim/shard")
+}
+
 // TestRawgoSkipsNonSimPackages: goroutines outside the sim-driven domain
 // are not checked.
 func TestRawgoSkipsNonSimPackages(t *testing.T) {

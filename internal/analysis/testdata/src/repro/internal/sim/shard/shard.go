@@ -1,0 +1,28 @@
+// Package shard is a miniature stand-in for the real conservative window
+// coordinator, doubling as the rawgo kernel-layer fixture: the coordinator
+// implements the cross-kernel barrier handoff, so its raw goroutines are the
+// mechanism rawgo protects, not a bypass of it. No diagnostics are expected
+// anywhere in this package.
+package shard
+
+import "repro/internal/sim"
+
+// Coordinator advances shard kernels inside conservative windows.
+type Coordinator struct {
+	kernels   []*sim.Kernel
+	lookahead sim.Time
+}
+
+// Window runs one barrier phase: every kernel advances to the horizon on its
+// own worker goroutine, and the barrier joins them before mailboxes drain.
+func (c *Coordinator) Window(horizon sim.Time) {
+	done := make(chan struct{}, len(c.kernels))
+	for range c.kernels {
+		go func() { // the window-barrier handoff: exempt, like the kernel's baton chain
+			done <- struct{}{}
+		}()
+	}
+	for range c.kernels {
+		<-done
+	}
+}

@@ -26,23 +26,23 @@ type stringsBackend struct {
 }
 
 // newStringsBackend spawns the backend daemon for the device with the given
-// GID.
-func newStringsBackend(c *Cluster, gid int) *stringsBackend {
+// GID, on the device's environment kernel.
+func newStringsBackend(c *Cluster, e *shardEnv, gid int) *stringsBackend {
 	cudaCfg := c.cfg.CUDA
 	if c.cfg.MemoryGuard {
 		cudaCfg.BlockOnOOM = true
 	}
-	rt := cuda.NewRuntime(c.K, []*gpu.Device{c.devices[gid]}, cudaCfg)
+	rt := cuda.NewRuntime(e.k, []*gpu.Device{c.devices[gid]}, cudaCfg)
 	b := &stringsBackend{
 		c:     c,
 		gid:   gid,
 		rt:    rt,
 		pk:    packer.New(rt, c.cfg.Packer),
 		sched: c.scheds[gid],
-		conns: sim.NewQueue[*rpcproto.Conn](c.K),
+		conns: sim.NewQueue[*rpcproto.Conn](e.k),
 	}
-	b.pk.SetRecorder(c.cfg.Recorder, gid)
-	c.K.Go(fmt.Sprintf("backend-%d", gid), b.acceptLoop)
+	b.pk.SetRecorder(e.rec, gid)
+	e.k.Go(fmt.Sprintf("backend-%d", gid), b.acceptLoop)
 	return b
 }
 
@@ -56,7 +56,7 @@ func (b *stringsBackend) acceptLoop(p *sim.Proc) {
 		b.nexts++
 		gid, n := b.gid, b.nexts
 		ep := conn.B()
-		b.c.K.GoNamed(func() string { return fmt.Sprintf("bt-%d-%d", gid, n) },
+		p.Kernel().GoNamed(func() string { return fmt.Sprintf("bt-%d-%d", gid, n) },
 			func(tp *sim.Proc) { b.serve(tp, ep) })
 	}
 }
@@ -172,8 +172,9 @@ func (c *Cluster) rainServe(p *sim.Proc, gid int, ep rpcproto.Endpoint) {
 	entry := sched.Register(appID, first.TenantID, int(first.Weight),
 		first.KernelName, func() int { return held + ep.InboxLen() })
 
-	// A fresh runtime per application: Rain's per-app backend process.
-	rt := cuda.NewRuntime(c.K, []*gpu.Device{c.devices[gid]}, c.cfg.CUDA)
+	// A fresh runtime per application: Rain's per-app backend process (on
+	// whichever shard kernel this backend proc runs on).
+	rt := cuda.NewRuntime(p.Kernel(), []*gpu.Device{c.devices[gid]}, c.cfg.CUDA)
 	rt.SetOwner(appID)
 	t := rt.NewThread(p, appID)
 	reply := pool.GetReply()

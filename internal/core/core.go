@@ -19,6 +19,7 @@ import (
 	"repro/internal/remoting"
 	"repro/internal/rpcproto"
 	"repro/internal/sim"
+	"repro/internal/sim/shard"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -123,6 +124,22 @@ type Config struct {
 	// instead of regenerating it per run. Derivation is bit-identical to
 	// the inline path (workload.StreamSeed).
 	Traces *workload.TraceBook
+
+	// Shards >= 1 partitions the cluster into one shard kernel per node,
+	// composed under a conservative-lookahead coordinator
+	// (internal/sim/shard) with Shards barrier workers; cross-node traffic
+	// crosses shard mailboxes with the RemoteLink latency as the lookahead.
+	// Results are bit-identical for every Shards >= 1 (the partition is
+	// always per-node; Shards only sets the worker count), but the sharded
+	// composition is a deliberately distinct model from the default
+	// single-kernel path (Shards == 0): control messages that the single
+	// kernel delivers instantly (feedback, failure reports) pay the physical
+	// control-plane latency when they cross shards. Topologies the per-node
+	// partition cannot express — a single node, partitionable (MIG) fleets
+	// whose slices are carved across nodes, or fault plans that mutate
+	// cross-shard state — collapse to the single-kernel path; Sharded()
+	// reports the outcome.
+	Shards int
 }
 
 // Cluster is a fully wired simulated deployment.
@@ -142,6 +159,14 @@ type Cluster struct {
 	appSeq    int
 	appTenant map[int]int64 // app id → tenant, for horizon-based accounting
 	results   *RunResult
+
+	// Shard composition (see shardenv.go). In the single-kernel path envs
+	// holds one legacy environment aliasing the fields above and coord is
+	// nil; in the sharded path there is one environment per node and coord
+	// drives their kernels.
+	envs     []*shardEnv
+	coord    *shard.Coordinator
+	envOfGID []int // GID → owning environment index
 
 	// Injected fault state, indexed by GID and written only by the fault
 	// injector (all zero in fault-free runs).
@@ -177,6 +202,12 @@ type mapperMsg struct {
 	recovered bool
 	hGID      balancer.GID
 	hOut      *healthResult
+
+	// Cross-shard reply routing: when the requester lives on another shard
+	// kernel, done stays nil and the verdict is fired through the shard
+	// mailbox back to xsrc, paying the control-plane latency on the way.
+	xsrc  int
+	xdone *sim.Event
 }
 
 // healthResult carries a failure report's verdict back to the caller.
@@ -212,17 +243,20 @@ func New(cfg Config) (*Cluster, error) {
 		K: k, cfg: cfg,
 		appTenant: make(map[int]int64), results: newRunResult(),
 	}
+	c.buildEnvs()
 
-	// Physical devices and the gPool.
+	// Physical devices and the gPool. Each device lives on its node's
+	// environment kernel (the one kernel in the single-kernel path).
 	var infos []remoting.NodeInfo
 	gid := 0
 	for n, node := range cfg.Nodes {
 		if len(node.Devices) == 0 {
 			return nil, fmt.Errorf("core: node %d has no devices", n)
 		}
+		e := c.envForNode(n)
 		var devs []*gpu.Device
 		for _, spec := range node.Devices {
-			d := gpu.NewDevice(c.K, spec, gid)
+			d := gpu.NewDevice(e.k, spec, gid)
 			if cfg.Trace {
 				tr := &gpu.UtilTrace{}
 				d.SetTracer(tr)
@@ -230,10 +264,10 @@ func New(cfg Config) (*Cluster, error) {
 			} else {
 				c.traces = append(c.traces, nil)
 			}
-			if cfg.Recorder.Enabled() {
+			if e.rec.Enabled() {
 				// GPU-op spans: the completion callback sees the op's full
 				// timing, so each op records as an already-finished span.
-				g, rec := gid, cfg.Recorder
+				g, rec := gid, e.rec
 				d.SetOnComplete(func(op *gpu.Op) {
 					if op.Kind == gpu.OpMarker {
 						return
@@ -243,6 +277,7 @@ func New(cfg Config) (*Cluster, error) {
 				})
 			}
 			c.devices = append(c.devices, d)
+			c.envOfGID = append(c.envOfGID, e.idx)
 			devs = append(devs, d)
 			gid++
 		}
@@ -279,9 +314,10 @@ func New(cfg Config) (*Cluster, error) {
 		if err != nil {
 			return nil, err
 		}
-		c.scheds = append(c.scheds, c.newSched(d, g, dp))
+		e := c.envs[c.envOfGID[g]]
+		c.scheds = append(c.scheds, c.newSched(e, d, g, dp))
 		if cfg.Mode == ModeStrings {
-			c.backs = append(c.backs, newStringsBackend(c, g))
+			c.backs = append(c.backs, newStringsBackend(c, e, g))
 		}
 	}
 	faults.Start(c.K, cfg.Faults, c)
@@ -289,14 +325,15 @@ func New(cfg Config) (*Cluster, error) {
 }
 
 // newSched builds one device scheduler with the cluster's config (Rain's
-// per-process backends get the coarse accounting lag).
-func (c *Cluster) newSched(d *gpu.Device, gid int, dp devsched.Policy) *devsched.Scheduler {
+// per-process backends get the coarse accounting lag). The scheduler lives
+// on the device's environment kernel.
+func (c *Cluster) newSched(e *shardEnv, d *gpu.Device, gid int, dp devsched.Policy) *devsched.Scheduler {
 	schedCfg := c.cfg.Sched
 	if c.cfg.Mode == ModeRain && schedCfg.AccountingLag == 0 {
 		schedCfg.AccountingLag = 100 * sim.Millisecond
 	}
-	s := devsched.New(c.K, d, gid, dp, schedCfg)
-	s.SetRecorder(c.cfg.Recorder)
+	s := devsched.New(e.k, d, gid, dp, schedCfg)
+	s.SetRecorder(e.rec)
 	return s
 }
 
@@ -359,16 +396,16 @@ func (c *Cluster) mapperLoop(p *sim.Proc) {
 				c.gmap.MarkDead(m.hGID)
 			}
 			m.hOut.h = h
-			m.done.Fire()
+			c.fireReply(m)
 		case m.recovered:
 			c.mapper.ReportRecovered(m.hGID)
-		case m.done != nil:
+		case m.done != nil || m.xdone != nil:
 			if m.req.WantsSlice() {
 				c.handleSliceSelect(p, m)
 				continue
 			}
 			m.out.gid = c.mapper.SelectAt(p.Now(), m.req)
-			m.done.Fire()
+			c.fireReply(m)
 		case m.release:
 			if m.fb != nil {
 				c.mapper.Feedback(m.fb)

@@ -43,8 +43,8 @@ func (e RequestEvent) CompletionTime() sim.Time {
 	return sim.Time(e.FinishedUS - e.SubmittedUS)
 }
 
-// recordRequest appends a request event to the run's log.
-func (c *Cluster) recordRequest(app *workload.App, s workload.StreamSpec, gid int, errStr string) {
+// recordRequest appends a request event to the owning environment's log.
+func (e *shardEnv) recordRequest(app *workload.App, s workload.StreamSpec, gid int, errStr string) {
 	ev := RequestEvent{
 		AppID:  app.ID,
 		Kind:   s.Kind,
@@ -66,7 +66,7 @@ func (c *Cluster) recordRequest(app *workload.App, s workload.StreamSpec, gid in
 	if app.Finished >= app.Started {
 		ev.ServiceUS = int64(app.Finished - app.Started)
 	}
-	c.results.Requests = append(c.results.Requests, ev)
+	e.results.Requests = append(e.results.Requests, ev)
 }
 
 // SortedRequests returns the request log ordered by submission time (then

@@ -205,8 +205,13 @@ func (c *Cluster) Run(streams []workload.StreamSpec) (*RunResult, error) {
 		}
 		c.launchStream(si, s)
 	}
-	c.K.Run()
-	c.results.EndTime = c.K.Now()
+	if c.coord != nil {
+		c.coord.Run()
+		c.collectSharded()
+	} else {
+		c.K.Run()
+		c.results.EndTime = c.K.Now()
+	}
 	c.closeStranded(c.results.EndTime)
 	return c.results, nil
 }
@@ -227,14 +232,20 @@ func (c *Cluster) RunUntil(streams []workload.StreamSpec, horizon sim.Time) (*Ru
 		}
 		c.launchStream(si, s)
 	}
-	c.K.RunUntil(horizon)
-	c.results.EndTime = c.K.Now()
+	if c.coord != nil {
+		c.coord.RunUntil(horizon)
+		c.collectSharded()
+	} else {
+		c.K.RunUntil(horizon)
+		c.results.EndTime = c.K.Now()
+	}
 	c.closeStranded(c.results.EndTime)
 	// Replace the completion-derived tenant accounting with the devices'
 	// view at the horizon.
+	tenants := c.tenantsByApp()
 	c.results.TenantService = make(map[int64]sim.Time)
-	appIDs := make([]int, 0, len(c.appTenant))
-	for appID := range c.appTenant {
+	appIDs := make([]int, 0, len(tenants))
+	for appID := range tenants {
 		appIDs = append(appIDs, appID)
 	}
 	slices.Sort(appIDs)
@@ -248,12 +259,13 @@ func (c *Cluster) RunUntil(streams []workload.StreamSpec, horizon sim.Time) (*Ru
 			// received).
 			svc += d.AppService(appID)
 		}
-		c.results.TenantService[c.appTenant[appID]] += svc
+		c.results.TenantService[tenants[appID]] += svc
 	}
 	return c.results, nil
 }
 
-// launchStream spawns the per-stream arrival process.
+// launchStream spawns the per-stream arrival process on the environment
+// owning the stream's arrival node.
 func (c *Cluster) launchStream(si int, s workload.StreamSpec) {
 	var arrivals []sim.Time
 	if c.cfg.Traces != nil {
@@ -265,16 +277,16 @@ func (c *Cluster) launchStream(si int, s workload.StreamSpec) {
 		arrivals = s.Arrivals(rng)
 	}
 	prof := workload.ProfileFor(s.Kind)
-	c.K.Go(fmt.Sprintf("stream-%d-%s", si, s.Kind), func(p *sim.Proc) {
+	e := c.envForNode(s.Node)
+	e.k.Go(fmt.Sprintf("stream-%d-%s", si, s.Kind), func(p *sim.Proc) {
 		for i, at := range arrivals {
 			if at > p.Now() {
 				p.Sleep(at - p.Now())
 			}
-			c.appSeq++
 			app := &workload.App{
 				Profile: prof,
 				Style:   s.Style,
-				ID:      c.appSeq,
+				ID:      e.nextAppID(),
 				Tenant:  s.Tenant,
 				Weight:  s.Weight,
 				// The application's programmed (static) device choice —
@@ -282,20 +294,21 @@ func (c *Cluster) launchStream(si int, s workload.StreamSpec) {
 				// overrides.
 				PreferredDev: 0,
 			}
-			c.results.Launched++
-			c.results.TenantWeight[s.Tenant] = s.Weight
-			c.appTenant[app.ID] = s.Tenant
+			e.results.Launched++
+			e.results.TenantWeight[s.Tenant] = s.Weight
+			e.appTenant[app.ID] = s.Tenant
 			name := fmt.Sprintf("app-%s-%d.%d", s.Kind, si, i)
-			c.K.Go(name, func(ap *sim.Proc) { c.runApp(ap, app, s) })
+			e.k.Go(name, func(ap *sim.Proc) { e.runApp(ap, app, s) })
 		}
 	})
 }
 
 // runApp executes one application request end to end and records its
-// outcome.
-func (c *Cluster) runApp(p *sim.Proc, app *workload.App, s workload.StreamSpec) {
+// outcome against the owning environment's recorder and result sink.
+func (e *shardEnv) runApp(p *sim.Proc, app *workload.App, s workload.StreamSpec) {
+	c := e.c
 	app.Submitted = p.Now()
-	reqSpan := c.cfg.Recorder.Begin(trace.KRequest, 0, p.Now(),
+	reqSpan := e.rec.Begin(trace.KRequest, 0, p.Now(),
 		s.Kind.String(), app.ID, -1, s.Tenant)
 	var client cuda.Client
 	var ipose *interpose.Interposer
@@ -304,17 +317,17 @@ func (c *Cluster) runApp(p *sim.Proc, app *workload.App, s workload.StreamSpec) 
 	case ModeCUDA:
 		// A private process on the bare runtime, seeing only its node's
 		// devices.
-		rt := cuda.NewRuntime(c.K, c.nodeDev[s.Node], c.cfg.CUDA)
+		rt := cuda.NewRuntime(e.k, c.nodeDev[s.Node], c.cfg.CUDA)
 		rt.SetOwner(app.ID)
 		client = rt.NewThread(p, app.ID)
 		factory = func(tp *sim.Proc) cuda.Client { return rt.NewThread(tp, app.ID) }
 	default:
-		ipose = interpose.New(c, p, app.ID, s.Tenant, s.Weight,
+		ipose = interpose.New(e.fabric(), p, app.ID, s.Tenant, s.Weight,
 			s.Kind.String(), s.Node, c.cfg.Mode == ModeStrings)
 		ipose.SetRecovery(c.cfg.Recovery)
-		ipose.SetTrace(c.cfg.Recorder, reqSpan)
+		ipose.SetTrace(e.rec, reqSpan)
 		client = ipose
-		sess := interpose.NewMTSession(c.K, ipose)
+		sess := interpose.NewMTSession(e.k, ipose)
 		factory = sess.Thread
 	}
 	var err error
@@ -329,23 +342,23 @@ func (c *Cluster) runApp(p *sim.Proc, app *workload.App, s workload.StreamSpec) 
 	} else if devs := c.nodeDev[s.Node]; len(devs) > 0 {
 		gid = devs[app.PreferredDev%len(devs)].ID()
 	}
-	c.cfg.Recorder.SetGID(reqSpan, gid)
-	c.cfg.Recorder.End(reqSpan, p.Now())
+	e.rec.SetGID(reqSpan, gid)
+	e.rec.End(reqSpan, p.Now())
 	if err != nil {
 		if errors.Is(err, cuda.ErrBackendLost) {
-			c.results.Lost++
+			e.results.Lost++
 		} else {
-			c.results.Errors = append(c.results.Errors, err.Error())
+			e.results.Errors = append(e.results.Errors, err.Error())
 		}
-		c.recordRequest(app, s, gid, err.Error())
+		e.recordRequest(app, s, gid, err.Error())
 		return
 	}
-	c.results.Finished++
+	e.results.Finished++
 	if ipose != nil && ipose.Disrupted() {
-		c.results.Recovered++
+		e.results.Recovered++
 	}
-	c.results.Completions[s.Kind] = append(c.results.Completions[s.Kind], app.CompletionTime())
-	c.recordRequest(app, s, gid, "")
+	e.results.Completions[s.Kind] = append(e.results.Completions[s.Kind], app.CompletionTime())
+	e.recordRequest(app, s, gid, "")
 
 	// Tenant GPU service for fairness accounting.
 	var gputime sim.Time
@@ -358,5 +371,5 @@ func (c *Cluster) runApp(p *sim.Proc, app *workload.App, s workload.StreamSpec) 
 			gputime += d.AppService(app.ID)
 		}
 	}
-	c.results.TenantService[s.Tenant] += gputime
+	e.results.TenantService[s.Tenant] += gputime
 }

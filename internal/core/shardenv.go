@@ -1,0 +1,374 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/balancer"
+	"repro/internal/rpcproto"
+	"repro/internal/sim"
+	"repro/internal/sim/shard"
+	"repro/internal/trace"
+)
+
+// appIDStride spaces the per-environment application-ID ranges so IDs stay
+// globally unique without cross-shard coordination: environment i hands out
+// i*appIDStride+1, i*appIDStride+2, ... (the single-kernel path is the
+// i == 0 range, so its IDs are unchanged).
+const appIDStride = 1 << 32
+
+// shardEnv is one shard's slice of the cluster: a kernel, the recorder and
+// result sink local to it, and the app-ID/tenant bookkeeping its streams
+// own. The single-kernel path uses exactly one environment whose fields
+// alias the Cluster's own (sh == nil), so legacy behaviour is untouched; the
+// sharded path has one environment per node and merges results after the
+// run.
+//
+// shardEnv implements interpose.Fabric for the sharded path: control-plane
+// calls that stay on the mapper's shard take the Cluster's legacy code
+// paths verbatim, and calls that cross shards ride the coordinator's
+// mailboxes with the control-plane latency as the (lookahead-respecting)
+// delivery delay.
+type shardEnv struct {
+	c   *Cluster
+	idx int
+	k   *sim.Kernel
+	sh  *shard.Shard // nil in the single-kernel path
+	rec *trace.Recorder
+
+	results   *RunResult
+	appSeq    int
+	appTenant map[int]int64
+}
+
+// shardEligible reports whether the per-node shard partition can express
+// cfg's topology. A single node has nothing to partition; a zero remote
+// latency admits no conservative lookahead; fault plans and partitionable
+// (MIG) fleets mutate cross-node structure — dead devices leave the shared
+// gPool, slices are carved on whatever node has room — from the mapper's
+// shard, which the per-node ownership model cannot represent.
+func shardEligible(cfg Config) bool {
+	if len(cfg.Nodes) < 2 {
+		return false
+	}
+	if cfg.RemoteLink.Latency < 1 {
+		return false
+	}
+	if len(cfg.Faults.Faults) > 0 {
+		return false
+	}
+	for _, n := range cfg.Nodes {
+		for _, spec := range n.Devices {
+			if spec.Partitionable() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// buildEnvs constructs the environment set: one legacy environment aliasing
+// the Cluster's fields, or — when sharding is requested and the topology
+// allows it — one environment per node under a conservative coordinator
+// whose lookahead is the remote-link latency.
+func (c *Cluster) buildEnvs() {
+	cfg := c.cfg
+	if cfg.Shards >= 1 && shardEligible(cfg) {
+		kernels := make([]*sim.Kernel, len(cfg.Nodes))
+		for n := range cfg.Nodes {
+			if n == 0 {
+				kernels[n] = c.K
+			} else {
+				// The kernel RNG is unused by the model (streams carry their
+				// own seeded sources), so all shards may share the seed.
+				kernels[n] = sim.NewKernel(cfg.Seed)
+			}
+		}
+		c.coord = shard.NewCoordinator(kernels, cfg.RemoteLink.Latency, cfg.Shards)
+		for n := range cfg.Nodes {
+			var rec *trace.Recorder
+			if n == 0 {
+				rec = cfg.Recorder
+			} else if cfg.Recorder.Enabled() {
+				rec = trace.New()
+			}
+			c.envs = append(c.envs, &shardEnv{
+				c: c, idx: n, k: kernels[n], sh: c.coord.Shard(n), rec: rec,
+				results: newRunResult(), appTenant: make(map[int]int64),
+			})
+		}
+		return
+	}
+	c.envs = []*shardEnv{{
+		c: c, idx: 0, k: c.K, rec: cfg.Recorder,
+		results: c.results, appTenant: c.appTenant,
+	}}
+}
+
+// envForNode returns the environment owning a node's devices and streams.
+func (c *Cluster) envForNode(node int) *shardEnv {
+	if c.coord == nil {
+		return c.envs[0]
+	}
+	return c.envs[node]
+}
+
+// Sharded reports whether the cluster runs the sharded composition (a
+// Shards >= 1 request may still collapse to the single kernel; see
+// Config.Shards).
+func (c *Cluster) Sharded() bool { return c.coord != nil }
+
+// ShardStats returns the coordinator's window-protocol counters (zero when
+// not sharded).
+func (c *Cluster) ShardStats() shard.Stats {
+	if c.coord == nil {
+		return shard.Stats{}
+	}
+	return c.coord.Stats()
+}
+
+// Dispatched returns the total activations dispatched across every shard
+// kernel (the single kernel's count when not sharded).
+func (c *Cluster) Dispatched() uint64 {
+	var n uint64
+	for _, e := range c.envs {
+		n += e.k.Dispatched()
+	}
+	return n
+}
+
+// FastForwards sums the fast-forward counters across every shard kernel.
+func (c *Cluster) FastForwards() (jumps uint64, skipped sim.Time) {
+	for _, e := range c.envs {
+		j, s := e.k.FastForwards()
+		jumps += j
+		skipped += s
+	}
+	return jumps, skipped
+}
+
+// Recorders returns every environment's recorder in shard order (a single
+// element when not sharded; empty when tracing is disabled). Concatenating
+// their JSONL output in this order is the sharded run's canonical trace.
+func (c *Cluster) Recorders() []*trace.Recorder {
+	var recs []*trace.Recorder
+	for _, e := range c.envs {
+		if e.rec.Enabled() {
+			recs = append(recs, e.rec)
+		}
+	}
+	return recs
+}
+
+// Close releases the shard coordinator's barrier workers. A no-op for
+// single-kernel clusters; safe to call more than once.
+func (c *Cluster) Close() {
+	if c.coord != nil {
+		c.coord.Close()
+	}
+}
+
+// fireReply delivers a mapper verdict to its requester: locally for
+// same-kernel requests, through the shard mailbox (paying the control-plane
+// latency) for cross-shard ones.
+func (c *Cluster) fireReply(m mapperMsg) {
+	if m.xdone != nil {
+		done := m.xdone
+		c.envs[0].sh.Send(m.xsrc, c.cfg.RemoteLink.Latency, func() { done.Fire() })
+		return
+	}
+	m.done.Fire()
+}
+
+// nextAppID allocates the next application ID from the environment's range.
+func (e *shardEnv) nextAppID() int {
+	if e.sh == nil {
+		e.c.appSeq++
+		return e.c.appSeq
+	}
+	e.appSeq++
+	return e.idx*appIDStride + e.appSeq
+}
+
+// fabric returns the interpose.Fabric the environment's frontends talk to:
+// the Cluster itself on the single-kernel path, the environment on the
+// sharded one.
+func (e *shardEnv) fabric() interposeFabric {
+	if e.sh == nil {
+		return e.c
+	}
+	return e
+}
+
+// interposeFabric mirrors interpose.Fabric without the import (interpose
+// already imports nothing from core; the compiler checks conformance at the
+// interpose.New call site).
+type interposeFabric interface {
+	SelectGPU(p *sim.Proc, req balancer.Request) balancer.GID
+	ConnectBackend(p *sim.Proc, gid balancer.GID, fromNode int) rpcproto.Endpoint
+	ReportFeedback(gid balancer.GID, kind string, fb *rpcproto.Feedback)
+	ReportFailure(p *sim.Proc, gid balancer.GID) balancer.Health
+	ReportRecovered(gid balancer.GID)
+	PoolSize() int
+}
+
+// SelectGPU implements interpose.Fabric for the sharded path. Requests from
+// the mapper's own shard take the legacy path; remote ones ride the mailbox
+// there and back, reproducing the legacy remote timing (latency out,
+// service, latency back).
+func (e *shardEnv) SelectGPU(p *sim.Proc, req balancer.Request) balancer.GID {
+	c := e.c
+	if e.idx == 0 {
+		return c.SelectGPU(p, req)
+	}
+	req = c.sliceDemand(req)
+	lat := c.cfg.RemoteLink.Latency
+	out := &selectResult{}
+	done := e.k.NewEvent()
+	src := e.idx
+	e.sh.Send(0, lat, func() {
+		c.mapQ.Put(mapperMsg{req: req, out: out, xsrc: src, xdone: done})
+	})
+	p.Wait(done)
+	return out.gid
+}
+
+// ConnectBackend implements interpose.Fabric for the sharded path. A
+// same-shard connection is the legacy local conn on this environment's
+// kernel. A cross-shard one is a cross-kernel conn whose two inbox queues
+// live on their readers' kernels and whose deliveries ride the mailboxes;
+// the accept is sent ahead on the same mailbox, so it is injected before
+// (or at the same instant as, but ordered before) the handshake call.
+func (e *shardEnv) ConnectBackend(p *sim.Proc, gid balancer.GID, fromNode int) rpcproto.Endpoint {
+	c := e.c
+	owner := c.envOfGID[gid]
+	if owner == e.idx {
+		entry, ok := c.gmap.Lookup(gid)
+		link := c.cfg.LocalLink
+		if ok && entry.Node != fromNode {
+			link = c.cfg.RemoteLink
+		}
+		conn := rpcproto.NewConn(e.k, link)
+		switch c.cfg.Mode {
+		case ModeStrings:
+			c.backs[gid].accept(conn)
+		case ModeRain:
+			e.serveRainConn(int(gid), conn)
+		}
+		return conn.A()
+	}
+	oe := c.envs[owner]
+	link := c.cfg.RemoteLink
+	src, dst := e.idx, owner
+	conn := rpcproto.NewCrossConn(e.k, oe.k, link,
+		func(lat sim.Time, fn func()) { e.sh.Send(dst, lat, fn) },
+		func(lat sim.Time, fn func()) { oe.sh.Send(src, lat, fn) })
+	g := gid
+	e.sh.Send(dst, link.Latency, func() {
+		switch c.cfg.Mode {
+		case ModeStrings:
+			c.backs[g].accept(conn)
+		case ModeRain:
+			oe.serveRainConn(int(g), conn)
+		}
+	})
+	return conn.A()
+}
+
+// ReportFeedback implements interpose.Fabric for the sharded path. The
+// single kernel delivers feedback to the mapper instantly; a cross-shard
+// report pays the control-plane latency (the more physical model — this is
+// one of the sharded composition's documented divergences).
+func (e *shardEnv) ReportFeedback(gid balancer.GID, kind string, fb *rpcproto.Feedback) {
+	c := e.c
+	if e.idx == 0 {
+		c.ReportFeedback(gid, kind, fb)
+		return
+	}
+	m := mapperMsg{fb: fb, release: true, relGID: gid, relKind: kind}
+	e.sh.Send(0, c.cfg.RemoteLink.Latency, func() { c.mapQ.Put(m) })
+}
+
+// ReportFailure implements interpose.Fabric for the sharded path (reachable
+// only with recovery armed; fault plans collapse sharding, so in practice
+// this handles spurious timeouts, not injected faults).
+func (e *shardEnv) ReportFailure(p *sim.Proc, gid balancer.GID) balancer.Health {
+	c := e.c
+	if e.idx == 0 {
+		return c.ReportFailure(p, gid)
+	}
+	out := &healthResult{}
+	done := e.k.NewEvent()
+	src := e.idx
+	e.sh.Send(0, c.cfg.RemoteLink.Latency, func() {
+		c.mapQ.Put(mapperMsg{fail: true, hGID: gid, hOut: out, xsrc: src, xdone: done})
+	})
+	p.Wait(done)
+	return out.h
+}
+
+// ReportRecovered implements interpose.Fabric for the sharded path.
+func (e *shardEnv) ReportRecovered(gid balancer.GID) {
+	c := e.c
+	if e.idx == 0 {
+		c.ReportRecovered(gid)
+		return
+	}
+	e.sh.Send(0, c.cfg.RemoteLink.Latency, func() {
+		c.mapQ.Put(mapperMsg{recovered: true, hGID: gid})
+	})
+}
+
+// PoolSize implements interpose.Fabric (the gPool map is immutable during
+// fault-free runs, which is the only kind the sharded path admits).
+func (e *shardEnv) PoolSize() int { return e.c.gmap.Len() }
+
+// serveRainConn spawns the per-application Rain backend on this
+// environment's kernel (the legacy path when not sharded — the shared
+// Cluster counter keeps the legacy app-ID sequence byte-identical).
+func (e *shardEnv) serveRainConn(gid int, conn *rpcproto.Conn) {
+	if e.sh == nil {
+		e.c.serveRainConn(gid, conn)
+		return
+	}
+	e.appSeq++
+	seq := e.appSeq
+	ep := conn.B()
+	e.k.GoNamed(func() string { return fmt.Sprintf("rain-%d-%d", gid, seq) },
+		func(p *sim.Proc) { e.c.rainServe(p, gid, ep) })
+}
+
+// collectSharded merges the per-environment results into the cluster result
+// in shard order and stamps the global end time (the latest shard clock).
+func (c *Cluster) collectSharded() {
+	var end sim.Time
+	for _, e := range c.envs {
+		if t := e.k.Now(); t > end {
+			end = t
+		}
+	}
+	for _, e := range c.envs {
+		c.results.Merge(e.results)
+	}
+	c.results.EndTime = end
+}
+
+// tenantsByApp returns the app → tenant map covering every environment.
+func (c *Cluster) tenantsByApp() map[int]int64 {
+	if c.coord == nil {
+		return c.appTenant
+	}
+	all := make(map[int]int64)
+	for _, e := range c.envs {
+		for id, t := range e.appTenant {
+			all[id] = t
+		}
+	}
+	return all
+}
+
+// Interface conformance is otherwise only checked at interpose.New call
+// sites that pass a *shardEnv.
+var (
+	_ interposeFabric = (*shardEnv)(nil)
+	_ interposeFabric = (*Cluster)(nil)
+)

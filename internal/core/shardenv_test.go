@@ -1,0 +1,184 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// shardedScenario is a supernode run with traffic on both nodes so the
+// balancer routes frontends to cross-shard backends: the full mailbox
+// machinery (select round trips, cross-kernel conns, feedback relays) is on
+// the hot path.
+func shardedScenario() []workload.StreamSpec {
+	return []workload.StreamSpec{
+		{Kind: workload.Gaussian, Count: 6, Lambda: 40 * sim.Millisecond, Node: 0, Tenant: 1, Weight: 1},
+		{Kind: workload.BlackScholes, Count: 6, Lambda: 30 * sim.Millisecond, Node: 1, Tenant: 2, Weight: 2},
+		{Kind: workload.Gaussian, Count: 4, Lambda: 25 * sim.Millisecond, Node: 1, Tenant: 3, Weight: 1,
+			Style: workload.StyleMultiThread},
+	}
+}
+
+// runShardedOnce runs the scenario at a shard worker count and returns the
+// results plus the concatenated JSONL trace bytes.
+func runShardedOnce(t *testing.T, mode Mode, shards int) (*RunResult, []byte, *Cluster) {
+	t.Helper()
+	cfg := Config{
+		Seed: 11, Nodes: supernode(), Mode: mode,
+		Balance: "GMin", DevPolicy: "TFS",
+		Recorder: trace.New(), Shards: shards,
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New(shards=%d): %v", shards, err)
+	}
+	defer c.Close()
+	r, err := c.Run(shardedScenario())
+	if err != nil {
+		t.Fatalf("Run(shards=%d): %v", shards, err)
+	}
+	if len(r.Errors) > 0 {
+		t.Fatalf("shards=%d: application errors: %v", shards, r.Errors)
+	}
+	var jsonl []byte
+	for _, rec := range c.Recorders() {
+		jsonl = rec.Snapshot().AppendJSONL(jsonl)
+	}
+	return r, jsonl, c
+}
+
+func TestShardInvarianceStrings(t *testing.T) {
+	ref, refJSONL, refC := runShardedOnce(t, ModeStrings, 1)
+	if !refC.Sharded() {
+		t.Fatal("supernode Strings run did not shard")
+	}
+	if ref.Finished != ref.Launched || ref.Launched != 16 {
+		t.Fatalf("reference run: finished %d of %d (want 16)", ref.Finished, ref.Launched)
+	}
+	refStats := refC.ShardStats()
+	if refStats.Messages == 0 {
+		t.Fatalf("no cross-shard messages — scenario does not exercise the mailboxes: %+v", refStats)
+	}
+	for _, n := range []int{2, 4, 8} {
+		got, gotJSONL, c := runShardedOnce(t, ModeStrings, n)
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("shards=%d: results diverged from shards=1", n)
+		}
+		if string(gotJSONL) != string(refJSONL) {
+			t.Fatalf("shards=%d: JSONL trace bytes diverged from shards=1", n)
+		}
+		if s := c.ShardStats(); !reflect.DeepEqual(s, refStats) {
+			t.Fatalf("shards=%d: stats diverged: %+v vs %+v", n, s, refStats)
+		}
+	}
+}
+
+func TestShardInvarianceRain(t *testing.T) {
+	ref, refJSONL, _ := runShardedOnce(t, ModeRain, 1)
+	got, gotJSONL, _ := runShardedOnce(t, ModeRain, 4)
+	if !reflect.DeepEqual(got, ref) {
+		t.Fatal("Rain results diverged across shard counts")
+	}
+	if string(gotJSONL) != string(refJSONL) {
+		t.Fatal("Rain JSONL trace bytes diverged across shard counts")
+	}
+}
+
+func TestShardInvarianceCUDA(t *testing.T) {
+	ref, _, refC := runShardedOnce(t, ModeCUDA, 1)
+	if !refC.Sharded() {
+		t.Fatal("CUDA supernode run did not shard")
+	}
+	got, _, _ := runShardedOnce(t, ModeCUDA, 2)
+	if !reflect.DeepEqual(got, ref) {
+		t.Fatal("CUDA results diverged across shard counts")
+	}
+}
+
+func TestShardCollapseRules(t *testing.T) {
+	base := Config{Seed: 1, Mode: ModeStrings, Shards: 4}
+
+	single := base
+	single.Nodes = twoGPUNode()
+	c, err := New(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Sharded() {
+		t.Fatal("single-node cluster must collapse to the single kernel")
+	}
+
+	mig := base
+	mig.Nodes = []NodeConfig{
+		{Devices: []gpu.Spec{gpu.TeslaC2050.WithMIG(), gpu.TeslaC2050.WithMIG()}},
+		{Devices: []gpu.Spec{gpu.TeslaC2050.WithMIG(), gpu.TeslaC2050.WithMIG()}},
+	}
+	c, err = New(mig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Sharded() {
+		t.Fatal("partitionable fleet must collapse to the single kernel")
+	}
+
+	off := base
+	off.Nodes = supernode()
+	off.Shards = 0
+	c, err = New(off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Sharded() {
+		t.Fatal("Shards=0 must keep the single-kernel path")
+	}
+
+	on := base
+	on.Nodes = supernode()
+	c, err = New(on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if !c.Sharded() {
+		t.Fatal("supernode with Shards=4 must shard")
+	}
+	if got := c.ShardStats().Lookahead; got != c.Config().RemoteLink.Latency {
+		t.Fatalf("lookahead %v, want the remote-link latency %v", got, c.Config().RemoteLink.Latency)
+	}
+}
+
+func TestShardedRunUntilAccounting(t *testing.T) {
+	streams := []workload.StreamSpec{
+		{Kind: workload.Gaussian, Count: 400, Lambda: 3 * sim.Millisecond, Node: 0, Tenant: 1, Weight: 1},
+		{Kind: workload.Gaussian, Count: 400, Lambda: 3 * sim.Millisecond, Node: 1, Tenant: 2, Weight: 1},
+	}
+	run := func(shards int) *RunResult {
+		cfg := Config{Seed: 5, Nodes: supernode(), Mode: ModeStrings, Balance: "GMin", Shards: shards}
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		r, err := c.RunUntil(streams, 2*sim.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	ref := run(1)
+	if len(ref.TenantService) != 2 {
+		t.Fatalf("tenant service for %d tenants, want 2", len(ref.TenantService))
+	}
+	for id, svc := range ref.TenantService {
+		if svc <= 0 {
+			t.Fatalf("tenant %d received no service by the horizon", id)
+		}
+	}
+	if got := run(4); !reflect.DeepEqual(got, ref) {
+		t.Fatal("RunUntil results diverged across shard counts")
+	}
+}

@@ -204,9 +204,13 @@ func (c *Cluster) carveSlice(p *sim.Proc, parent balancer.GID, req balancer.Requ
 	if err != nil {
 		panic(fmt.Sprintf("core: %v", err)) // validated at New
 	}
-	s := c.newSched(d, int(gid), dp)
+	// Slice carving only runs in the single-kernel path (partitionable
+	// fleets collapse sharding), so the new device joins the sole
+	// environment.
+	s := c.newSched(c.envs[0], d, int(gid), dp)
 	c.scheds = append(c.scheds, s)
-	c.backs = append(c.backs, newStringsBackend(c, int(gid)))
+	c.envOfGID = append(c.envOfGID, 0)
+	c.backs = append(c.backs, newStringsBackend(c, c.envs[0], int(gid)))
 
 	pe, _ := c.gmap.Lookup(parent)
 	c.mapper.DST().AddRow(&balancer.DSTEntry{

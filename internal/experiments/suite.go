@@ -54,6 +54,15 @@ type Options struct {
 	// Results are identical at any worker count.
 	Workers int
 
+	// Shards, when >= 1, opts every scenario into the time-partitioned
+	// parallel kernel (core.Config.Shards): eligible multi-node clusters
+	// split into one shard kernel per node advancing concurrently under the
+	// conservative window protocol, with Shards barrier workers. Results
+	// are bit-identical for any Shards >= 1; single-node and MIG scenarios
+	// collapse to the classic single kernel. 0 keeps the legacy path
+	// (goldens are pinned against it).
+	Shards int
+
 	// FreshKernels disables kernel recycling: every scenario builds its
 	// kernel from scratch instead of resetting one borrowed from the
 	// suite's arena. Results are identical either way (TestFig9Golden pins
@@ -180,12 +189,15 @@ func (s *Suite) run(sc scenario) *core.RunResult {
 			sc.cfg.Kernel = k
 		}
 		sc.cfg.Traces = s.traces
+		sc.cfg.Shards = s.opt.Shards
 		for rep := 0; rep < s.opt.Seeds; rep++ {
 			sc.cfg.Seed = s.repSeed(rep)
 			c, err := core.New(sc.cfg)
 			if err != nil {
 				panic(fmt.Sprintf("experiments: %v", err))
 			}
+			// Sharded clusters own a barrier worker pool; legacy ones no-op.
+			defer c.Close()
 			var r *core.RunResult
 			if sc.horizon > 0 {
 				r, err = c.RunUntil(sc.streams, sc.horizon)

@@ -47,6 +47,12 @@ func (l LinkSpec) TransferTime(size int64) sim.Time {
 // can ride the kernel's closure-free AfterPut path.
 type Msg = interface{}
 
+// CrossDeliver schedules fn on the peer side's kernel after the link
+// latency. It is how a cross-kernel Conn hands a delivery to an outside
+// scheduler (the shard coordinator's mailbox Send); the latency must be at
+// least the coordinator's lookahead for the handoff to be causally valid.
+type CrossDeliver func(latency sim.Time, fn func())
+
 // Conn is a simulated bidirectional message connection between a frontend
 // (side A) and a backend (side B) crossing one link.
 type Conn struct {
@@ -54,12 +60,33 @@ type Conn struct {
 	link LinkSpec
 	toB  *sim.Queue[Msg]
 	toA  *sim.Queue[Msg]
+	xToB CrossDeliver // non-nil when the two sides live on different kernels
+	xToA CrossDeliver
 	pool Pool
 }
 
 // NewConn creates a connection over the given link.
 func NewConn(k *sim.Kernel, link LinkSpec) *Conn {
 	return &Conn{k: k, link: link, toB: sim.NewQueue[Msg](k), toA: sim.NewQueue[Msg](k)}
+}
+
+// NewCrossConn creates a connection whose A side lives on kernel kA and B
+// side on kernel kB. Each inbox queue lives on its reader's kernel, and
+// sends route through the per-direction deliver hooks instead of a local
+// timer. The frame pool is disabled: a pooled frame freed on one side would
+// be handed out on the other side's kernel, and the two free lists have no
+// synchronization between them — cross-kernel calls allocate and drop.
+func NewCrossConn(kA, kB *sim.Kernel, link LinkSpec, toB, toA CrossDeliver) *Conn {
+	c := &Conn{
+		k:    kA,
+		link: link,
+		toB:  sim.NewQueue[Msg](kB),
+		toA:  sim.NewQueue[Msg](kA),
+		xToB: toB,
+		xToA: toA,
+	}
+	c.pool.Disable()
+	return c
 }
 
 // Link returns the connection's link spec.
@@ -70,21 +97,28 @@ type Endpoint struct {
 	conn *Conn
 	out  *sim.Queue[Msg]
 	in   *sim.Queue[Msg]
+	x    CrossDeliver // non-nil when out lives on the peer's kernel
 }
 
 // A returns the frontend-side endpoint.
-func (c *Conn) A() Endpoint { return Endpoint{conn: c, out: c.toB, in: c.toA} }
+func (c *Conn) A() Endpoint { return Endpoint{conn: c, out: c.toB, in: c.toA, x: c.xToB} }
 
 // B returns the backend-side endpoint.
-func (c *Conn) B() Endpoint { return Endpoint{conn: c, out: c.toA, in: c.toB} }
+func (c *Conn) B() Endpoint { return Endpoint{conn: c, out: c.toA, in: c.toB, x: c.xToA} }
 
 // Send transmits msg plus payload bulk bytes. The sender is charged the
 // marshalling and serialization cost; the message is delivered to the peer
-// after the link latency. Messages sent from one endpoint arrive in order.
+// after the link latency. Messages sent from one endpoint arrive in order
+// (on cross-kernel conns the deliver hook's FIFO mailbox preserves this).
 func (e Endpoint) Send(p *sim.Proc, msg Msg, payload int64) {
 	size := int64(wireSize(msg)) + payload
 	if cost := e.conn.link.TransferTime(size); cost > 0 {
 		p.Sleep(cost)
+	}
+	if e.x != nil {
+		out, m := e.out, msg
+		e.x(e.conn.link.Latency, func() { out.Put(m) })
+		return
 	}
 	e.conn.k.AfterPut(e.conn.link.Latency, e.out, msg)
 }

@@ -346,6 +346,24 @@ func (k *Kernel) RunUntil(limit Time) int {
 	return int(k.dispatched - start)
 }
 
+// NextEventTime returns the instant of the earliest pending activation, or
+// ok=false when the kernel is quiescent (no activation anywhere — parked
+// processes waiting on external input do not count). The value is a
+// conservative lower bound: a stale activation (from a park that has since
+// been woken another way) reports its scheduled time even though dispatching
+// it will be a no-op. That direction of error is safe for the one consumer
+// this hook exists for — the shard coordinator's conservative window
+// computation — which may only ever *under*-estimate a shard's horizon.
+func (k *Kernel) NextEventTime() (Time, bool) {
+	if k.nowQ.Len() > 0 {
+		return k.nowQ.Front().at, true
+	}
+	if k.future.len() > 0 {
+		return k.future.peek().at, true
+	}
+	return 0, false
+}
+
 // Blocked returns the names of processes that are alive but have no pending
 // activation — i.e. processes waiting on events that can no longer fire.
 // Useful in tests to assert clean termination. The names are sorted so

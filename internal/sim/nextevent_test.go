@@ -1,0 +1,60 @@
+package sim
+
+import "testing"
+
+func TestNextEventTimeQuiescent(t *testing.T) {
+	k := NewKernel(1)
+	if _, ok := k.NextEventTime(); ok {
+		t.Fatal("fresh kernel reported a pending event")
+	}
+	// A parked process waiting on external input is quiescence, not an event.
+	q := NewQueue[int](k)
+	k.Go("sink", func(p *Proc) { q.Get(p) })
+	k.Run()
+	if at, ok := k.NextEventTime(); ok {
+		t.Fatalf("parked-only kernel reported event at %v", at)
+	}
+}
+
+func TestNextEventTimeCoversSpawnTimersAndSleeps(t *testing.T) {
+	k := NewKernel(1)
+	k.Go("worker", func(p *Proc) { p.Sleep(100) })
+	if at, ok := k.NextEventTime(); !ok || at != 0 {
+		t.Fatalf("spawn activation: got (%v,%v), want (0,true)", at, ok)
+	}
+	k.RunUntil(50)
+	// The worker is asleep until 100; the clock is clamped to the limit.
+	if at, ok := k.NextEventTime(); !ok || at != 100 {
+		t.Fatalf("sleeping proc: got (%v,%v), want (100,true)", at, ok)
+	}
+	// A timer materializes as a kernel activation too.
+	fired := false
+	k.After(25, func() { fired = true })
+	if at, ok := k.NextEventTime(); !ok || at > 75 {
+		t.Fatalf("timer wakeup: got (%v,%v), want <=75,true", at, ok)
+	}
+	k.Run()
+	if !fired {
+		t.Fatal("timer did not fire")
+	}
+	if _, ok := k.NextEventTime(); ok {
+		t.Fatal("drained kernel still reports a pending event")
+	}
+}
+
+func TestNextEventTimeSeesNowQueue(t *testing.T) {
+	k := NewKernel(1)
+	k.Go("a", func(p *Proc) {
+		// Stop with a same-instant activation still queued for b.
+		k.Stop()
+	})
+	k.Go("b", func(p *Proc) {})
+	k.Run()
+	if at, ok := k.NextEventTime(); !ok || at != 0 {
+		t.Fatalf("stopped kernel with queued activation: got (%v,%v), want (0,true)", at, ok)
+	}
+	k.Run()
+	if _, ok := k.NextEventTime(); ok {
+		t.Fatal("kernel still pending after resume")
+	}
+}

@@ -1,0 +1,355 @@
+// Package shard composes several sim.Kernel instances into one simulation
+// under a single virtual clock, using classic conservative (Chandy–Misra–
+// Bryant-style) synchronization: shards may advance concurrently inside a
+// time window [T, T+lookahead) because no cross-shard interaction can take
+// effect in under the lookahead — the minimum cross-shard event latency,
+// which for the Strings topology is the remoting fabric's RPC propagation
+// delay.
+//
+// The composition is deterministic by construction, at any worker count:
+//
+//   - Every cross-shard effect travels as a mailbox message carrying an
+//     absolute delivery instant at least one lookahead in the sender's
+//     future. Messages are collected per (src, dst) in send order.
+//   - Shards only exchange messages at window barriers, on the coordinator's
+//     goroutine, with the shards stopped. Pending messages are injected into
+//     the destination kernel in sorted (time, src shard id, per-src sequence)
+//     order, and the kernel's timer facility preserves registration order at
+//     equal instants — so the merged event order is a pure function of the
+//     virtual state, never of host scheduling.
+//   - Inside a window each shard advances only its own kernel and writes
+//     only its own state; the window barrier (parallel.Team) provides the
+//     happens-before edges between a sender's window and the receiver's
+//     next one.
+//
+// The window loop degenerates gracefully at both extremes. When every shard
+// is idle the frontier T jumps straight to the next event anywhere, so
+// globally quiescent stretches cost one iteration regardless of length (the
+// analytic fast-forward property, preserved across the composition). When
+// exactly one shard has work in the frontier window, the coordinator runs
+// it solo far beyond one lookahead — up to the other shards' horizon — with
+// a stop-on-first-send interrupt: the moment the solo shard emits a
+// cross-shard message its run ends at that (event-order-determined, hence
+// deterministic) point and the window logic re-evaluates.
+package shard
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/parallel"
+	"repro/internal/sim"
+)
+
+// none marks "no pending activation" in frontier computations; it is also
+// the Run limit (matching the kernel's own maximum instant).
+const none = sim.Time(1<<62 - 1)
+
+// message is one cross-shard effect: fn runs on the destination kernel's
+// timer process at instant at. seq is the per-source send sequence that
+// breaks same-instant ties deterministically.
+type message struct {
+	at  sim.Time
+	src int
+	dst int
+	seq uint64
+	fn  func()
+}
+
+// Shard is one member kernel's handle. Code running on the shard's kernel
+// uses Send to schedule effects on other shards; everything else is driven
+// by the Coordinator.
+type Shard struct {
+	// K is the shard's kernel. All simulated state owned by the shard lives
+	// on it; the coordinator is the only party that drives it.
+	K *sim.Kernel
+
+	id     int
+	co     *Coordinator
+	seqCtr uint64
+	outbox []message
+
+	// soloActive arms the stop-on-first-send interrupt while the shard runs
+	// in solo mode; Send clears it and stops the kernel.
+	soloActive bool
+}
+
+// ID returns the shard's index in the composition.
+func (s *Shard) ID() int { return s.id }
+
+// Send schedules fn to run on shard dst's kernel at the sender's now+delay.
+// fn executes in the destination kernel's timer context and must not block
+// (queue Puts, event Fires, signal Notifies and process spawns are all
+// fine). Sends to the shard itself are plain kernel timers with no
+// lookahead constraint; cross-shard sends must respect the coordinator's
+// lookahead — a shorter delay would let a message land in a past the
+// destination has already simulated, and panics immediately instead of
+// corrupting the run.
+//
+// Send must be called from code executing on the shard's own kernel (a
+// process, a timer callback) or between runs on the coordinator's
+// goroutine; it is not safe from foreign goroutines.
+func (s *Shard) Send(dst int, delay sim.Time, fn func()) {
+	if dst == s.id {
+		s.K.After(delay, fn)
+		return
+	}
+	if dst < 0 || dst >= len(s.co.shards) {
+		panic(fmt.Sprintf("shard: send from %d to unknown shard %d", s.id, dst))
+	}
+	if delay < s.co.look {
+		panic(fmt.Sprintf("shard: send from %d to %d with delay %v below the lookahead %v",
+			s.id, dst, delay, s.co.look))
+	}
+	s.seqCtr++
+	s.outbox = append(s.outbox, message{
+		at: s.K.Now() + delay, src: s.id, dst: dst, seq: s.seqCtr, fn: fn,
+	})
+	if s.soloActive {
+		// First cross-shard send of a solo run: the solo horizon was
+		// computed assuming no outbound traffic, so stop here (a point
+		// fixed by event order, not wall time) and let the coordinator
+		// re-evaluate with the message on the books.
+		s.soloActive = false
+		s.K.Stop()
+	}
+}
+
+// Stats are the coordinator's window-protocol counters, for observability
+// and benchmark reporting. All values are deterministic: they depend only
+// on the virtual schedule, not on worker count or wall-clock interleaving.
+type Stats struct {
+	// Windows counts barrier windows in which two or more shards advanced
+	// concurrently.
+	Windows uint64
+	// SoloRuns counts solo-mode stretches: exactly one shard had work in
+	// the frontier window and ran alone past the window bound.
+	SoloRuns uint64
+	// SoloStops counts solo runs cut short by their first cross-shard send.
+	SoloStops uint64
+	// Messages counts cross-shard messages delivered.
+	Messages uint64
+	// MaxActive is the largest concurrent active set of any window.
+	MaxActive int
+	// Lookahead echoes the composition's lookahead.
+	Lookahead sim.Time
+}
+
+// Coordinator drives a set of shard kernels under the conservative window
+// protocol. It is not safe for concurrent use; exactly one goroutine may
+// call Run/RunUntil.
+type Coordinator struct {
+	shards  []*Shard
+	look    sim.Time
+	team    *parallel.Team
+	pending [][]message // undelivered messages, per destination
+	stats   Stats
+
+	// Scratch buffers reused across windows.
+	nexts  []sim.Time
+	active []int
+}
+
+// NewCoordinator builds a composition over the given kernels (one shard
+// each, in order). lookahead is the minimum cross-shard event latency and
+// must be at least 1µs — a zero lookahead admits no conservative window.
+// workers bounds how many shards advance concurrently inside a window;
+// results are bit-identical at every worker count, including 1.
+func NewCoordinator(kernels []*sim.Kernel, lookahead sim.Time, workers int) *Coordinator {
+	if len(kernels) == 0 {
+		panic("shard: no kernels")
+	}
+	if lookahead < 1 {
+		panic(fmt.Sprintf("shard: lookahead %v must be at least 1µs", lookahead))
+	}
+	if workers > len(kernels) {
+		workers = len(kernels)
+	}
+	c := &Coordinator{
+		look:    lookahead,
+		team:    parallel.NewTeam(workers),
+		pending: make([][]message, len(kernels)),
+		nexts:   make([]sim.Time, len(kernels)),
+		stats:   Stats{Lookahead: lookahead},
+	}
+	for i, k := range kernels {
+		c.shards = append(c.shards, &Shard{K: k, id: i, co: c})
+	}
+	return c
+}
+
+// Shard returns the i'th shard handle.
+func (c *Coordinator) Shard(i int) *Shard { return c.shards[i] }
+
+// Shards returns the number of shards.
+func (c *Coordinator) Shards() int { return len(c.shards) }
+
+// Lookahead returns the composition's lookahead.
+func (c *Coordinator) Lookahead() sim.Time { return c.look }
+
+// Stats returns the window-protocol counters accumulated so far.
+func (c *Coordinator) Stats() Stats { return c.stats }
+
+// Workers returns the barrier team's worker count.
+func (c *Coordinator) Workers() int { return c.team.Workers() }
+
+// Close releases the barrier team's workers. The coordinator must not be
+// run again afterwards.
+func (c *Coordinator) Close() { c.team.Close() }
+
+// Run advances the composition until it is globally quiescent: no shard has
+// a pending activation and no cross-shard message is undelivered.
+func (c *Coordinator) Run() { c.run(none) }
+
+// RunUntil advances the composition through every event at or before limit,
+// then clamps each shard's clock the way sim.Kernel.RunUntil does — a shard
+// with work remaining beyond the limit ends with its clock at the limit.
+func (c *Coordinator) RunUntil(limit sim.Time) {
+	c.run(limit)
+	for _, s := range c.shards {
+		s.K.RunUntil(limit)
+	}
+}
+
+// next computes shard i's earliest relevant instant: its kernel's next
+// pending activation or the earliest undelivered message addressed to it.
+func (c *Coordinator) next(i int) sim.Time {
+	t := none
+	if et, ok := c.shards[i].K.NextEventTime(); ok {
+		t = et
+	}
+	for _, m := range c.pending[i] {
+		if m.at < t {
+			t = m.at
+		}
+	}
+	return t
+}
+
+// run is the conservative window loop.
+func (c *Coordinator) run(limit sim.Time) {
+	for {
+		// Frontier: the earliest instant anything can happen anywhere.
+		minT := none
+		for i := range c.shards {
+			t := c.next(i)
+			c.nexts[i] = t
+			if t < minT {
+				minT = t
+			}
+		}
+		if minT == none || minT > limit {
+			return
+		}
+		// The conservative window [minT, minT+lookahead): no message sent
+		// inside it can be delivered inside it.
+		horizon := minT + c.look - 1
+		if horizon > limit {
+			horizon = limit
+		}
+		c.active = c.active[:0]
+		for i, t := range c.nexts {
+			if t <= horizon {
+				c.active = append(c.active, i)
+			}
+		}
+		nActive := len(c.active)
+		if nActive == 1 {
+			c.runSolo(c.active[0], limit)
+			continue
+		}
+		for _, i := range c.active {
+			c.inject(i, horizon)
+		}
+		h := horizon
+		c.team.Run(nActive, func(x int) { c.shards[c.active[x]].K.RunUntil(h) })
+		// Barrier: collect outboxes in ascending shard id (the active set is
+		// built ascending), preserving per-source send order.
+		for _, i := range c.active {
+			c.drain(c.shards[i])
+		}
+		c.stats.Windows++
+		if nActive > c.stats.MaxActive {
+			c.stats.MaxActive = nActive
+		}
+	}
+}
+
+// runSolo advances a single shard far past the window bound: with every
+// other shard quiescent until minOther, shard i cannot be affected before
+// minOther+lookahead, so it may run alone to that horizon — unless it emits
+// a cross-shard message first, which stops the run at the send.
+func (c *Coordinator) runSolo(i int, limit sim.Time) {
+	minOther := none
+	for j := range c.shards {
+		if j != i && c.nexts[j] < minOther {
+			minOther = c.nexts[j]
+		}
+	}
+	soloH := limit
+	if minOther != none && minOther+c.look-1 < soloH {
+		soloH = minOther + c.look - 1
+	}
+	s := c.shards[i]
+	c.inject(i, soloH)
+	s.soloActive = true
+	s.K.RunUntil(soloH)
+	if s.soloActive {
+		s.soloActive = false
+	} else {
+		c.stats.SoloStops++
+	}
+	c.stats.SoloRuns++
+	c.drain(s)
+}
+
+// inject delivers every pending message for dst due at or before horizon
+// into the destination kernel, in (time, src, seq) order; later messages
+// stay pending. Kernel timers run same-instant callbacks in registration
+// order, so the sort order is the delivery order.
+func (c *Coordinator) inject(dst int, horizon sim.Time) {
+	pend := c.pending[dst]
+	if len(pend) == 0 {
+		return
+	}
+	sort.Slice(pend, func(a, b int) bool {
+		if pend[a].at != pend[b].at {
+			return pend[a].at < pend[b].at
+		}
+		if pend[a].src != pend[b].src {
+			return pend[a].src < pend[b].src
+		}
+		return pend[a].seq < pend[b].seq
+	})
+	k := c.shards[dst].K
+	now := k.Now()
+	cut := sort.Search(len(pend), func(x int) bool { return pend[x].at > horizon })
+	for _, m := range pend[:cut] {
+		if m.at < now {
+			// The conservative invariant (receiver clock < any in-flight
+			// delivery instant) was violated — a coordinator bug, never a
+			// runtime condition.
+			panic(fmt.Sprintf("shard: delivery to %d at %v is in its past (now %v)",
+				dst, m.at, now))
+		}
+		k.After(m.at-now, m.fn)
+	}
+	c.stats.Messages += uint64(cut)
+	rest := pend[:0]
+	rest = append(rest, pend[cut:]...)
+	// Drop closure references past the live region so delivered messages
+	// can be collected.
+	for x := len(rest); x < len(pend); x++ {
+		pend[x] = message{}
+	}
+	c.pending[dst] = rest
+}
+
+// drain moves a shard's outbox onto the pending lists.
+func (c *Coordinator) drain(s *Shard) {
+	for x, m := range s.outbox {
+		c.pending[m.dst] = append(c.pending[m.dst], m)
+		s.outbox[x] = message{}
+	}
+	s.outbox = s.outbox[:0]
+}

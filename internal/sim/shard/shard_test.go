@@ -1,0 +1,317 @@
+package shard
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+const look = sim.Time(60) // the RemoteLink-style lookahead used throughout
+
+// record is one observed delivery in the ring scenario.
+type record struct {
+	Shard int
+	At    sim.Time
+	Token int
+}
+
+// ringRun builds n shard kernels passing tokens around a ring with varied
+// (but deterministic) service times and hop delays, runs the composition on
+// the given worker count, and returns the per-shard observation logs
+// concatenated in shard order plus the coordinator for stats inspection.
+func ringRun(t *testing.T, n, workers, tokens, hops int) ([]record, *Coordinator) {
+	t.Helper()
+	kernels := make([]*sim.Kernel, n)
+	queues := make([]*sim.Queue[int], n)
+	logs := make([][]record, n)
+	for i := range kernels {
+		kernels[i] = sim.NewKernel(int64(i + 1))
+		queues[i] = sim.NewQueue[int](kernels[i])
+	}
+	co := NewCoordinator(kernels, look, workers)
+	for i := 0; i < n; i++ {
+		i := i
+		sh := co.Shard(i)
+		kernels[i].Go(fmt.Sprintf("ring-%d", i), func(p *sim.Proc) {
+			for {
+				v := queues[i].Get(p)
+				logs[i] = append(logs[i], record{Shard: i, At: p.Now(), Token: v})
+				if v >= tokens*hops {
+					continue // token retired; keep serving others
+				}
+				// Service time and next hop vary with the token value so
+				// same-instant deliveries and out-of-order hops both occur.
+				p.Sleep(sim.Time(v*7%45) + 1)
+				dst := (i + 1 + v%maxInt(1, n-1)) % n
+				next := v + 1
+				sh.Send(dst, look+sim.Time(v%3)*13, func() { queues[dst].Put(next) })
+			}
+		})
+	}
+	// Seed the ring from shard 0 with a burst of tokens at distinct times.
+	for tok := 0; tok < tokens; tok++ {
+		tok := tok
+		kernels[0].After(sim.Time(tok*11), func() { queues[0].Put(tok * hops / hops) })
+	}
+	co.Run()
+	defer co.Close()
+	var all []record
+	for i := 0; i < n; i++ {
+		all = append(all, logs[i]...)
+	}
+	return all, co
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestRingWorkerInvariance(t *testing.T) {
+	ref, refCo := ringRun(t, 4, 1, 6, 40)
+	if len(ref) == 0 {
+		t.Fatal("reference run produced no deliveries")
+	}
+	refStats := refCo.Stats()
+	for _, w := range []int{2, 4, 8} {
+		got, co := ringRun(t, 4, w, 6, 40)
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("workers=%d: delivery log diverged from single-worker reference", w)
+		}
+		if s := co.Stats(); !reflect.DeepEqual(s, refStats) {
+			t.Fatalf("workers=%d: stats diverged: %+v vs %+v", w, s, refStats)
+		}
+	}
+	if refStats.Windows == 0 {
+		t.Fatalf("ring run never exercised a multi-shard window: %+v", refStats)
+	}
+	if refStats.Messages == 0 {
+		t.Fatal("no cross-shard messages delivered")
+	}
+	if refStats.MaxActive < 2 {
+		t.Fatalf("MaxActive = %d, want >= 2", refStats.MaxActive)
+	}
+}
+
+func TestShardCountCollapse(t *testing.T) {
+	// The same ring logic on 2 shards vs 4 shards is a different partition
+	// (different topology), but each must still be worker-invariant.
+	ref, _ := ringRun(t, 2, 1, 4, 25)
+	got, _ := ringRun(t, 2, 2, 4, 25)
+	if !reflect.DeepEqual(got, ref) {
+		t.Fatal("2-shard ring diverged across worker counts")
+	}
+}
+
+func TestSoloModeStopOnSend(t *testing.T) {
+	run := func(workers int) ([]record, Stats) {
+		kA := sim.NewKernel(1)
+		kB := sim.NewKernel(2)
+		qB := sim.NewQueue[int](kB)
+		var logA, logB []record
+		co := NewCoordinator([]*sim.Kernel{kA, kB}, look, workers)
+		shA := co.Shard(0)
+		kA.Go("busy", func(p *sim.Proc) {
+			for step := 0; step < 1000; step++ {
+				p.Sleep(10)
+				logA = append(logA, record{Shard: 0, At: p.Now(), Token: step})
+				if step == 500 {
+					v := step
+					shA.Send(1, look, func() { qB.Put(v) })
+				}
+			}
+		})
+		kB.Go("idle-then-listen", func(p *sim.Proc) {
+			p.Sleep(200_000) // far beyond shard A's burst
+			logB = append(logB, record{Shard: 1, At: p.Now(), Token: -1})
+			v := qB.Get(p)
+			logB = append(logB, record{Shard: 1, At: p.Now(), Token: v})
+		})
+		co.Run()
+		co.Close()
+		return append(logA, logB...), co.Stats()
+	}
+	ref, stats := run(1)
+	if stats.SoloRuns == 0 {
+		t.Fatalf("expected solo runs while shard B idles, got %+v", stats)
+	}
+	if stats.SoloStops == 0 {
+		t.Fatalf("the send at step 500 should cut a solo run short: %+v", stats)
+	}
+	got, gotStats := run(2)
+	if !reflect.DeepEqual(got, ref) {
+		t.Fatal("solo scenario diverged across worker counts")
+	}
+	if !reflect.DeepEqual(gotStats, stats) {
+		t.Fatalf("solo stats diverged: %+v vs %+v", gotStats, stats)
+	}
+	// The message was sent at t=5010 and must arrive when B wakes at 200000.
+	last := ref[len(ref)-1]
+	if last.Token != 500 || last.At != 200_000 {
+		t.Fatalf("B received %+v, want token 500 at 200000", last)
+	}
+}
+
+func TestSingleShardMatchesPlainKernel(t *testing.T) {
+	build := func(k *sim.Kernel) *sim.Queue[int] {
+		q := sim.NewQueue[int](k)
+		k.Go("producer", func(p *sim.Proc) {
+			for i := 0; i < 100; i++ {
+				p.Sleep(sim.Time(i%9) + 1)
+				q.Put(i)
+			}
+		})
+		k.Go("consumer", func(p *sim.Proc) {
+			for i := 0; i < 100; i++ {
+				q.Get(p)
+				p.Sleep(3)
+			}
+		})
+		return q
+	}
+	ref := sim.NewKernel(7)
+	build(ref)
+	ref.Run()
+
+	k := sim.NewKernel(7)
+	build(k)
+	co := NewCoordinator([]*sim.Kernel{k}, look, 4)
+	defer co.Close()
+	co.Run()
+	if k.Now() != ref.Now() || k.Dispatched() != ref.Dispatched() {
+		t.Fatalf("single-shard composition: now=%v disp=%d, plain kernel: now=%v disp=%d",
+			k.Now(), k.Dispatched(), ref.Now(), ref.Dispatched())
+	}
+	if s := co.Stats(); s.Windows != 0 {
+		t.Fatalf("a 1-shard composition should only ever run solo: %+v", s)
+	}
+}
+
+func TestRunUntilClampsClocks(t *testing.T) {
+	kA := sim.NewKernel(1)
+	kB := sim.NewKernel(2)
+	fired := 0
+	kA.After(100, func() { fired++ })
+	kA.After(5_000, func() { fired++ })
+	kB.After(9_000, func() { fired++ })
+	co := NewCoordinator([]*sim.Kernel{kA, kB}, look, 1)
+	defer co.Close()
+	co.RunUntil(1_000)
+	if fired != 1 {
+		t.Fatalf("fired %d timers by t=1000, want 1", fired)
+	}
+	if kA.Now() != 1_000 || kB.Now() != 1_000 {
+		t.Fatalf("clocks not clamped: A=%v B=%v, want 1000", kA.Now(), kB.Now())
+	}
+	co.RunUntil(10_000)
+	if fired != 3 {
+		t.Fatalf("fired %d timers by t=10000, want 3", fired)
+	}
+}
+
+func TestSelfSendIsALocalTimer(t *testing.T) {
+	k := sim.NewKernel(1)
+	co := NewCoordinator([]*sim.Kernel{k, sim.NewKernel(2)}, look, 1)
+	defer co.Close()
+	hit := sim.Time(0)
+	// Below-lookahead delay is legal for a self-send.
+	co.Shard(0).Send(0, 5, func() { hit = k.Now() })
+	co.Run()
+	if hit != 5 {
+		t.Fatalf("self-send fired at %v, want 5", hit)
+	}
+	if s := co.Stats(); s.Messages != 0 {
+		t.Fatalf("self-send must not count as a cross-shard message: %+v", s)
+	}
+}
+
+func TestSendBelowLookaheadPanics(t *testing.T) {
+	co := NewCoordinator([]*sim.Kernel{sim.NewKernel(1), sim.NewKernel(2)}, look, 1)
+	defer co.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cross-shard send below the lookahead did not panic")
+		}
+	}()
+	co.Shard(0).Send(1, look-1, func() {})
+}
+
+func TestSendToUnknownShardPanics(t *testing.T) {
+	co := NewCoordinator([]*sim.Kernel{sim.NewKernel(1)}, look, 1)
+	defer co.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("send to out-of-range shard did not panic")
+		}
+	}()
+	co.Shard(0).Send(3, look, func() {})
+}
+
+func TestNewCoordinatorValidation(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("empty kernel set", func() { NewCoordinator(nil, look, 1) })
+	mustPanic("zero lookahead", func() { NewCoordinator([]*sim.Kernel{sim.NewKernel(1)}, 0, 1) })
+}
+
+func TestAccessors(t *testing.T) {
+	ks := []*sim.Kernel{sim.NewKernel(1), sim.NewKernel(2), sim.NewKernel(3)}
+	co := NewCoordinator(ks, look, 16)
+	defer co.Close()
+	if co.Shards() != 3 {
+		t.Fatalf("Shards() = %d, want 3", co.Shards())
+	}
+	if co.Lookahead() != look {
+		t.Fatalf("Lookahead() = %v, want %v", co.Lookahead(), look)
+	}
+	if co.Workers() != 3 {
+		t.Fatalf("Workers() = %d, want 3 (capped at shard count)", co.Workers())
+	}
+	for i := range ks {
+		if co.Shard(i).ID() != i || co.Shard(i).K != ks[i] {
+			t.Fatalf("shard %d handle mismatch", i)
+		}
+	}
+	if co.Stats().Lookahead != look {
+		t.Fatalf("Stats().Lookahead = %v, want %v", co.Stats().Lookahead, look)
+	}
+}
+
+func TestQuiescentGapsAreCheap(t *testing.T) {
+	// Two shards exchanging one message across a vast idle gap: the window
+	// loop must not iterate per-lookahead across the gap.
+	kA := sim.NewKernel(1)
+	kB := sim.NewKernel(2)
+	qB := sim.NewQueue[int](kB)
+	co := NewCoordinator([]*sim.Kernel{kA, kB}, look, 1)
+	defer co.Close()
+	shA := co.Shard(0)
+	kA.Go("late-sender", func(p *sim.Proc) {
+		p.Sleep(10_000_000) // 10 virtual seconds of nothing
+		shA.Send(1, look, func() { qB.Put(1) })
+	})
+	got := sim.Time(0)
+	kB.Go("receiver", func(p *sim.Proc) {
+		qB.Get(p)
+		got = p.Now()
+	})
+	co.Run()
+	if got != 10_000_000+look {
+		t.Fatalf("delivery at %v, want %v", got, sim.Time(10_000_000+look))
+	}
+	s := co.Stats()
+	if total := s.Windows + s.SoloRuns; total > 20 {
+		t.Fatalf("crossing a 10s idle gap took %d loop iterations: %+v", total, s)
+	}
+}

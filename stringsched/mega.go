@@ -69,3 +69,66 @@ func (m MegaResult) SkipRatio() float64 {
 	}
 	return float64(m.FFSkipped) / float64(m.EndTime)
 }
+
+// megaShardNodes is the sharded mega fleet: four identical two-GPU nodes, one
+// shard kernel each.
+const megaShardNodes = 4
+
+// RunMegaSharded drives the sharded mega macro-scenario: the same
+// light-profile Gaussian traffic as RunMega, split across a four-node fleet
+// (one Poisson stream per node, one tenant per node) so the cluster
+// partitions into four shard kernels advancing concurrently under the
+// conservative window protocol. shards sets the barrier worker count
+// (Config.Shards); the simulated outcome is bit-identical for any shards >= 1
+// — only wall-clock time changes — which is exactly what the benchmark
+// harness asserts when it runs the scenario at 1 and N workers. FFJumps and
+// FFSkipped sum over all four shard kernels (each skips its own quiescent
+// stretches of the shared timeline), so SkipRatio can exceed 1 here.
+func RunMegaSharded(seed int64, requests, shards int) (MegaResult, ShardStats, error) {
+	nodes := make([]NodeConfig, megaShardNodes)
+	for i := range nodes {
+		nodes[i] = NodeConfig{Devices: []DeviceSpec{Quadro2000, TeslaC2050}}
+	}
+	c, err := NewCluster(Config{
+		Seed:    seed,
+		Nodes:   nodes,
+		Mode:    ModeStrings,
+		Balance: "GMin",
+		Shards:  shards,
+	})
+	if err != nil {
+		return MegaResult{}, ShardStats{}, err
+	}
+	defer c.Close()
+	if !c.Sharded() {
+		return MegaResult{}, ShardStats{}, fmt.Errorf("mega sharded: fleet did not shard (shards=%d)", shards)
+	}
+	streams := make([]StreamSpec, megaShardNodes)
+	per := requests / megaShardNodes
+	for i := range streams {
+		n := per
+		if i == 0 {
+			n += requests % megaShardNodes
+		}
+		streams[i] = StreamSpec{
+			Kind: Gaussian, Count: n, LambdaFactor: 1.5,
+			Node: i, Tenant: int64(i + 1), Weight: 1,
+		}
+	}
+	r, err := c.Run(streams)
+	if err != nil {
+		return MegaResult{}, ShardStats{}, err
+	}
+	if len(r.Errors) > 0 {
+		return MegaResult{}, ShardStats{}, fmt.Errorf("mega sharded run errors: %v", r.Errors)
+	}
+	jumps, skipped := c.FastForwards()
+	return MegaResult{
+		Requests:  requests,
+		Finished:  r.Finished,
+		Events:    c.Dispatched(),
+		EndTime:   r.EndTime,
+		FFJumps:   jumps,
+		FFSkipped: skipped,
+	}, c.ShardStats(), nil
+}

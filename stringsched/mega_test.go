@@ -40,6 +40,44 @@ func TestRunMegaSmoke(t *testing.T) {
 	}
 }
 
+// TestRunMegaShardedSmoke drives a scaled-down sharded mega run (the scenario
+// `strings-bench -exp mega -shards N` benchmarks): the fleet must actually
+// shard, exercise the window machinery, and produce bit-identical results and
+// shard stats at 1 and 4 barrier workers.
+func TestRunMegaShardedSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sharded mega smoke run skipped in -short mode")
+	}
+	const requests = 2000
+	res, stats, err := RunMegaSharded(7, requests, 1)
+	if err != nil {
+		t.Fatalf("RunMegaSharded(1): %v", err)
+	}
+	if res.Finished != requests {
+		t.Errorf("finished %d of %d requests", res.Finished, requests)
+	}
+	if res.Events == 0 || res.EndTime <= 0 {
+		t.Errorf("degenerate run: %d events, end time %v", res.Events, res.EndTime)
+	}
+	if stats.Windows == 0 || stats.SoloRuns == 0 {
+		t.Errorf("coordinator did not exercise both window modes: %+v", stats)
+	}
+	if stats.Messages == 0 {
+		t.Errorf("no cross-shard messages — the mega traffic never crossed a mailbox: %+v", stats)
+	}
+
+	par, parStats, err := RunMegaSharded(7, requests, 4)
+	if err != nil {
+		t.Fatalf("RunMegaSharded(4): %v", err)
+	}
+	if par != res {
+		t.Errorf("4 workers diverged from 1:\n  1: %+v\n  4: %+v", res, par)
+	}
+	if parStats != stats {
+		t.Errorf("shard stats diverged across worker counts:\n  1: %+v\n  4: %+v", stats, parStats)
+	}
+}
+
 // TestRunMegaPerRequestCostIsFlat guards the O(live streams) fix: the packed
 // context must shed destroyed streams, or the driver's dispatch scan (and the
 // CUDA layer's device-sync walk) grows with every application ever served and

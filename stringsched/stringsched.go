@@ -33,6 +33,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/report"
 	"repro/internal/sim"
+	"repro/internal/sim/shard"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -49,6 +50,9 @@ type (
 	Cluster = core.Cluster
 	// RunResult aggregates an experiment run.
 	RunResult = core.RunResult
+	// ShardStats reports the parallel shard coordinator's window counters
+	// (see Cluster.ShardStats; zero-valued when the run did not shard).
+	ShardStats = shard.Stats
 	// DeviceSpec describes a GPU's capabilities.
 	DeviceSpec = gpu.Spec
 )
