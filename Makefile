@@ -1,7 +1,7 @@
 GO ?= go
 BIN ?= bin
 
-.PHONY: build test race vet lint stringscheck bench-smoke bench bench-json bench-sweep bench-mega cover fuzz-smoke
+.PHONY: build test race vet lint stringscheck bench-smoke bench bench-json bench-sweep bench-mega bench-cluster cover fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,10 @@ race:
 	@# above) all run with the barrier worker pool live.
 	$(GO) test -race -run 'TestRing|TestShard|TestSolo|TestRunMegaSharded' \
 		./internal/sim/shard/ ./internal/core/ ./stringsched/
+	@# The cluster tier's invariance matrix (rerun, workers 1 vs 8,
+	@# shards 1 vs 4) raced at quick scale: the supernode runs go through
+	@# the sweep worker pool and the shard barrier with the detector live.
+	$(GO) test -race -run 'TestClusterInvarianceQuick' ./internal/cluster/
 
 vet:
 	$(GO) vet ./...
@@ -75,15 +79,16 @@ bench:
 # Coverage gate: run the internal packages with -coverprofile and fail if
 # any of the gated packages (the observability layer, the sweep engine,
 # the shard coordinator, the analytic fast-forward layer, the analysis
-# framework and the device model) drops below 85% statement coverage. The
-# profile lands in $(BIN)/cover.out for CI to upload.
+# framework, the device model and the cluster tier) drops below 85%
+# statement coverage. The profile lands in $(BIN)/cover.out for CI to
+# upload.
 cover:
 	@mkdir -p $(BIN)
 	$(GO) test -coverprofile=$(BIN)/cover.out ./internal/...
 	$(GO) run ./cmd/covercheck -profile $(BIN)/cover.out -min 85 \
 		repro/internal/trace repro/internal/sweep repro/internal/parallel \
 		repro/internal/sim repro/internal/sim/shard repro/internal/analytic \
-		repro/internal/analysis repro/internal/gpu
+		repro/internal/analysis repro/internal/gpu repro/internal/cluster
 
 # Short fuzz pass over every native fuzz target: the wire codec, the framing
 # layer and the trace encoders each get 10s of coverage-guided input on top
@@ -96,6 +101,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzParseJSONL -fuzztime 10s ./internal/trace/
 	$(GO) test -run '^$$' -fuzz FuzzSpanEncode -fuzztime 10s ./internal/trace/
 	$(GO) test -run '^$$' -fuzz FuzzEventEncode -fuzztime 10s ./internal/trace/
+	$(GO) test -run '^$$' -fuzz FuzzOpenArrivalSpec -fuzztime 10s ./internal/workload/
 
 # Regenerate BENCH_simcore.json (simulator throughput snapshot), including
 # the traced-run overhead columns and a Chrome trace of the scenario.
@@ -133,3 +139,24 @@ bench-mega:
 # records cores/gomaxprocs so single-core numbers read as what they are.
 bench-sweep:
 	$(GO) run ./cmd/strings-bench -bench-sweep BENCH_sweep.json
+
+# Cluster-tier macro-benchmark smoke: the three-supernode open-arrival
+# scenario at CI scale (a ~500s horizon instead of the committed 2400s run),
+# against a copy so the committed BENCH_simcore.json keeps its full-scale
+# numbers. Both placement policies run sequentially and at GOMAXPROCS
+# workers with the results verified deeply equal in-process
+# (cluster_identical); the greps assert the merge kept the standard
+# scenario's keys and landed the cluster ones. CI uploads the file as an
+# artifact next to the mega and sweep snapshots.
+bench-cluster:
+	@mkdir -p $(BIN)
+	cp BENCH_simcore.json $(BIN)/BENCH_simcore.cluster.json
+	$(GO) run ./cmd/strings-bench -exp cluster \
+		-cluster-spec 'poisson:rate=0.5,horizon=500s,kind=GA,life=80s,lambda=800ms,bigevery=16,bigslots=2' \
+		-bench-json $(BIN)/BENCH_simcore.cluster.json
+	@grep -q '"ns_per_event"' $(BIN)/BENCH_simcore.cluster.json || \
+		{ echo "bench-cluster: merge dropped the standard scenario's keys"; exit 1; }
+	@grep -q '"cluster_p99_s"' $(BIN)/BENCH_simcore.cluster.json || \
+		{ echo "bench-cluster: cluster keys missing from merged output"; exit 1; }
+	@grep -q '"cluster_identical": true' $(BIN)/BENCH_simcore.cluster.json || \
+		{ echo "bench-cluster: worker invariance broke in the cluster run"; exit 1; }

@@ -49,6 +49,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -134,7 +135,7 @@ func writeTrace(path string, set *stringsched.TraceSet) error {
 // scenario a second time with the span recorder enabled, reports the traced
 // rates alongside the baseline, and writes the final iteration's span
 // stream to tracePath.
-func runBenchJSON(path string, seed int64, iters int, tracePath string) error {
+func runBenchJSON(out io.Writer, path string, seed int64, iters int, tracePath string) error {
 	if iters < 1 {
 		return fmt.Errorf("-bench-iters must be at least 1 (got %d)", iters)
 	}
@@ -203,13 +204,13 @@ func runBenchJSON(path string, seed int64, iters int, tracePath string) error {
 		if err := writeTrace(tracePath, set); err != nil {
 			return err
 		}
-		fmt.Printf("%s: %d spans, %d events, %d decisions (traced overhead %.1f%%)\n",
+		fmt.Fprintf(out, "%s: %d spans, %d events, %d decisions (traced overhead %.1f%%)\n",
 			tracePath, len(set.Spans), len(set.Events), len(set.Decisions), rep.TraceOverheadPct)
 	}
 	if err := mergeBenchJSON(path, rep); err != nil {
 		return err
 	}
-	fmt.Printf("%s: %.0f events/sec, %.0f ns/event, %.2f allocs/event (%d events, %.2fs wall)\n",
+	fmt.Fprintf(out, "%s: %.0f events/sec, %.0f ns/event, %.2f allocs/event (%d events, %.2fs wall)\n",
 		path, rep.EventsPerSec, rep.NsPerEvent, rep.AllocsPerEvent, rep.Events, rep.WallSeconds)
 	return nil
 }
@@ -298,7 +299,7 @@ type megaReport struct {
 // stream of `requests` Gaussian-elimination requests through a two-GPU
 // Strings node) once, and merges the mega_* metrics into the bench JSON at
 // path.
-func runBenchMega(path string, seed int64, requests int) error {
+func runBenchMega(out io.Writer, path string, seed int64, requests int) error {
 	if requests < 1 {
 		return fmt.Errorf("-mega-requests must be at least 1 (got %d)", requests)
 	}
@@ -329,7 +330,7 @@ func runBenchMega(path string, seed int64, requests int) error {
 	if err := mergeBenchJSON(path, rep); err != nil {
 		return err
 	}
-	fmt.Printf("%s: mega %d requests, %d events, %.0f events/sec, %.0f ns/event, %.2f allocs/event, %d ff jumps (%.1f%% of timeline skipped), %.2fs wall\n",
+	fmt.Fprintf(out, "%s: mega %d requests, %d events, %.0f events/sec, %.0f ns/event, %.2f allocs/event, %d ff jumps (%.1f%% of timeline skipped), %.2fs wall\n",
 		path, rep.Requests, rep.Events, rep.EventsPerSec, rep.NsPerEvent, rep.AllocsPerEvent,
 		rep.FFJumps, 100*rep.FFSkipRatio, rep.WallSeconds)
 	return nil
@@ -373,7 +374,7 @@ type megaShardReport struct {
 // merges the comparison into the bench JSON at path. A mismatch is a hard
 // error after the file is written: the speedup is worthless if the answers
 // changed.
-func runBenchMegaSharded(path string, seed int64, requests, shards int) error {
+func runBenchMegaSharded(out io.Writer, path string, seed int64, requests, shards int) error {
 	if requests < 1 {
 		return fmt.Errorf("-mega-requests must be at least 1 (got %d)", requests)
 	}
@@ -419,7 +420,7 @@ func runBenchMegaSharded(path string, seed int64, requests, shards int) error {
 	if err := mergeBenchJSON(path, rep); err != nil {
 		return err
 	}
-	fmt.Printf("%s: sharded mega %d requests, %d events, %d windows, %d messages; %.2fs at 1 worker, %.2fs at %d (%.2fx, %d cores, identical=%v)\n",
+	fmt.Fprintf(out, "%s: sharded mega %d requests, %d events, %d windows, %d messages; %.2fs at 1 worker, %.2fs at %d (%.2fx, %d cores, identical=%v)\n",
 		path, rep.Requests, rep.Events, rep.Windows, rep.Messages,
 		rep.SeqSeconds, rep.ParSeconds, shards, rep.Speedup, rep.Cores, rep.Identical)
 	if !rep.Identical {
@@ -431,7 +432,7 @@ func runBenchMegaSharded(path string, seed int64, requests, shards int) error {
 // runTraceOnly runs one traced instance of the throughput scenario and
 // writes its span stream to path — the quick way to get a chrome://tracing
 // file without benchmark timing.
-func runTraceOnly(path string, seed int64) error {
+func runTraceOnly(out io.Writer, path string, seed int64) error {
 	rec := stringsched.NewTraceRecorder()
 	if _, _, err := throughputScenario(seed, rec); err != nil {
 		return err
@@ -440,7 +441,7 @@ func runTraceOnly(path string, seed int64) error {
 	if err := writeTrace(path, set); err != nil {
 		return err
 	}
-	fmt.Printf("%s: %d spans, %d events, %d decisions\n",
+	fmt.Fprintf(out, "%s: %d spans, %d events, %d decisions\n",
 		path, len(set.Spans), len(set.Events), len(set.Decisions))
 	return nil
 }
@@ -466,7 +467,7 @@ type sweepReport struct {
 // produced deeply equal tables, and writes the comparison to path. A
 // metrics mismatch is a hard error: the speedup is worthless if the answers
 // changed.
-func runBenchSweep(path string, seed int64, requests, pairs, workers int) error {
+func runBenchSweep(out io.Writer, path string, seed int64, requests, pairs, workers int) error {
 	if workers <= 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -493,14 +494,14 @@ func runBenchSweep(path string, seed int64, requests, pairs, workers int) error 
 		Identical:       reflect.DeepEqual(seqTabs, parTabs),
 		Simulations:     runs,
 	}
-	out, err := json.MarshalIndent(rep, "", "  ")
+	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("%s: %.2fs sequential, %.2fs at %d workers (%.2fx, %d cores, identical=%v)\n",
+	fmt.Fprintf(out, "%s: %.2fs sequential, %.2fs at %d workers (%.2fx, %d cores, identical=%v)\n",
 		path, rep.SeqSeconds, rep.ParSeconds, workers, rep.Speedup, rep.Cores, rep.Identical)
 	if !rep.Identical {
 		return fmt.Errorf("parallel sweep diverged from sequential sweep — determinism bug")
@@ -508,28 +509,201 @@ func runBenchSweep(path string, seed int64, requests, pairs, workers int) error 
 	return nil
 }
 
-func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, table1, fig1, fig2, fig9..fig15, headline, frag, ablations, faults, mega; faults and mega are opt-in and excluded from all)")
-	requests := flag.Int("requests", 12, "requests per short-job stream")
-	lambda := flag.Float64("lambda", 0.6, "mean inter-arrival as a fraction of solo runtime")
-	seed := flag.Int64("seed", 1, "simulation seed")
-	pairs := flag.Int("pairs", 24, "number of workload pairs (prefix of A..X)")
-	width := flag.Int("width", 72, "width of utilization strips")
-	parallelN := flag.Int("parallel", 0, "experiment cells run concurrently (0 = GOMAXPROCS, 1 = sequential; results are identical at any setting)")
-	workers := flag.Int("workers", 0, "deprecated alias for -parallel")
-	seeds := flag.Int("seeds", 1, "replications per scenario (pooled)")
-	csv := flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
-	htmlOut := flag.String("html", "", "also write an HTML report with SVG charts to this path")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path")
-	memprofile := flag.String("memprofile", "", "write a heap profile to this path on exit")
-	benchJSON := flag.String("bench-json", "", "benchmark mode: write simulator throughput metrics to this JSON file instead of running experiments")
-	benchIters := flag.Int("bench-iters", 20, "iterations of the throughput scenario in -bench-json mode")
-	traceOut := flag.String("trace", "", "run the throughput scenario with the span recorder and write the trace here (.jsonl for JSONL, otherwise Chrome trace JSON); with -bench-json, also reports traced overhead")
-	benchSweep := flag.String("bench-sweep", "", "sweep-benchmark mode: run the figure grid sequentially and in parallel, verify identical tables, and write the speedup to this JSON file")
-	megaRequests := flag.Int("mega-requests", 1_000_000, "requests in the -exp mega macro-run")
-	shardsN := flag.Int("shards", 0, "with -exp mega: run the four-node sharded mega scenario at 1 and N barrier workers, verify bit-identical simulated results, and record the speedup (0 = classic single-node mega)")
-	flag.Parse()
+// clusterReport is the cluster-tier macro-run's slice of BENCH_simcore.json.
+// The cluster_* simulated keys are bit-identical at any -parallel/-shards
+// setting — runBenchCluster verifies that by running the scenario at one
+// worker and at -parallel workers and demanding deeply equal results —
+// while the wall-clock keys describe machine-dependent timing.
+type clusterReport struct {
+	Scenario       string  `json:"cluster_scenario"`
+	Policy         string  `json:"cluster_policy"`
+	Supernodes     int     `json:"cluster_supernodes"`
+	Born           int     `json:"cluster_born"`
+	Placed         int     `json:"cluster_placed"`
+	Parked         int     `json:"cluster_parked"`
+	Rejected       int     `json:"cluster_rejected"`
+	Conflicts      int     `json:"cluster_conflicts"`
+	Requests       int     `json:"cluster_requests"`
+	Finished       int     `json:"cluster_finished"`
+	Events         uint64  `json:"cluster_events"`
+	VirtualSeconds float64 `json:"cluster_virtual_seconds"`
+	P50Seconds     float64 `json:"cluster_p50_s"`
+	P99Seconds     float64 `json:"cluster_p99_s"`
+	P999Seconds    float64 `json:"cluster_p999_s"`
+	AvgWaitSeconds float64 `json:"cluster_avg_admission_wait_s"`
+	MaxWaitSeconds float64 `json:"cluster_max_admission_wait_s"`
+	Fairness       float64 `json:"cluster_fairness"`
+	MeanUtil       float64 `json:"cluster_util_mean"`
+	Identical      bool    `json:"cluster_identical"`
 
+	Cores        int     `json:"cluster_cores"`
+	Gomaxprocs   int     `json:"cluster_gomaxprocs"`
+	Workers      int     `json:"cluster_workers"`
+	SeqSeconds   float64 `json:"cluster_seq_seconds"`
+	ParSeconds   float64 `json:"cluster_par_seconds"`
+	Speedup      float64 `json:"cluster_parallel_speedup"`
+	EventsPerSec float64 `json:"cluster_par_events_per_sec"`
+}
+
+// clusterFleet is the bench cluster fleet: three two-node supernodes of
+// Quadro 2000 + Tesla C2050 pairs (48 admission slots at the default 4
+// slots/device) — the same shape the internal/cluster invariance suite pins.
+func clusterFleet() []stringsched.ClusterSupernode {
+	sn := stringsched.ClusterSupernode{Nodes: []stringsched.NodeConfig{
+		{Devices: []stringsched.DeviceSpec{stringsched.Quadro2000, stringsched.TeslaC2050}},
+		{Devices: []stringsched.DeviceSpec{stringsched.Quadro2000, stringsched.TeslaC2050}},
+	}}
+	return []stringsched.ClusterSupernode{sn, sn, sn}
+}
+
+// runBenchCluster runs the cluster-tier macro-scenario for every placement
+// policy: open-arrival tenants from spec placed over the three-supernode
+// fleet, executed once sequentially and once at `workers` workers with the
+// results verified deeply equal, then merged into the bench JSON at path
+// (cluster_* keys hold the policy named by primary). A mismatch is a hard
+// error after the file is written.
+func runBenchCluster(out io.Writer, path, specText, primary string, seed int64, workers, shards int) error {
+	spec, err := stringsched.ParseOpenArrivalSpec(specText)
+	if err != nil {
+		return fmt.Errorf("-cluster-spec: %w", err)
+	}
+	known := false
+	for _, p := range stringsched.ClusterPolicies() {
+		known = known || p == primary
+	}
+	if !known {
+		return fmt.Errorf("unknown cluster policy %q (valid: %s)",
+			primary, strings.Join(stringsched.ClusterPolicies(), ", "))
+	}
+	if workers <= 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var rep clusterReport
+	for _, policy := range stringsched.ClusterPolicies() {
+		cfg := stringsched.ClusterConfig{
+			Seed: seed, Supernodes: clusterFleet(), Policy: policy,
+			Arrivals: spec, Shards: shards,
+		}
+		pass := func(w int) (*stringsched.ClusterResult, float64, error) {
+			cfg.Workers = w
+			runtime.GC()
+			sw := parallel.StartStopwatch()
+			r, err := stringsched.RunCluster(cfg)
+			return r, sw.Seconds(), err
+		}
+		seqRes, seqSec, err := pass(1)
+		if err != nil {
+			return err
+		}
+		parRes, parSec, err := pass(workers)
+		if err != nil {
+			return err
+		}
+		identical := reflect.DeepEqual(seqRes, parRes)
+		var util float64
+		for _, sn := range parRes.Supernodes {
+			util += sn.Utilization
+		}
+		util /= float64(len(parRes.Supernodes))
+		fmt.Fprintf(out, "cluster/%s: born %d placed %d parked %d rejected %d conflicts %d; %d requests, %d events; p50 %v p99 %v p999 %v fairness %.4f; %.2fs at 1 worker, %.2fs at %d (%.2fx, identical=%v)\n",
+			policy, parRes.Log.Born, parRes.Log.Placed, parRes.Log.Parked, parRes.Log.Rejected,
+			parRes.Log.Conflicts, parRes.Requests, parRes.Events,
+			parRes.P50, parRes.P99, parRes.P999, parRes.Fairness,
+			seqSec, parSec, workers, seqSec/parSec, identical)
+		if !identical {
+			return fmt.Errorf("cluster/%s diverged between 1 and %d workers — determinism bug", policy, workers)
+		}
+		if policy == primary {
+			rep = clusterReport{
+				Scenario:       fmt.Sprintf("3-supernode fleet, %s placement, %s", primary, spec.String()),
+				Policy:         primary,
+				Supernodes:     len(parRes.Supernodes),
+				Born:           parRes.Log.Born,
+				Placed:         parRes.Log.Placed,
+				Parked:         parRes.Log.Parked,
+				Rejected:       parRes.Log.Rejected,
+				Conflicts:      parRes.Log.Conflicts,
+				Requests:       parRes.Requests,
+				Finished:       parRes.Finished,
+				Events:         parRes.Events,
+				VirtualSeconds: parRes.EndTime.Seconds(),
+				P50Seconds:     parRes.P50.Seconds(),
+				P99Seconds:     parRes.P99.Seconds(),
+				P999Seconds:    parRes.P999.Seconds(),
+				AvgWaitSeconds: parRes.AvgAdmissionWait.Seconds(),
+				MaxWaitSeconds: parRes.MaxAdmissionWait.Seconds(),
+				Fairness:       parRes.Fairness,
+				MeanUtil:       util,
+				Identical:      identical,
+				Cores:          runtime.NumCPU(),
+				Gomaxprocs:     runtime.GOMAXPROCS(0),
+				Workers:        workers,
+				SeqSeconds:     seqSec,
+				ParSeconds:     parSec,
+				Speedup:        seqSec / parSec,
+				EventsPerSec:   float64(parRes.Events) / parSec,
+			}
+		}
+	}
+	if err := mergeBenchJSON(path, rep); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%s: cluster_* keys merged (policy %s)\n", path, primary)
+	return nil
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable CLI body: it parses args, validates every flag with an
+// exit-1-and-list-the-valid-range failure mode, and dispatches to the
+// experiment suites and benchmark modes.
+func run(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("strings-bench", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	exp := fs.String("exp", "all", "experiment to run (all, table1, fig1, fig2, fig9..fig15, headline, frag, ablations, faults, mega, cluster; faults, mega and cluster are opt-in and excluded from all)")
+	requests := fs.Int("requests", 12, "requests per short-job stream")
+	lambda := fs.Float64("lambda", 0.6, "mean inter-arrival as a fraction of solo runtime")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	pairs := fs.Int("pairs", 24, "number of workload pairs (prefix of A..X)")
+	width := fs.Int("width", 72, "width of utilization strips")
+	parallelN := fs.Int("parallel", 0, "experiment cells run concurrently (0 = GOMAXPROCS, 1 = sequential; results are identical at any setting)")
+	workers := fs.Int("workers", 0, "deprecated alias for -parallel")
+	seeds := fs.Int("seeds", 1, "replications per scenario (pooled)")
+	csv := fs.Bool("csv", false, "emit tables as CSV instead of aligned text")
+	htmlOut := fs.String("html", "", "also write an HTML report with SVG charts to this path")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this path")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this path on exit")
+	benchJSON := fs.String("bench-json", "", "benchmark mode: write simulator throughput metrics to this JSON file instead of running experiments")
+	benchIters := fs.Int("bench-iters", 20, "iterations of the throughput scenario in -bench-json mode")
+	traceOut := fs.String("trace", "", "run the throughput scenario with the span recorder and write the trace here (.jsonl for JSONL, otherwise Chrome trace JSON); with -bench-json, also reports traced overhead")
+	benchSweep := fs.String("bench-sweep", "", "sweep-benchmark mode: run the figure grid sequentially and in parallel, verify identical tables, and write the speedup to this JSON file")
+	megaRequests := fs.Int("mega-requests", 1_000_000, "requests in the -exp mega macro-run")
+	shardsN := fs.Int("shards", 0, "with -exp mega: run the four-node sharded mega scenario at 1 and N barrier workers, verify bit-identical simulated results, and record the speedup (0 = classic single-node mega); with -exp cluster: per-supernode shard setting")
+	clusterSpec := fs.String("cluster-spec", "poisson:rate=0.5,horizon=2400s,kind=GA,life=80s,lambda=800ms,bigevery=16,bigslots=2",
+		"open-arrival spec for the -exp cluster macro-run (process:key=value,...)")
+	clusterPolicy := fs.String("cluster-policy", stringsched.ClusterPolicyLeastLoaded,
+		"placement policy whose cluster_* keys land in the bench JSON (least-loaded, frag; both always run)")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+
+	// Validate numeric ranges before any work: a bad value must fail
+	// fast, non-zero, and say what would have been accepted (the same
+	// treatment -exp gives unknown experiment names).
+	if *shardsN < 0 {
+		fmt.Fprintf(errOut, "invalid -shards %d\nvalid range: 0 (classic single-kernel path) or >= 1 (sharded; N sets the barrier worker count)\n", *shardsN)
+		return 1
+	}
+	if *parallelN < 0 {
+		fmt.Fprintf(errOut, "invalid -parallel %d\nvalid range: >= 0 (0 = GOMAXPROCS, 1 = sequential, N = N workers)\n", *parallelN)
+		return 1
+	}
+	if *workers < 0 {
+		fmt.Fprintf(errOut, "invalid -workers %d\nvalid range: >= 0 (0 = GOMAXPROCS, 1 = sequential, N = N workers; deprecated alias for -parallel)\n", *workers)
+		return 1
+	}
 	if *parallelN == 0 {
 		*parallelN = *workers
 	}
@@ -537,31 +711,32 @@ func main() {
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(errOut, "cpuprofile: %v\n", err)
+			return 1
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(errOut, "cpuprofile: %v\n", err)
+			return 1
 		}
 		defer pprof.StopCPUProfile()
 	}
-	writeMemProfile := func() {
+	writeMemProfile := func() int {
 		if *memprofile == "" {
-			return
+			return 0
 		}
 		f, err := os.Create(*memprofile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(errOut, "memprofile: %v\n", err)
+			return 1
 		}
 		defer f.Close()
 		runtime.GC()
 		if err := pprof.WriteHeapProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(errOut, "memprofile: %v\n", err)
+			return 1
 		}
+		return 0
 	}
 
 	if strings.EqualFold(*exp, "mega") {
@@ -572,42 +747,51 @@ func main() {
 		if path == "" {
 			path = "BENCH_simcore.json"
 		}
-		run := func() error { return runBenchMega(path, *seed, *megaRequests) }
+		runFn := func() error { return runBenchMega(out, path, *seed, *megaRequests) }
 		if *shardsN >= 1 {
 			// -shards switches to the sharded fleet variant: same traffic
 			// split across four shard kernels, timed at 1 and N workers.
-			run = func() error { return runBenchMegaSharded(path, *seed, *megaRequests, *shardsN) }
+			runFn = func() error { return runBenchMegaSharded(out, path, *seed, *megaRequests, *shardsN) }
 		}
-		if err := run(); err != nil {
-			fmt.Fprintf(os.Stderr, "mega: %v\n", err)
-			os.Exit(1)
+		if err := runFn(); err != nil {
+			fmt.Fprintf(errOut, "mega: %v\n", err)
+			return 1
 		}
-		writeMemProfile()
-		return
+		return writeMemProfile()
+	}
+	if strings.EqualFold(*exp, "cluster") {
+		// The cluster macro-run is likewise a benchmark: cluster_* keys
+		// into the bench JSON, with the worker-invariance check built in.
+		path := *benchJSON
+		if path == "" {
+			path = "BENCH_simcore.json"
+		}
+		if err := runBenchCluster(out, path, *clusterSpec, *clusterPolicy, *seed, *parallelN, *shardsN); err != nil {
+			fmt.Fprintf(errOut, "cluster: %v\n", err)
+			return 1
+		}
+		return writeMemProfile()
 	}
 	if *benchJSON != "" {
-		if err := runBenchJSON(*benchJSON, *seed, *benchIters, *traceOut); err != nil {
-			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
-			os.Exit(1)
+		if err := runBenchJSON(out, *benchJSON, *seed, *benchIters, *traceOut); err != nil {
+			fmt.Fprintf(errOut, "bench: %v\n", err)
+			return 1
 		}
-		writeMemProfile()
-		return
+		return writeMemProfile()
 	}
 	if *traceOut != "" {
-		if err := runTraceOnly(*traceOut, *seed); err != nil {
-			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
-			os.Exit(1)
+		if err := runTraceOnly(out, *traceOut, *seed); err != nil {
+			fmt.Fprintf(errOut, "trace: %v\n", err)
+			return 1
 		}
-		writeMemProfile()
-		return
+		return writeMemProfile()
 	}
 	if *benchSweep != "" {
-		if err := runBenchSweep(*benchSweep, *seed, *requests, *pairs, *parallelN); err != nil {
-			fmt.Fprintf(os.Stderr, "bench-sweep: %v\n", err)
-			os.Exit(1)
+		if err := runBenchSweep(out, *benchSweep, *seed, *requests, *pairs, *parallelN); err != nil {
+			fmt.Fprintf(errOut, "bench-sweep: %v\n", err)
+			return 1
 		}
-		writeMemProfile()
-		return
+		return writeMemProfile()
 	}
 
 	opt := stringsched.SuiteOptions{
@@ -628,9 +812,9 @@ func main() {
 	}
 	render := func(t *stringsched.Table) {
 		if *csv {
-			fmt.Println(t.CSV())
+			fmt.Fprintln(out, t.CSV())
 		} else {
-			fmt.Println(t.Format())
+			fmt.Fprintln(out, t.Format())
 		}
 		if page != nil {
 			page.AddTable(t)
@@ -647,10 +831,10 @@ func main() {
 		{name: "table1", fn: func() { render(suite.TableI()) }},
 		{name: "fig1", fn: func() { render(suite.Fig1()) }},
 		{name: "fig2", fn: func() {
-			out := suite.Fig2().Format(*width)
-			fmt.Println(out)
+			o := suite.Fig2().Format(*width)
+			fmt.Fprintln(out, o)
 			if page != nil {
-				page.AddPre("Fig 2: sequential vs concurrent Monte Carlo", out)
+				page.AddPre("Fig 2: sequential vs concurrent Monte Carlo", o)
 			}
 		}},
 		{name: "fig9", fn: func() { render(suite.Fig9()) }},
@@ -678,7 +862,7 @@ func main() {
 	// fast, non-zero, and tell the user what would have been accepted.
 	want := strings.ToLower(*exp)
 	known := want == "all"
-	names := make([]string, 0, len(runners)+2)
+	names := make([]string, 0, len(runners)+3)
 	names = append(names, "all")
 	for _, r := range runners {
 		names = append(names, r.name)
@@ -686,11 +870,11 @@ func main() {
 			known = true
 		}
 	}
-	names = append(names, "mega") // handled above, before benchmark modes
+	names = append(names, "mega", "cluster") // handled above, before benchmark modes
 	if !known {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\nvalid experiments: %s\n(faults is opt-in: it is excluded from -exp all and must be named explicitly)\n",
+		fmt.Fprintf(errOut, "unknown experiment %q\nvalid experiments: %s\n(faults is opt-in: it is excluded from -exp all and must be named explicitly)\n",
 			*exp, strings.Join(names, ", "))
-		os.Exit(1)
+		return 1
 	}
 
 	sw := parallel.StartStopwatch()
@@ -701,11 +885,11 @@ func main() {
 	}
 	if page != nil {
 		if err := page.WriteFile(*htmlOut); err != nil {
-			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *htmlOut, err)
-			os.Exit(1)
+			fmt.Fprintf(errOut, "writing %s: %v\n", *htmlOut, err)
+			return 1
 		}
-		fmt.Printf("HTML report written to %s\n", *htmlOut)
+		fmt.Fprintf(out, "HTML report written to %s\n", *htmlOut)
 	}
-	fmt.Printf("(%d simulations, %.1fs wall)\n", suite.Runs, sw.Seconds())
-	writeMemProfile()
+	fmt.Fprintf(out, "(%d simulations, %.1fs wall)\n", suite.Runs, sw.Seconds())
+	return writeMemProfile()
 }

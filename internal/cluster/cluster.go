@@ -1,0 +1,178 @@
+// Package cluster is the third scheduling level: a global scheduler that
+// places tenant streams onto M supernodes, where each supernode is one
+// complete core run (a Strings deployment with its own Affinity Mapper,
+// backends and device schedulers, optionally sharded per PR 9).
+//
+// The design follows Arktos's shared-state optimistic global scheduler: the
+// placement engine works from a periodically refreshed snapshot of every
+// supernode's capacity ledger, commits placements optimistically against
+// the authoritative ledger, detects conflicts (the snapshot was stale and
+// the capacity is gone) and retries deterministically, parking tenants in a
+// bounded FIFO admission queue when the fleet is full and rejecting them
+// when the queue overflows.
+//
+// Placement is one-way: it consumes the open-arrival population's declared
+// lifetimes and slot demands, never the simulated runs' outcomes. That
+// boundary is what makes the tier trivially deterministic — the placement
+// log is a pure function of (seed, spec, policy), and the M supernode runs
+// it emits are the already-proven deterministic core runs, composable under
+// any worker or shard count (DESIGN.md §16).
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// Placement policies.
+const (
+	// PolicyLeastLoaded places each tenant on the supernode with the most
+	// free slots (ties to the lowest index).
+	PolicyLeastLoaded = "least-loaded"
+	// PolicyFrag places each tenant on the supernode whose fragmentation
+	// score (balancer.FragScore over a synthetic cluster-scope DST row)
+	// increases the least — the cluster-scope analogue of the Frag slice
+	// policy from PR 8.
+	PolicyFrag = "frag"
+)
+
+// Policies lists the placement policies in display order.
+func Policies() []string { return []string{PolicyLeastLoaded, PolicyFrag} }
+
+// Supernode describes one supernode: the node/GPU fleet of a core run plus
+// the admission capacity the global scheduler may promise away.
+type Supernode struct {
+	// Nodes is the supernode's fleet, exactly as core.Config.Nodes.
+	Nodes []core.NodeConfig
+
+	// SlotsPerDevice sets the supernode's admission capacity: the global
+	// ledger holds devices × SlotsPerDevice tenant slots. Slots are the
+	// cluster tier's capacity currency — an admission-control budget
+	// (tenants the supernode will serve concurrently), deliberately
+	// coarser than the per-device DST the supernode's own mapper runs.
+	// Defaults to DefaultSlotsPerDevice.
+	SlotsPerDevice int
+}
+
+// DefaultSlotsPerDevice is the admission slots carried by each device.
+const DefaultSlotsPerDevice = 4
+
+// devices counts the supernode's devices.
+func (s Supernode) devices() int {
+	n := 0
+	for _, nc := range s.Nodes {
+		n += len(nc.Devices)
+	}
+	return n
+}
+
+// Capacity returns the supernode's total admission slots.
+func (s Supernode) Capacity() int {
+	spd := s.SlotsPerDevice
+	if spd <= 0 {
+		spd = DefaultSlotsPerDevice
+	}
+	return s.devices() * spd
+}
+
+// Config describes a full cluster-tier run.
+type Config struct {
+	// Seed drives everything: the open-arrival population, the placement
+	// engine and (folded per supernode) the M core runs.
+	Seed int64
+
+	// Supernodes is the fleet the global scheduler places onto.
+	Supernodes []Supernode
+
+	// Policy names the placement policy (PolicyLeastLoaded, PolicyFrag).
+	Policy string
+
+	// Arrivals generates the tenant population (births, lifetimes,
+	// per-tenant request streams). See workload.OpenArrivalSpec.
+	Arrivals workload.OpenArrivalSpec
+
+	// SnapshotEvery is the number of placement commits between snapshot
+	// refreshes — the staleness knob of the shared-state design. 1 keeps
+	// the snapshot always fresh (no conflicts possible); larger values
+	// model schedulers racing over stale state. Default 8.
+	SnapshotEvery int
+
+	// MaxRetries bounds the refresh-and-retry loop after a commit
+	// conflict before the tenant parks. Default 3.
+	MaxRetries int
+
+	// ParkCapacity bounds the admission park queue; a tenant arriving to
+	// a full fleet with a full queue is rejected. Default 64.
+	ParkCapacity int
+
+	// Mode, Balance and DevPolicy configure the underlying supernode runs
+	// (defaults: ModeStrings, GMin, none).
+	Mode      core.Mode
+	Balance   string
+	DevPolicy string
+
+	// Workers sets the parallelism of the supernode runs (parallel.Map
+	// semantics: 0 = GOMAXPROCS, results bit-identical at any value).
+	Workers int
+
+	// Shards passes through to each supernode's core.Config.Shards:
+	// eligible supernodes time-partition into per-node shard kernels
+	// (bit-identical for any Shards >= 1; see DESIGN.md §15).
+	Shards int
+
+	// Traced installs a trace recorder on every supernode run; the
+	// Result then carries each supernode's canonical JSONL export.
+	Traced bool
+
+	// FreshKernels disables kernel recycling across the supernode runs.
+	// Recycling (the default) reuses each worker's kernel through a
+	// parallel.KernelArena — semantically invisible, as everywhere else.
+	FreshKernels bool
+}
+
+// withDefaults fills the zero knobs.
+func (c Config) withDefaults() Config {
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 8
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 3
+	}
+	if c.ParkCapacity <= 0 {
+		c.ParkCapacity = 64
+	}
+	if c.Policy == "" {
+		c.Policy = PolicyLeastLoaded
+	}
+	if c.Balance == "" {
+		c.Balance = "GMin"
+	}
+	if c.Mode == 0 { // core.ModeCUDA is the zero value but never wanted here
+		c.Mode = core.ModeStrings
+	}
+	return c
+}
+
+// Validate rejects configurations the engine cannot serve.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if len(c.Supernodes) == 0 {
+		return fmt.Errorf("cluster: no supernodes")
+	}
+	for i, sn := range c.Supernodes {
+		if sn.Capacity() <= 0 {
+			return fmt.Errorf("cluster: supernode %d has no capacity (no devices?)", i)
+		}
+	}
+	switch c.Policy {
+	case PolicyLeastLoaded, PolicyFrag:
+	default:
+		return fmt.Errorf("cluster: unknown policy %q (valid: %v)", c.Policy, Policies())
+	}
+	if err := c.Arrivals.Validate(); err != nil {
+		return fmt.Errorf("cluster: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,251 @@
+package cluster
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/sim"
+	"repro/internal/sweep"
+	"repro/internal/workload"
+)
+
+// testSupernode builds a two-node, four-device supernode (16 default slots).
+func testSupernode() Supernode {
+	return Supernode{Nodes: []core.NodeConfig{
+		{Devices: []gpu.Spec{gpu.Quadro2000, gpu.TeslaC2050}},
+		{Devices: []gpu.Spec{gpu.Quadro2000, gpu.TeslaC2050}},
+	}}
+}
+
+// placeSpecs is the arrival matrix the placement properties sweep: the three
+// processes, a tight-capacity overload case, and a big-tenant mix.
+func placeSpecs() []workload.OpenArrivalSpec {
+	return []workload.OpenArrivalSpec{
+		{Process: workload.ProcPoisson, Rate: 1, Horizon: 400 * sim.Second,
+			MeanLife: 40 * sim.Second},
+		{Process: workload.ProcDiurnal, Rate: 1.5, Horizon: 400 * sim.Second,
+			MeanLife: 60 * sim.Second, Period: 80 * sim.Second, Depth: 0.8},
+		{Process: workload.ProcBursty, Rate: 2, Horizon: 300 * sim.Second,
+			MeanLife: 90 * sim.Second, BurstMean: 5, BurstSpread: 2 * sim.Second},
+		// Overload: demand far above the fleet's 48 slots, exercising the
+		// park queue and rejections.
+		{Process: workload.ProcPoisson, Rate: 8, Horizon: 200 * sim.Second,
+			MeanLife: 120 * sim.Second},
+		// Big tenants: every 4th demands 5 slots, stressing frag scoring.
+		{Process: workload.ProcPoisson, Rate: 1, Horizon: 400 * sim.Second,
+			MeanLife: 50 * sim.Second, BigEvery: 4, BigSlots: 5},
+	}
+}
+
+// placeCfg assembles a 3-supernode placement config.
+func placeCfg(spec workload.OpenArrivalSpec, policy string, seed int64) Config {
+	return Config{
+		Seed:       seed,
+		Supernodes: []Supernode{testSupernode(), testSupernode(), testSupernode()},
+		Policy:     policy,
+		Arrivals:   spec,
+	}.withDefaults()
+}
+
+// runPlace generates the population and runs only the placement engine.
+func runPlace(t *testing.T, cfg Config) ([]workload.TenantBirth, *PlacementLog) {
+	t.Helper()
+	births, err := cfg.Arrivals.Births(rand.New(rand.NewSource(
+		sweep.KeySeed(cfg.Seed, "cluster/arrivals"))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return births, newEngine(cfg).place(births)
+}
+
+// TestPlacementNeverOvercommits replays every placement log through an
+// independent sweep-line checker: at no instant may the slots concurrently
+// held on a supernode exceed its capacity. The checker trusts nothing from
+// the engine but the log itself.
+func TestPlacementNeverOvercommits(t *testing.T) {
+	for _, spec := range placeSpecs() {
+		for _, policy := range Policies() {
+			for seed := int64(1); seed <= 5; seed++ {
+				cfg := placeCfg(spec, policy, seed)
+				births, log := runPlace(t, cfg)
+				// Sweep line per supernode: +slots at At, −slots at
+				// At+Life; releases apply before same-instant admissions,
+				// mirroring the engine's tie rule.
+				type edge struct {
+					at    sim.Time
+					delta int
+				}
+				edges := make([][]edge, len(cfg.Supernodes))
+				for _, p := range log.Placements {
+					life := births[p.Tenant-1].Life
+					edges[p.Supernode] = append(edges[p.Supernode],
+						edge{p.At, p.Slots}, edge{p.At + life, -p.Slots})
+				}
+				for sn, es := range edges {
+					sort.Slice(es, func(i, j int) bool {
+						if es[i].at != es[j].at {
+							return es[i].at < es[j].at
+						}
+						return es[i].delta < es[j].delta // releases first
+					})
+					held, capSlots := 0, cfg.Supernodes[sn].Capacity()
+					for _, e := range es {
+						held += e.delta
+						if held > capSlots {
+							t.Fatalf("%s/%s seed %d: supernode %d holds %d slots over capacity %d",
+								spec.Process, policy, seed, sn, held, capSlots)
+						}
+						if held < 0 {
+							t.Fatalf("%s/%s seed %d: supernode %d negative occupancy", spec.Process, policy, seed, sn)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPlacementNoSilentLoss pins the conservation law: every born tenant is
+// exactly one of placed or rejected by the time the timeline drains, placed
+// tenants appear exactly once, and a placement never precedes its birth.
+func TestPlacementNoSilentLoss(t *testing.T) {
+	for _, spec := range placeSpecs() {
+		for _, policy := range Policies() {
+			for seed := int64(1); seed <= 5; seed++ {
+				cfg := placeCfg(spec, policy, seed)
+				births, log := runPlace(t, cfg)
+				if log.Placed+log.Rejected != log.Born {
+					t.Fatalf("%s/%s seed %d: placed %d + rejected %d != born %d",
+						spec.Process, policy, seed, log.Placed, log.Rejected, log.Born)
+				}
+				if log.Born != len(births) {
+					t.Fatalf("%s/%s seed %d: born %d != population %d", spec.Process, policy, seed, log.Born, len(births))
+				}
+				if len(log.Placements) != log.Placed {
+					t.Fatalf("%s/%s seed %d: %d placements vs placed %d",
+						spec.Process, policy, seed, len(log.Placements), log.Placed)
+				}
+				seen := make(map[int]bool, len(log.Placements))
+				for _, p := range log.Placements {
+					if seen[p.Tenant] {
+						t.Fatalf("%s/%s seed %d: tenant %d placed twice", spec.Process, policy, seed, p.Tenant)
+					}
+					seen[p.Tenant] = true
+					if p.At < births[p.Tenant-1].At {
+						t.Fatalf("%s/%s seed %d: tenant %d placed at %v before birth %v",
+							spec.Process, policy, seed, p.Tenant, p.At, births[p.Tenant-1].At)
+					}
+					if p.Wait != p.At-births[p.Tenant-1].At {
+						t.Fatalf("%s/%s seed %d: tenant %d wait %v inconsistent", spec.Process, policy, seed, p.Tenant, p.Wait)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPlacementSameSeedDeepEqual pins the engine's determinism: the whole
+// placement log reproduces exactly at a fixed seed.
+func TestPlacementSameSeedDeepEqual(t *testing.T) {
+	for _, spec := range placeSpecs() {
+		for _, policy := range Policies() {
+			cfg := placeCfg(spec, policy, 11)
+			_, a := runPlace(t, cfg)
+			_, b := runPlace(t, cfg)
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("%s/%s: placement logs differ between identical runs", spec.Process, policy)
+			}
+		}
+	}
+}
+
+// TestPlacementFreshSnapshotNoConflicts checks the staleness model: with
+// SnapshotEvery=1 the snapshot always equals the ledger, so optimistic
+// commits can never conflict; with a very stale snapshot under overload,
+// conflicts must actually occur (the model isn't vacuous).
+func TestPlacementFreshSnapshotNoConflicts(t *testing.T) {
+	overload := placeSpecs()[3]
+	fresh := placeCfg(overload, PolicyLeastLoaded, 3)
+	fresh.SnapshotEvery = 1
+	if _, log := runPlace(t, fresh); log.Conflicts != 0 {
+		t.Errorf("SnapshotEvery=1 produced %d conflicts; a fresh snapshot cannot conflict", log.Conflicts)
+	}
+	stale := placeCfg(overload, PolicyLeastLoaded, 3)
+	stale.SnapshotEvery = 64
+	if _, log := runPlace(t, stale); log.Conflicts == 0 {
+		t.Error("SnapshotEvery=64 under overload produced no conflicts; staleness model is inert")
+	}
+}
+
+// TestPlacementParkQueueBounded checks the admission queue honors its bound
+// and that overload actually rejects, and that parked tenants admit in FIFO
+// order (placements with nonzero wait carry increasing tenant ids).
+func TestPlacementParkQueueBounded(t *testing.T) {
+	cfg := placeCfg(placeSpecs()[3], PolicyLeastLoaded, 9)
+	cfg.ParkCapacity = 16
+	_, log := runPlace(t, cfg)
+	if log.PeakParked > cfg.ParkCapacity {
+		t.Errorf("peak parked %d exceeds capacity %d", log.PeakParked, cfg.ParkCapacity)
+	}
+	if log.Rejected == 0 {
+		t.Error("overload with a 16-deep park queue rejected nothing")
+	}
+	if log.Parked == 0 {
+		t.Error("overload parked nothing")
+	}
+	last := 0
+	for _, p := range log.Placements {
+		if p.Wait > 0 {
+			if p.Tenant < last {
+				t.Fatalf("parked tenant %d admitted after %d: FIFO order broken", p.Tenant, last)
+			}
+			last = p.Tenant
+		}
+	}
+}
+
+// TestPoliciesDiverge checks the two policies are actually different
+// schedulers: on the big-tenant mix their placement logs must differ.
+func TestPoliciesDiverge(t *testing.T) {
+	spec := placeSpecs()[4]
+	_, ll := runPlace(t, placeCfg(spec, PolicyLeastLoaded, 5))
+	_, fr := runPlace(t, placeCfg(spec, PolicyFrag, 5))
+	if reflect.DeepEqual(ll.Placements, fr.Placements) {
+		t.Error("least-loaded and frag produced identical placement logs on the big-tenant mix")
+	}
+}
+
+// TestConfigValidate pins the config rejection surface.
+func TestConfigValidate(t *testing.T) {
+	good := placeCfg(placeSpecs()[0], PolicyLeastLoaded, 1)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	bad := good
+	bad.Supernodes = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("empty fleet accepted")
+	}
+	bad = good
+	bad.Supernodes = []Supernode{{}}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero-capacity supernode accepted")
+	}
+	bad = good
+	bad.Policy = "round-robin"
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	bad = good
+	bad.Arrivals.Rate = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid arrival spec accepted")
+	}
+	if _, err := Run(bad); err == nil {
+		t.Error("Run accepted an invalid config")
+	}
+}
